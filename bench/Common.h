@@ -1,0 +1,112 @@
+//===- bench/Common.h - Shared benchmark harness helpers -------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: weak-scaling node
+/// sweeps, series tables printed in the paper's row format, and wrappers
+/// running DISTAL plans through the Simulate backend against the Lassen
+/// machine models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_BENCH_COMMON_H
+#define DISTAL_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/Matmul.h"
+#include "runtime/Executor.h"
+#include "runtime/Simulator.h"
+#include "support/Util.h"
+
+namespace distal {
+namespace bench {
+
+/// The paper's weak-scaling x axis.
+inline const std::vector<int64_t> &nodeCounts() {
+  static const std::vector<int64_t> Counts = {1, 2, 4, 8, 16, 32, 64, 128,
+                                              256};
+  return Counts;
+}
+
+/// Weak-scaled square-matrix dimension: memory per node constant.
+inline Coord weakScaleN(Coord N0, int64_t Nodes) {
+  // n grows with sqrt(nodes); round to a multiple of 16 for tidy tiles.
+  double N = static_cast<double>(N0) * std::sqrt(static_cast<double>(Nodes));
+  return (static_cast<Coord>(N) / 16) * 16;
+}
+
+/// Weak-scaled cubic 3-tensor dimension.
+inline Coord weakScaleCube(Coord D0, int64_t Nodes) {
+  double D = static_cast<double>(D0) *
+             std::cbrt(static_cast<double>(Nodes));
+  return (static_cast<Coord>(D) / 8) * 8;
+}
+
+struct SeriesPoint {
+  int64_t Nodes = 0;
+  double Value = 0;
+  bool OOM = false;
+};
+
+/// One line of a figure: a named series over the node counts.
+struct Series {
+  std::string Name;
+  std::vector<SeriesPoint> Points;
+};
+
+/// Prints a figure as the paper presents it: one row per series, one
+/// column per node count.
+inline void printFigure(const std::string &Title, const std::string &Unit,
+                        const std::vector<Series> &AllSeries) {
+  std::printf("\n=== %s (%s, higher is better) ===\n", Title.c_str(),
+              Unit.c_str());
+  std::printf("%-28s", "nodes");
+  for (int64_t N : nodeCounts())
+    std::printf("%9lld", static_cast<long long>(N));
+  std::printf("\n");
+  for (const Series &S : AllSeries) {
+    std::printf("%-28s", S.Name.c_str());
+    size_t Idx = 0;
+    for (int64_t N : nodeCounts()) {
+      if (Idx < S.Points.size() && S.Points[Idx].Nodes == N) {
+        if (S.Points[Idx].OOM)
+          std::printf("%9s", "OOM");
+        else
+          std::printf("%9.1f", S.Points[Idx].Value);
+        ++Idx;
+      } else {
+        std::printf("%9s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+/// Runs one of our matmul algorithms in simulation.
+inline SimResult runOurMatmul(algorithms::MatmulAlgo Algo, int64_t Nodes,
+                              Coord N, const MachineSpec &Spec,
+                              int ProcsPerNode, ProcessorKind Proc,
+                              MemoryKind Mem, double MemLimitElems = 1e18,
+                              Coord ChunkSize = 0, int ReplicationC = 0) {
+  algorithms::MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * ProcsPerNode;
+  Opts.ProcsPerNode = ProcsPerNode;
+  Opts.Proc = Proc;
+  Opts.Memory = Mem;
+  Opts.MemLimitElems = MemLimitElems;
+  Opts.ChunkSize = ChunkSize;
+  Opts.ReplicationC = ReplicationC;
+  algorithms::MatmulProblem Prob = algorithms::buildMatmul(Algo, Opts);
+  Executor Exec(Prob.P);
+  Trace T = Exec.simulate();
+  return simulate(T, Prob.P.M, Spec);
+}
+
+} // namespace bench
+} // namespace distal
+
+#endif // DISTAL_BENCH_COMMON_H

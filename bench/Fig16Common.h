@@ -1,0 +1,93 @@
+//===- bench/Fig16Common.h - Shared Fig. 16 harness ------------*- C++ -*-===//
+///
+/// \file
+/// The common weak-scaling harness for the higher-order tensor kernels of
+/// paper Fig. 16: CPU and GPU sweeps of DISTAL's schedule against CTF's
+/// fold-multiply-unfold strategy. Bandwidth-bound kernels (TTV, Innerprod)
+/// report GB/s per node; compute-bound kernels (TTM, MTTKRP) report
+/// GFLOP/s per node, exactly as the paper plots them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_BENCH_FIG16COMMON_H
+#define DISTAL_BENCH_FIG16COMMON_H
+
+#include "../bench/Common.h"
+#include "algorithms/HigherOrder.h"
+#include "baselines/Ctf.h"
+
+#include <benchmark/benchmark.h>
+
+namespace distal {
+namespace bench {
+
+inline SimResult runOurHigherOrder(algorithms::HigherOrderKernel K,
+                                   int64_t Nodes, Coord Dim, Coord Rank,
+                                   const MachineSpec &Spec, int ProcsPerNode,
+                                   ProcessorKind Proc, MemoryKind Mem) {
+  algorithms::HigherOrderOptions Opts;
+  Opts.Dim = Dim;
+  Opts.Rank = Rank;
+  Opts.Procs = Nodes * ProcsPerNode;
+  Opts.ProcsPerNode = ProcsPerNode;
+  Opts.Proc = Proc;
+  Opts.Memory = Mem;
+  algorithms::HigherOrderProblem Prob = buildHigherOrder(K, Opts);
+  Executor Exec(Prob.P);
+  return simulate(Exec.simulate(), Prob.P.M, Spec);
+}
+
+/// Runs the full Fig. 16 sub-figure for kernel \p K and prints both the
+/// CPU and GPU panels.
+inline int runFig16(algorithms::HigherOrderKernel K, const char *FigName,
+                    Coord CpuDim0, Coord GpuDim0, Coord Rank, int argc,
+                    char **argv) {
+  bool Bandwidth = isBandwidthBound(K);
+  std::string Unit = Bandwidth ? "GB/s per node" : "GFLOP/s per node";
+  auto Value = [&](const SimResult &R, int64_t Nodes) {
+    return Bandwidth ? R.gbytesPerNodePerSec(Nodes) : R.gflopsPerNode(Nodes);
+  };
+
+  // CPU panel: DISTAL vs CTF (the paper's only CTF backend that builds).
+  MachineSpec Cpu = MachineSpec::lassenCPU();
+  Series OursCpu{"Ours (CPU)", {}}, CtfCpu{"CTF (CPU)", {}};
+  for (int64_t Nodes : nodeCounts()) {
+    Coord D = weakScaleCube(CpuDim0, Nodes);
+    SimResult R = runOurHigherOrder(K, Nodes, D, Rank, Cpu, 2,
+                                    ProcessorKind::CPUSocket,
+                                    MemoryKind::SystemMem);
+    OursCpu.Points.push_back({Nodes, Value(R, Nodes), R.OutOfMemory});
+    ctf::CtfOptions Opts;
+    Opts.Nodes = Nodes;
+    Opts.N = D;
+    Opts.Rank = Rank;
+    SimResult C = ctf::higherOrder(K, Opts, Cpu);
+    CtfCpu.Points.push_back({Nodes, Value(C, Nodes), C.OutOfMemory});
+  }
+  printFigure(std::string(FigName) + " (CPU)", Unit, {OursCpu, CtfCpu});
+
+  // GPU panel: DISTAL only (CTF's GPU backend does not build; §7.2).
+  MachineSpec Gpu = MachineSpec::lassenGPU();
+  Series OursGpu{"Ours (GPU)", {}};
+  for (int64_t Nodes : nodeCounts()) {
+    Coord D = weakScaleCube(GpuDim0, Nodes);
+    SimResult R = runOurHigherOrder(K, Nodes, D, Rank, Gpu, 4,
+                                    ProcessorKind::GPU,
+                                    MemoryKind::GPUFrameBuffer);
+    OursGpu.Points.push_back({Nodes, Value(R, Nodes), R.OutOfMemory});
+  }
+  printFigure(std::string(FigName) + " (GPU)", Unit, {OursGpu});
+
+  double Speedup =
+      OursCpu.Points.back().Value / CtfCpu.Points.back().Value;
+  std::printf("\nOurs / CTF at 256 CPU nodes: %.1fx\n", Speedup);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+} // namespace bench
+} // namespace distal
+
+#endif // DISTAL_BENCH_FIG16COMMON_H

@@ -1,0 +1,72 @@
+//===- bench/abl_chunksize.cpp - Ablation: communicate granularity -------===//
+//
+// Ablation A2 (DESIGN.md): the memory-vs-messages tradeoff of the
+// communicate command (paper Fig. 7a/7b). SUMMA's chunkSize controls how
+// much of the k loop is aggregated per message: small chunks mean many
+// messages but little buffer memory; large chunks the reverse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+constexpr int64_t Nodes = 16;
+constexpr Coord N = 8192 * 4;
+
+SimResult run(Coord Chunk, Trace *TOut = nullptr) {
+  algorithms::MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * 2;
+  Opts.ProcsPerNode = 2;
+  Opts.ChunkSize = Chunk;
+  algorithms::MatmulProblem Prob =
+      algorithms::buildMatmul(MatmulAlgo::Summa, Opts);
+  Trace T = Executor(Prob.P).simulate();
+  if (TOut)
+    *TOut = T;
+  return simulate(T, Prob.P.M, MachineSpec::lassenCPU());
+}
+
+void benchChunk(benchmark::State &State) {
+  Coord Chunk = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = run(Chunk);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+}
+
+} // namespace
+
+BENCHMARK(benchChunk)->RangeMultiplier(4)->Range(256, 8192)->Iterations(1);
+
+int main(int argc, char **argv) {
+  std::printf("=== Ablation A2: communicate aggregation granularity "
+              "(SUMMA, %lld nodes, n=%lld) ===\n",
+              static_cast<long long>(Nodes), static_cast<long long>(N));
+  std::printf("%-10s %10s %12s %14s %12s\n", "chunk", "messages",
+              "peak mem GB", "GFLOP/s/node", "comm GB");
+  Coord Tile = N / 8; // One full tile per processor row.
+  for (Coord Chunk : {Tile / 32, Tile / 8, Tile / 4, Tile / 2, Tile}) {
+    Trace T;
+    SimResult R = run(Chunk, &T);
+    std::printf("%-10lld %10lld %12.2f %14.1f %12.2f\n",
+                static_cast<long long>(Chunk),
+                static_cast<long long>(T.totalMessages()),
+                static_cast<double>(T.maxPeakMemBytes()) / 1e9,
+                R.gflopsPerNode(Nodes),
+                static_cast<double>(T.totalCommBytes()) / 1e9);
+  }
+  std::printf("\nSmaller chunks: more messages, less buffer memory "
+              "(Fig. 7a); larger chunks aggregate (Fig. 7b).\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

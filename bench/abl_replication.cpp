@@ -1,0 +1,74 @@
+//===- bench/abl_replication.cpp - Ablation: 2.5D replication ------------===//
+//
+// Ablation A3 (DESIGN.md): Solomonik's 2.5D algorithm trades replicated
+// memory for reduced communication. Sweeping the replication factor c at
+// a fixed processor count shows communication falling and memory rising,
+// the interpolation between 2D (c=1) and 3D (c=p^(1/3)) the paper
+// describes in §4.1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+constexpr int64_t Nodes = 64;
+constexpr Coord N = 8192 * 8;
+
+SimResult run(int C, Trace *TOut = nullptr) {
+  algorithms::MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * 2;
+  Opts.ProcsPerNode = 2;
+  Opts.ReplicationC = C;
+  algorithms::MatmulProblem Prob =
+      algorithms::buildMatmul(MatmulAlgo::Solomonik, Opts);
+  Trace T = Executor(Prob.P).simulate();
+  if (TOut)
+    *TOut = T;
+  return simulate(T, Prob.P.M, MachineSpec::lassenCPU());
+}
+
+void benchReplication(benchmark::State &State) {
+  int C = static_cast<int>(State.range(0));
+  SimResult R;
+  for (auto _ : State)
+    R = run(C);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+}
+
+} // namespace
+
+BENCHMARK(benchReplication)->Arg(1)->Arg(2)->Arg(8)->Iterations(1);
+
+int main(int argc, char **argv) {
+  std::printf("=== Ablation A3: 2.5D replication factor (%lld nodes, "
+              "n=%lld) ===\n",
+              static_cast<long long>(Nodes), static_cast<long long>(N));
+  std::printf("%-6s %12s %14s %14s\n", "c", "comm GB", "peak mem GB",
+              "GFLOP/s/node");
+  int64_t PrevComm = -1;
+  for (int C : {1, 2, 8}) { // 128 ranks: c must divide p.
+    Trace T;
+    SimResult R = run(C, &T);
+    std::printf("%-6d %12.2f %14.2f %14.1f\n", C,
+                static_cast<double>(T.totalCommBytes()) / 1e9,
+                static_cast<double>(T.maxPeakMemBytes()) / 1e9,
+                R.gflopsPerNode(Nodes));
+    if (PrevComm >= 0 && T.totalCommBytes() > PrevComm)
+      std::printf("  note: comm did not fall at c=%d\n", C);
+    PrevComm = T.totalCommBytes();
+  }
+  std::printf("\nHigher c replicates inputs to cut communication at the "
+              "cost of memory (Solomonik & Demmel).\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

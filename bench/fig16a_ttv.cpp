@@ -1,0 +1,37 @@
+//===- bench/fig16a_ttv.cpp - Paper Fig. 16a: TTV --------------*- C++ -*-===//
+//
+// Tensor-times-vector A(i,j) = B(i,j,k) * c(k), weak scaled. DISTAL
+// computes element-wise with zero inter-node communication; CTF refolds
+// the 3-tensor into a matrix over the network, producing the paper's
+// largest gap (the 45.7x outlier).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig16Common.h"
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::HigherOrderKernel;
+
+namespace {
+
+void benchTtvCpu(benchmark::State &State) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = runOurHigherOrder(HigherOrderKernel::TTV, Nodes,
+                          weakScaleCube(1024, Nodes), 32,
+                          MachineSpec::lassenCPU(), 2,
+                          ProcessorKind::CPUSocket, MemoryKind::SystemMem);
+  State.counters["gb_per_node"] = R.gbytesPerNodePerSec(Nodes);
+}
+
+} // namespace
+
+BENCHMARK(benchTtvCpu)->RangeMultiplier(4)->Range(1, 256)->Iterations(1);
+
+int main(int argc, char **argv) {
+  return runFig16(HigherOrderKernel::TTV, "Figure 16a: TTV",
+                  /*CpuDim0=*/1024, /*GpuDim0=*/1280, /*Rank=*/32, argc,
+                  argv);
+}

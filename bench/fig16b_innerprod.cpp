@@ -1,0 +1,37 @@
+//===- bench/fig16b_innerprod.cpp - Paper Fig. 16b: Innerprod --*- C++ -*-===//
+//
+// Inner product a = B(i,j,k) * C(i,j,k), weak scaled: a node-local
+// reduction followed by a global tree reduction. CTF weak-scales
+// reasonably here (element-wise layouts already agree) but loses
+// single-node performance to its rank-per-core execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig16Common.h"
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::HigherOrderKernel;
+
+namespace {
+
+void benchInnerprodCpu(benchmark::State &State) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = runOurHigherOrder(HigherOrderKernel::Innerprod, Nodes,
+                          weakScaleCube(1024, Nodes), 32,
+                          MachineSpec::lassenCPU(), 2,
+                          ProcessorKind::CPUSocket, MemoryKind::SystemMem);
+  State.counters["gb_per_node"] = R.gbytesPerNodePerSec(Nodes);
+}
+
+} // namespace
+
+BENCHMARK(benchInnerprodCpu)->RangeMultiplier(4)->Range(1, 256)->Iterations(1);
+
+int main(int argc, char **argv) {
+  return runFig16(HigherOrderKernel::Innerprod, "Figure 16b: Innerprod",
+                  /*CpuDim0=*/1024, /*GpuDim0=*/1280, /*Rank=*/32, argc,
+                  argv);
+}

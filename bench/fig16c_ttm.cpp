@@ -1,0 +1,37 @@
+//===- bench/fig16c_ttm.cpp - Paper Fig. 16c: TTM --------------*- C++ -*-===//
+//
+// Tensor-times-matrix A(i,j,l) = B(i,j,k) * C(k,l), weak scaled. DISTAL
+// distributes the i loop into independent local GEMMs with no inter-node
+// communication; CTF folds B into a matrix and runs a distributed GEMM,
+// paying a full-tensor redistribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig16Common.h"
+
+using namespace distal;
+using namespace distal::bench;
+using algorithms::HigherOrderKernel;
+
+namespace {
+
+void benchTtmCpu(benchmark::State &State) {
+  int64_t Nodes = State.range(0);
+  SimResult R;
+  for (auto _ : State)
+    R = runOurHigherOrder(HigherOrderKernel::TTM, Nodes,
+                          weakScaleCube(768, Nodes), 512,
+                          MachineSpec::lassenCPU(), 2,
+                          ProcessorKind::CPUSocket, MemoryKind::SystemMem);
+  State.counters["gflops_per_node"] = R.gflopsPerNode(Nodes);
+}
+
+} // namespace
+
+BENCHMARK(benchTtmCpu)->RangeMultiplier(4)->Range(1, 256)->Iterations(1);
+
+int main(int argc, char **argv) {
+  return runFig16(HigherOrderKernel::TTM, "Figure 16c: TTM",
+                  /*CpuDim0=*/768, /*GpuDim0=*/1024, /*Rank=*/512, argc,
+                  argv);
+}

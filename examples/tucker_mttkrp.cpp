@@ -1,0 +1,89 @@
+//===- examples/tucker_mttkrp.cpp - Tensor decomposition kernels ----------===//
+//
+// The workloads motivating the paper's higher-order evaluation (§7.2): TTM
+// and MTTKRP are the building blocks of Tucker and CP tensor
+// decompositions [Kolda & Bader]. This example runs one step of each on a
+// distributed 3-tensor, verifies the numerics, and reports the
+// communication the schedules incur: TTM runs entirely without inter-node
+// communication; MTTKRP only reduces partial factor matrices.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "algorithms/HigherOrder.h"
+#include "runtime/Executor.h"
+#include "runtime/Region.h"
+
+using namespace distal;
+using namespace distal::algorithms;
+
+static bool runKernel(HigherOrderKernel K, Coord Dim, Coord Rank,
+                      int64_t Procs) {
+  HigherOrderOptions Opts;
+  Opts.Dim = Dim;
+  Opts.Rank = Rank;
+  Opts.Procs = Procs;
+  HigherOrderProblem Prob = buildHigherOrder(K, Opts);
+
+  std::map<TensorVar, Region *> Regions;
+  std::vector<std::unique_ptr<Region>> Storage;
+  for (size_t I = 0; I < Prob.Tensors.size(); ++I) {
+    const TensorVar &T = Prob.Tensors[I];
+    Storage.push_back(
+        std::make_unique<Region>(T, Prob.P.formatOf(T), Prob.P.M));
+    if (I > 0)
+      Storage.back()->fillRandom(11 * I + 1);
+    Regions[T] = Storage.back().get();
+  }
+  Executor Exec(Prob.P);
+  Trace T = Exec.run(Regions);
+
+  // Reference.
+  Machine Seq = Machine::grid({1});
+  std::map<TensorVar, Region *> SeqRegions;
+  std::vector<std::unique_ptr<Region>> SeqStorage;
+  for (size_t I = 0; I < Prob.Tensors.size(); ++I) {
+    const TensorVar &TV = Prob.Tensors[I];
+    std::string Spec;
+    for (int D = 0; D < TV.order(); ++D)
+      Spec += static_cast<char>('w' + D);
+    Format F(std::vector<ModeKind>(TV.order(), ModeKind::Dense),
+             TensorDistribution::parse(Spec + "->*"));
+    SeqStorage.push_back(std::make_unique<Region>(TV, F, Seq));
+    if (I > 0)
+      SeqStorage.back()->fillRandom(11 * I + 1);
+    SeqRegions[TV] = SeqStorage.back().get();
+  }
+  referenceExecute(Prob.Stmt, SeqRegions);
+
+  double MaxDiff = 0;
+  const TensorVar &Out = Prob.Tensors[0];
+  Rect::forExtents(Out.shape()).forEachPoint([&](const Point &P) {
+    MaxDiff = std::max(MaxDiff,
+                       std::abs(Regions[Out]->at(P) - SeqRegions[Out]->at(P)));
+  });
+
+  std::printf("%-8s dim=%lld rank=%lld procs=%lld: comm %lld B "
+              "(%lld messages), max err %.1e %s\n",
+              toString(K).c_str(), static_cast<long long>(Dim),
+              static_cast<long long>(Rank), static_cast<long long>(Procs),
+              static_cast<long long>(T.totalCommBytes()),
+              static_cast<long long>(T.totalMessages()), MaxDiff,
+              MaxDiff < 1e-9 ? "OK" : "MISMATCH");
+  return MaxDiff < 1e-9;
+}
+
+int main() {
+  std::printf("One iteration of Tucker (TTM) and CP-ALS (MTTKRP) building "
+              "blocks on a distributed 3-tensor:\n\n");
+  bool Ok = true;
+  Ok &= runKernel(HigherOrderKernel::TTM, 24, 8, 4);
+  Ok &= runKernel(HigherOrderKernel::MTTKRP, 24, 8, 4);
+  Ok &= runKernel(HigherOrderKernel::TTV, 24, 8, 4);
+  Ok &= runKernel(HigherOrderKernel::Innerprod, 24, 8, 4);
+  std::printf("\nTTM/TTV move zero bytes (computation aligned with the "
+              "data distribution);\nMTTKRP communicates only the factor "
+              "matrix reduction (Ballard et al.).\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+//===- algorithms/HigherOrder.cpp -----------------------------*- C++ -*-===//
+
+#include "algorithms/HigherOrder.h"
+
+#include "algorithms/Matmul.h"
+#include "lower/Lower.h"
+#include "support/Error.h"
+#include "support/Util.h"
+
+using namespace distal;
+using namespace distal::algorithms;
+
+std::string distal::algorithms::toString(HigherOrderKernel K) {
+  switch (K) {
+  case HigherOrderKernel::TTV:
+    return "ttv";
+  case HigherOrderKernel::Innerprod:
+    return "innerprod";
+  case HigherOrderKernel::TTM:
+    return "ttm";
+  case HigherOrderKernel::MTTKRP:
+    return "mttkrp";
+  }
+  unreachable("unknown higher-order kernel");
+}
+
+bool distal::algorithms::isBandwidthBound(HigherOrderKernel K) {
+  return K == HigherOrderKernel::TTV || K == HigherOrderKernel::Innerprod;
+}
+
+HigherOrderProblem
+distal::algorithms::buildHigherOrder(HigherOrderKernel K,
+                                     const HigherOrderOptions &Opts) {
+  DISTAL_ASSERT(Opts.Dim > 0, "tensor dimension must be positive");
+  Coord D = Opts.Dim, R = Opts.Rank;
+  int64_t P = Opts.Procs;
+  IndexVar I("i"), J("j"), Kv("k"), L("l");
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji");
+
+  HigherOrderProblem Prob;
+  auto Fmt = [&](int Order, const std::string &Spec) {
+    return Format(std::vector<ModeKind>(Order, ModeKind::Dense),
+                  TensorDistribution::parse(Spec), Opts.Memory);
+  };
+
+  switch (K) {
+  case HigherOrderKernel::TTV: {
+    // Element-wise along the distributed i dimension: no communication.
+    Machine M = Machine::gridWithNodeSize({static_cast<int>(P)}, Opts.Proc,
+                                          Opts.ProcsPerNode);
+    TensorVar A("A", {D, D}), B("B", {D, D, D}), C("c", {D});
+    Prob.Stmt = Assignment(Access(A, {I, J}),
+                           Access(B, {I, J, Kv}) * Access(C, {Kv}));
+    Schedule S(Prob.Stmt);
+    S.distribute({I}, {Io}, {Ii}, std::vector<int>{static_cast<int>(P)})
+        .communicate({A, B, C}, Io)
+        .parallelize(Ii);
+    Prob.P = lower(S.takeNest(), M,
+                   {{A, Fmt(2, "xy->x")},
+                    {B, Fmt(3, "xyz->x")},
+                    {C, Fmt(1, "x->*")}});
+    Prob.Tensors = {A, B, C};
+    break;
+  }
+  case HigherOrderKernel::Innerprod: {
+    // Node-local reduction followed by a global tree reduction (§7.2.2).
+    Machine M = Machine::gridWithNodeSize({static_cast<int>(P)}, Opts.Proc,
+                                          Opts.ProcsPerNode);
+    TensorVar A("a", {}), B("B", {D, D, D}), C("C", {D, D, D});
+    Prob.Stmt = Assignment(Access(A, {}),
+                           Access(B, {I, J, Kv}) * Access(C, {I, J, Kv}));
+    Schedule S(Prob.Stmt);
+    S.distribute({I}, {Io}, {Ii}, std::vector<int>{static_cast<int>(P)})
+        .communicate({A, B, C}, Io)
+        .parallelize(Ii);
+    Prob.P = lower(S.takeNest(), M,
+                   {{A, Fmt(0, "->0")},
+                    {B, Fmt(3, "xyz->x")},
+                    {C, Fmt(3, "xyz->x")}});
+    Prob.Tensors = {A, B, C};
+    break;
+  }
+  case HigherOrderKernel::TTM: {
+    // distribute(i) turns TTM into independent local GEMMs: the paper's
+    // no-inter-node-communication schedule (§7.2.2).
+    Machine M = Machine::gridWithNodeSize({static_cast<int>(P)}, Opts.Proc,
+                                          Opts.ProcsPerNode);
+    TensorVar A("A", {D, D, R}), B("B", {D, D, D}), C("C", {D, R});
+    Prob.Stmt = Assignment(Access(A, {I, J, L}),
+                           Access(B, {I, J, Kv}) * Access(C, {Kv, L}));
+    Schedule S(Prob.Stmt);
+    S.distribute({I}, {Io}, {Ii}, std::vector<int>{static_cast<int>(P)})
+        .communicate({A, B, C}, Io)
+        .parallelize(Ii);
+    Prob.P = lower(S.takeNest(), M,
+                   {{A, Fmt(3, "xyz->x")},
+                    {B, Fmt(3, "xyz->x")},
+                    {C, Fmt(2, "xy->*")}});
+    Prob.Tensors = {A, B, C};
+    break;
+  }
+  case HigherOrderKernel::MTTKRP: {
+    // Ballard et al.: B stays in place on a 2-d grid; partial A results
+    // reduce over the grid's j dimension into the jo = 0 column.
+    auto [Gx, Gy] = bestRect2D(P);
+    Machine M =
+        Machine::gridWithNodeSize({Gx, Gy}, Opts.Proc, Opts.ProcsPerNode);
+    TensorVar A("A", {D, R}), B("B", {D, D, D}), C("C", {D, R}),
+        Dm("D", {D, R});
+    Prob.Stmt = Assignment(Access(A, {I, L}),
+                           Access(B, {I, J, Kv}) * Access(C, {J, L}) *
+                               Access(Dm, {Kv, L}));
+    Schedule S(Prob.Stmt);
+    S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{Gx, Gy})
+        .communicate({A, B, C, Dm}, Jo)
+        .parallelize(Ii);
+    Prob.P = lower(S.takeNest(), M,
+                   {{A, Fmt(2, "xy->x0")},
+                    {B, Fmt(3, "xyz->xy")},
+                    {C, Fmt(2, "xy->*x")},
+                    {Dm, Fmt(2, "xy->**")}});
+    Prob.Tensors = {A, B, C, Dm};
+    break;
+  }
+  }
+  return Prob;
+}

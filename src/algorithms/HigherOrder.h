@@ -1,0 +1,55 @@
+//===- algorithms/HigherOrder.h - Higher-order tensor kernels --*- C++ -*-===//
+///
+/// \file
+/// The higher-order tensor kernels of the paper's evaluation (§7.2) with
+/// the schedules the authors describe:
+///
+///  * TTV        A(i,j)   = B(i,j,k) · c(k)          — element-wise, no
+///                inter-node communication;
+///  * Innerprod  a        = B(i,j,k) · C(i,j,k)      — local reduce + global
+///                tree reduce;
+///  * TTM        A(i,j,l) = B(i,j,k) · C(k,l)        — parallel local GEMMs,
+///                no inter-node communication;
+///  * MTTKRP     A(i,l)   = B(i,j,k) · C(j,l) · D(k,l) — Ballard et al.:
+///                the 3-tensor stays in place, partials reduce into A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_ALGORITHMS_HIGHERORDER_H
+#define DISTAL_ALGORITHMS_HIGHERORDER_H
+
+#include "lower/Plan.h"
+
+namespace distal {
+namespace algorithms {
+
+enum class HigherOrderKernel { TTV, Innerprod, TTM, MTTKRP };
+
+std::string toString(HigherOrderKernel K);
+
+/// True for kernels whose throughput the paper reports in GB/s.
+bool isBandwidthBound(HigherOrderKernel K);
+
+struct HigherOrderOptions {
+  Coord Dim = 0;        ///< Cubic 3-tensor side I = J = K.
+  Coord Rank = 32;      ///< Factor-matrix columns (TTM l, MTTKRP l).
+  int64_t Procs = 1;
+  int ProcsPerNode = 1;
+  ProcessorKind Proc = ProcessorKind::CPUSocket;
+  MemoryKind Memory = MemoryKind::SystemMem;
+};
+
+struct HigherOrderProblem {
+  Plan P;
+  std::vector<TensorVar> Tensors; ///< Output first.
+  Assignment Stmt;
+};
+
+/// Builds the paper's schedule for kernel \p K.
+HigherOrderProblem buildHigherOrder(HigherOrderKernel K,
+                                    const HigherOrderOptions &Opts);
+
+} // namespace algorithms
+} // namespace distal
+
+#endif // DISTAL_ALGORITHMS_HIGHERORDER_H

@@ -1,0 +1,252 @@
+//===- algorithms/Matmul.cpp ----------------------------------*- C++ -*-===//
+
+#include "algorithms/Matmul.h"
+
+#include "baselines/Cosma.h"
+#include "lower/Lower.h"
+#include "support/Error.h"
+#include "support/Util.h"
+
+using namespace distal;
+using namespace distal::algorithms;
+
+std::string distal::algorithms::toString(MatmulAlgo A) {
+  switch (A) {
+  case MatmulAlgo::Summa:
+    return "summa";
+  case MatmulAlgo::Cannon:
+    return "cannon";
+  case MatmulAlgo::Pumma:
+    return "pumma";
+  case MatmulAlgo::Johnson:
+    return "johnson";
+  case MatmulAlgo::Solomonik:
+    return "solomonik";
+  case MatmulAlgo::Cosma:
+    return "cosma";
+  }
+  unreachable("unknown matmul algorithm");
+}
+
+const std::vector<MatmulAlgo> &distal::algorithms::allMatmulAlgos() {
+  static const std::vector<MatmulAlgo> All = {
+      MatmulAlgo::Cannon,  MatmulAlgo::Summa,     MatmulAlgo::Pumma,
+      MatmulAlgo::Johnson, MatmulAlgo::Solomonik, MatmulAlgo::Cosma};
+  return All;
+}
+
+std::pair<int, int> distal::algorithms::bestRect2D(int64_t P) {
+  int Gx = static_cast<int>(sqrtFloor(P));
+  while (P % Gx != 0)
+    --Gx;
+  int Gy = static_cast<int>(P / Gx);
+  if (Gx < Gy)
+    std::swap(Gx, Gy);
+  return {Gx, Gy};
+}
+
+std::array<int, 3> distal::algorithms::bestCuboid3D(int64_t P) {
+  std::array<int, 3> Best = {static_cast<int>(P), 1, 1};
+  int64_t BestSpread = P;
+  for (int A = 1; static_cast<int64_t>(A) * A * A <= P; ++A) {
+    if (P % A != 0)
+      continue;
+    auto [B, C] = bestRect2D(P / A);
+    int64_t Spread = std::max({A, B, C}) - std::min({A, B, C});
+    if (Spread < BestSpread) {
+      BestSpread = Spread;
+      Best = {B, C, A};
+    }
+  }
+  return Best;
+}
+
+int distal::algorithms::solomonikReplication(int64_t Procs) {
+  int Best = 1;
+  for (int C = 1; static_cast<int64_t>(C) * C * C <= Procs; ++C) {
+    if (Procs % C != 0)
+      continue;
+    int64_t Sq = Procs / C;
+    if (!isPerfectSquare(Sq))
+      continue;
+    int G = static_cast<int>(sqrtFloor(Sq));
+    if (G % C != 0)
+      continue;
+    Best = C;
+  }
+  return Best;
+}
+
+Machine distal::algorithms::matmulMachine(MatmulAlgo Algo,
+                                          const MatmulOptions &Opts) {
+  int64_t P = Opts.Procs;
+  switch (Algo) {
+  case MatmulAlgo::Summa:
+  case MatmulAlgo::Cannon:
+  case MatmulAlgo::Pumma: {
+    auto [Gx, Gy] = bestRect2D(P);
+    return Machine::gridWithNodeSize({Gx, Gy}, Opts.Proc, Opts.ProcsPerNode);
+  }
+  case MatmulAlgo::Johnson: {
+    // The closest cuboid factorisation: perfect cubes at cube counts, and
+    // flattened grids (the paper's non-cube degradation) elsewhere.
+    std::array<int, 3> G = bestCuboid3D(P);
+    int Ppn = P % Opts.ProcsPerNode == 0 ? Opts.ProcsPerNode : 1;
+    return Machine::gridWithNodeSize({G[0], G[1], G[2]}, Opts.Proc, Ppn);
+  }
+  case MatmulAlgo::Solomonik: {
+    int C = Opts.ReplicationC > 0 ? Opts.ReplicationC
+                                  : solomonikReplication(P);
+    if (P % C != 0)
+      C = 1;
+    // 2.5D uses extra memory "when possible" (§7.1.2): shrink the
+    // replication factor until the replicated tiles fit the budget.
+    auto fits = [&](int Cand) {
+      auto [Gx, Gy] = bestRect2D(P / Cand);
+      double Tile = static_cast<double>(ceilDiv(Opts.N, Gx)) *
+                    static_cast<double>(ceilDiv(Opts.N, Gy));
+      return 6 * Tile <= Opts.MemLimitElems;
+    };
+    while (C > 1 && (P % C != 0 || !fits(C)))
+      --C;
+    auto [Gx, Gy] = bestRect2D(P / C);
+    int Ppn = P % Opts.ProcsPerNode == 0 ? Opts.ProcsPerNode : 1;
+    return Machine::gridWithNodeSize({Gx, Gy, C}, Opts.Proc, Ppn);
+  }
+  case MatmulAlgo::Cosma: {
+    cosma::Decomposition D =
+        cosma::optimize(P, Opts.N, Opts.N, Opts.N, Opts.MemLimitElems);
+    return Machine::gridWithNodeSize({D.Gm, D.Gn, D.Gk}, Opts.Proc,
+                                     Opts.ProcsPerNode);
+  }
+  }
+  unreachable("unknown matmul algorithm");
+}
+
+MatmulProblem distal::algorithms::buildMatmul(MatmulAlgo Algo,
+                                              const MatmulOptions &Opts) {
+  DISTAL_ASSERT(Opts.N > 0, "matrix dimension must be positive");
+  Machine M = matmulMachine(Algo, Opts);
+  std::vector<int> Dims = M.flatDims();
+
+  MatmulProblem Prob;
+  Prob.A = TensorVar("A", {Opts.N, Opts.N});
+  Prob.B = TensorVar("B", {Opts.N, Opts.N});
+  Prob.C = TensorVar("C", {Opts.N, Opts.N});
+  IndexVar I("i"), J("j"), K("k");
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji"), Ko("ko"), Ki("ki");
+  Prob.Stmt = Assignment(Access(Prob.A, {I, J}),
+                         Access(Prob.B, {I, K}) * Access(Prob.C, {K, J}));
+
+  auto Fmt = [&](const std::string &Spec) {
+    return Format({ModeKind::Dense, ModeKind::Dense},
+                  TensorDistribution::parse(Spec), Opts.Memory);
+  };
+  std::map<TensorVar, Format> Formats;
+  Schedule S(Prob.Stmt);
+
+  switch (Algo) {
+  case MatmulAlgo::Summa: {
+    // Fig. 9 row 3: tiles + chunked broadcasts along k.
+    Formats = {{Prob.A, Fmt("xy->xy")},
+               {Prob.B, Fmt("xy->xy")},
+               {Prob.C, Fmt("xy->xy")}};
+    Coord Chunk = Opts.ChunkSize > 0 ? Opts.ChunkSize
+                                     : std::max<Coord>(1, Opts.N / Dims[0]);
+    S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{Dims[0],
+                                                              Dims[1]})
+        .split(K, Ko, Ki, Chunk)
+        .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+        .communicate(Prob.A, Jo)
+        .communicate({Prob.B, Prob.C}, Ko)
+        .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+    break;
+  }
+  case MatmulAlgo::Cannon: {
+    // Fig. 9 row 1: systolic shifts via rotate over both grid coordinates.
+    IndexVar Kos("kos");
+    Formats = {{Prob.A, Fmt("xy->xy")},
+               {Prob.B, Fmt("xy->xy")},
+               {Prob.C, Fmt("xy->xy")}};
+    S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{Dims[0],
+                                                              Dims[1]})
+        .divide(K, Ko, Ki, Dims[0])
+        .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+        .rotate(Ko, {Io, Jo}, Kos)
+        .communicate(Prob.A, Jo)
+        .communicate({Prob.B, Prob.C}, Kos)
+        .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+    break;
+  }
+  case MatmulAlgo::Pumma: {
+    // Fig. 9 row 2: rotate over io only (broadcast one way, shift the
+    // other).
+    IndexVar Kos("kos");
+    Formats = {{Prob.A, Fmt("xy->xy")},
+               {Prob.B, Fmt("xy->xy")},
+               {Prob.C, Fmt("xy->xy")}};
+    S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{Dims[0],
+                                                              Dims[1]})
+        .divide(K, Ko, Ki, Dims[0])
+        .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+        .rotate(Ko, {Io}, Kos)
+        .communicate(Prob.A, Jo)
+        .communicate({Prob.B, Prob.C}, Kos)
+        .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+    break;
+  }
+  case MatmulAlgo::Johnson: {
+    // Fig. 9 row 4: tiles fixed to faces of the processor cube; one-shot
+    // broadcasts and a reduction of A over the k dimension of the cube.
+    Formats = {{Prob.A, Fmt("xy->xy0")},
+               {Prob.B, Fmt("xy->x0y")},  // B(i,k) on the j = 0 face.
+               {Prob.C, Fmt("xy->0yx")}}; // C(k,j) on the i = 0 face.
+    S.distribute({I, J, K}, {Io, Jo, Ko}, {Ii, Ji, Ki},
+                 std::vector<int>{Dims[0], Dims[1], Dims[2]})
+        .communicate({Prob.A, Prob.B, Prob.C}, Ko)
+        .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+    break;
+  }
+  case MatmulAlgo::Solomonik: {
+    // Fig. 9 row 5: each slice of the cube runs Cannon's algorithm over
+    // sqrt(p/c^3) steps; partial results reduce over the replication dim.
+    IndexVar Kio("kio"), Kii("kii"), Kios("kios");
+    Formats = {{Prob.A, Fmt("xy->xy0")},
+               {Prob.B, Fmt("xy->xy0")},
+               {Prob.C, Fmt("xy->xy0")}};
+    int C = Dims[2];
+    int Steps = std::max(1, Dims[0] / C);
+    S.distribute({I, J, K}, {Io, Jo, Ko}, {Ii, Ji, Ki},
+                 std::vector<int>{Dims[0], Dims[1], Dims[2]})
+        .divide(Ki, Kio, Kii, Steps)
+        .reorder({Kio, Ii, Ji, Kii})
+        .rotate(Kio, {Io, Jo}, Kios)
+        .communicate(Prob.A, Ko)
+        .communicate({Prob.B, Prob.C}, Kios)
+        .substitute({Ii, Ji, Kii}, LeafKernel::GeMM);
+    break;
+  }
+  case MatmulAlgo::Cosma: {
+    // Fig. 9 row 6: optimizer-chosen grid; the schedule induces the data
+    // distribution (inputs laid out to match their readers).
+    cosma::Decomposition D =
+        cosma::optimize(Opts.Procs, Opts.N, Opts.N, Opts.N,
+                        Opts.MemLimitElems);
+    IndexVar Kio("kio"), Kii("kii");
+    Formats = {{Prob.A, Fmt("xy->xy0")},
+               {Prob.B, Fmt("xy->x*y")},  // B(i,k): replicated over gn.
+               {Prob.C, Fmt("xy->*yx")}}; // C(k,j): replicated over gm.
+    S.distribute({I, J, K}, {Io, Jo, Ko}, {Ii, Ji, Ki},
+                 std::vector<int>{D.Gm, D.Gn, D.Gk})
+        .divide(Ki, Kio, Kii, D.SeqSteps)
+        .reorder({Kio, Ii, Ji, Kii})
+        .communicate(Prob.A, Ko)
+        .communicate({Prob.B, Prob.C}, Kio)
+        .substitute({Ii, Ji, Kii}, LeafKernel::GeMM);
+    break;
+  }
+  }
+
+  Prob.P = lower(S.takeNest(), M, std::move(Formats));
+  return Prob;
+}

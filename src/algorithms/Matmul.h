@@ -1,0 +1,71 @@
+//===- algorithms/Matmul.h - Fig. 9 matmul algorithm catalogue -*- C++ -*-===//
+///
+/// \file
+/// The distributed matrix-multiplication case studies of paper §4: each of
+/// Cannon's, PUMMA, SUMMA, Johnson's, Solomonik's 2.5D, and COSMA expressed
+/// as a target machine organisation, initial data distributions, and a
+/// schedule of A(i,j) = B(i,k) * C(k,j) — exactly the Fig. 9 table. The
+/// builders return ready-to-execute Plans plus the tensor handles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_ALGORITHMS_MATMUL_H
+#define DISTAL_ALGORITHMS_MATMUL_H
+
+#include <array>
+
+#include "lower/Plan.h"
+
+namespace distal {
+namespace algorithms {
+
+enum class MatmulAlgo { Summa, Cannon, Pumma, Johnson, Solomonik, Cosma };
+
+std::string toString(MatmulAlgo A);
+const std::vector<MatmulAlgo> &allMatmulAlgos();
+
+/// A built matmul problem: the plan plus tensor handles (for creating
+/// regions and checking results).
+struct MatmulProblem {
+  Plan P;
+  TensorVar A, B, C;
+  Assignment Stmt;
+};
+
+/// Options controlling machine organisation and algorithm parameters.
+struct MatmulOptions {
+  Coord N = 0;              ///< Square matrix dimension.
+  int64_t Procs = 1;        ///< Total abstract processors.
+  int ProcsPerNode = 1;     ///< Node grouping for link classification.
+  ProcessorKind Proc = ProcessorKind::CPUSocket;
+  MemoryKind Memory = MemoryKind::SystemMem;
+  Coord ChunkSize = 0;      ///< SUMMA k-chunk (0: N/gx).
+  int ReplicationC = 0;     ///< 2.5D replication factor (0: auto).
+  double MemLimitElems = 1e18; ///< COSMA optimizer memory budget.
+};
+
+/// The machine organisation Fig. 9 prescribes for \p Algo at this
+/// processor count (2-d grids for the 2D family, cubes for Johnson,
+/// (sqrt(p/c), sqrt(p/c), c) for 2.5D, optimizer-chosen for COSMA).
+Machine matmulMachine(MatmulAlgo Algo, const MatmulOptions &Opts);
+
+/// Builds the Fig. 9 plan for \p Algo.
+MatmulProblem buildMatmul(MatmulAlgo Algo, const MatmulOptions &Opts);
+
+/// Largest c such that the 2.5D machine (sqrt(p/c), sqrt(p/c), c) exists
+/// with the grid divisible by c (1 when none).
+int solomonikReplication(int64_t Procs);
+
+/// The factor pair (gx, gy) of \p P with gx*gy == P closest to square,
+/// gx >= gy.
+std::pair<int, int> bestRect2D(int64_t P);
+
+/// The factor triple of \p P closest to a cube. Johnson's algorithm runs
+/// on the cuboid; the paper's "degradation on processor grids that aren't
+/// perfect cubes" appears as the extra communication of flattened cuboids.
+std::array<int, 3> bestCuboid3D(int64_t P);
+
+} // namespace algorithms
+} // namespace distal
+
+#endif // DISTAL_ALGORITHMS_MATMUL_H

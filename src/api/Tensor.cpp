@@ -1,0 +1,132 @@
+//===- api/Tensor.cpp -----------------------------------------*- C++ -*-===//
+
+#include "api/Tensor.h"
+
+#include <map>
+#include <mutex>
+
+#include "lower/Lower.h"
+#include "runtime/Executor.h"
+#include "support/Error.h"
+
+using namespace distal;
+
+namespace {
+
+/// Registry resolving TensorVars back to their owning api::Tensor, so that
+/// evaluate() can find operand formats and data fills. Entries are removed
+/// when tensors are destroyed.
+std::map<TensorVar, Tensor *> &registry() {
+  static std::map<TensorVar, Tensor *> R;
+  return R;
+}
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+Tensor &lookup(const TensorVar &V) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  auto It = registry().find(V);
+  if (It == registry().end())
+    reportFatalError("tensor '" + V.name() +
+                     "' is not backed by a live distal::Tensor");
+  return *It->second;
+}
+
+} // namespace
+
+TensorAccess::TensorAccess(Tensor &T, std::vector<IndexVar> Indices)
+    : T(T), Indices(std::move(Indices)) {}
+
+TensorAccess &TensorAccess::operator=(const Expr &Rhs) {
+  T.defineComputation(Assignment(Access(T.var(), Indices), Rhs));
+  return *this;
+}
+
+TensorAccess::operator Expr() const {
+  return Expr(Access(T.var(), Indices));
+}
+
+TensorAccess::operator Access() const { return Access(T.var(), Indices); }
+
+Tensor::Tensor(std::string Name, std::vector<Coord> Dims, Format Fmt)
+    : Var(std::move(Name), std::move(Dims)), Fmt(std::move(Fmt)) {
+  if (this->Fmt.order() != Var.order())
+    reportFatalError("format order does not match tensor '" + Var.name() +
+                     "'");
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry()[Var] = this;
+}
+
+Tensor::~Tensor() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().erase(Var);
+}
+
+void Tensor::defineComputation(Assignment Stmt) {
+  Sched = std::make_unique<Schedule>(std::move(Stmt));
+}
+
+Schedule &Tensor::schedule() {
+  if (!Sched)
+    reportFatalError("tensor '" + Var.name() +
+                     "' has no computation to schedule");
+  return *Sched;
+}
+
+void Tensor::fillRandom(uint64_t Seed) {
+  fill([Seed, State = uint64_t(0)](const Point &) mutable {
+    // Match Region::fillRandom's stream.
+    if (State == 0)
+      State = Seed * 2654435761u + 12345;
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((State >> 33) % 1000) / 999.0 - 0.5;
+  });
+}
+
+void Tensor::fill(std::function<double(const Point &)> Fn) {
+  PendingFill = std::move(Fn);
+  if (Reg)
+    Reg->fill(PendingFill);
+}
+
+Region &Tensor::materialize(const Machine &M) {
+  if (!Reg) {
+    Reg = std::make_unique<Region>(Var, Fmt, M);
+    if (PendingFill)
+      Reg->fill(PendingFill);
+  }
+  return *Reg;
+}
+
+Plan Tensor::compile(const Machine &M) {
+  if (!Sched)
+    reportFatalError("tensor '" + Var.name() + "' has no computation");
+  std::map<TensorVar, Format> Formats;
+  for (const TensorVar &T : Sched->nest().Stmt.tensors())
+    Formats.emplace(T, lookup(T).format());
+  return lower(Sched->nest(), M, std::move(Formats));
+}
+
+Trace Tensor::evaluate(const Machine &M) {
+  Plan P = compile(M);
+  std::map<TensorVar, Region *> Regions;
+  for (const TensorVar &T : P.Nest.Stmt.tensors())
+    Regions[T] = &lookup(T).materialize(M);
+  Executor Exec(P);
+  return Exec.run(Regions);
+}
+
+Trace Tensor::simulateOn(const Machine &M) {
+  Plan P = compile(M);
+  Executor Exec(P);
+  return Exec.simulate();
+}
+
+double Tensor::at(const Point &P) const {
+  if (!Reg)
+    reportFatalError("tensor '" + Var.name() + "' has no data; call "
+                     "evaluate() first");
+  return Reg->at(P);
+}

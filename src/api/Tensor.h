@@ -1,0 +1,126 @@
+//===- api/Tensor.h - User-facing tensor API -------------------*- C++ -*-===//
+///
+/// \file
+/// The user-facing API mirroring the paper's Fig. 2: declare tensors with
+/// formats (distribution + memory), write tensor index notation with
+/// overloaded operators, schedule the computation with the chained
+/// scheduling language, then compile and evaluate on a machine:
+///
+/// \code
+///   Machine m = Machine::grid({gx, gy}, ProcessorKind::GPU);
+///   Format f({Dense, Dense}, TensorDistribution::parse("xy->xy"),
+///            MemoryKind::GPUFrameBuffer);
+///   Tensor A("A", {n, n}, f), B("B", {n, n}, f), C("C", {n, n}, f);
+///   IndexVar i, j, k;
+///   A(i, j) = B(i, k) * C(k, j);
+///   A.schedule().distribute(...).communicate(...);
+///   A.evaluate(m);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_API_TENSOR_H
+#define DISTAL_API_TENSOR_H
+
+#include <memory>
+
+#include "lower/Plan.h"
+#include "runtime/Ledger.h"
+#include "runtime/Region.h"
+#include "schedule/Schedule.h"
+
+namespace distal {
+
+class Tensor;
+
+/// Proxy returned by Tensor::operator(); assigning an expression to it
+/// records the computation on the accessed tensor.
+class TensorAccess {
+public:
+  TensorAccess(Tensor &T, std::vector<IndexVar> Indices);
+
+  /// Records `tensor(indices) = rhs` as the tensor's computation.
+  TensorAccess &operator=(const Expr &Rhs);
+
+  operator Expr() const;   // NOLINT(google-explicit-constructor)
+  operator Access() const; // NOLINT(google-explicit-constructor)
+
+private:
+  Tensor &T;
+  std::vector<IndexVar> Indices;
+};
+
+/// A dense distributed tensor with a format and (once evaluated) data.
+class Tensor {
+public:
+  Tensor(std::string Name, std::vector<Coord> Dims, Format Fmt);
+  ~Tensor();
+  Tensor(const Tensor &) = delete;
+  Tensor &operator=(const Tensor &) = delete;
+
+  const TensorVar &var() const { return Var; }
+  const Format &format() const { return Fmt; }
+
+  /// Implicit conversion so tensors can be passed to scheduling commands
+  /// (`.communicate(A, jo)`, `.communicate({B, C}, ko)`) exactly as in the
+  /// paper's Fig. 2.
+  operator const TensorVar &() const { return Var; } // NOLINT
+
+  /// Access for building tensor index notation (up to four indices; use
+  /// the vector overload beyond that).
+  TensorAccess operator()() { return TensorAccess(*this, {}); }
+  TensorAccess operator()(const IndexVar &I) { return TensorAccess(*this, {I}); }
+  TensorAccess operator()(const IndexVar &I, const IndexVar &J) {
+    return TensorAccess(*this, {I, J});
+  }
+  TensorAccess operator()(const IndexVar &I, const IndexVar &J,
+                          const IndexVar &K) {
+    return TensorAccess(*this, {I, J, K});
+  }
+  TensorAccess operator()(const IndexVar &I, const IndexVar &J,
+                          const IndexVar &K, const IndexVar &L) {
+    return TensorAccess(*this, {I, J, K, L});
+  }
+  TensorAccess operator()(std::vector<IndexVar> Indices) {
+    return TensorAccess(*this, std::move(Indices));
+  }
+
+  /// Records this tensor's defining computation (called by TensorAccess).
+  void defineComputation(Assignment Stmt);
+  bool hasComputation() const { return Sched != nullptr; }
+
+  /// The schedule of this tensor's computation (Fig. 2 line 23).
+  Schedule &schedule();
+
+  /// Pending input data (applied when regions are materialised).
+  void fillRandom(uint64_t Seed);
+  void fill(std::function<double(const Point &)> Fn);
+
+  /// Compiles the scheduled computation for machine \p M.
+  Plan compile(const Machine &M);
+
+  /// Compiles and runs on real data; operand tensors' fills are applied.
+  /// Returns the execution trace.
+  Trace evaluate(const Machine &M);
+
+  /// Walks the compiled plan without data (for cost studies).
+  Trace simulateOn(const Machine &M);
+
+  /// Element access after evaluate().
+  double at(const Point &P) const;
+  /// The region backing this tensor after evaluate(), if any.
+  Region *region() const { return Reg.get(); }
+
+private:
+  Region &materialize(const Machine &M);
+
+  TensorVar Var;
+  Format Fmt;
+  std::unique_ptr<Schedule> Sched;
+  std::unique_ptr<Region> Reg;
+  std::function<double(const Point &)> PendingFill;
+};
+
+} // namespace distal
+
+#endif // DISTAL_API_TENSOR_H

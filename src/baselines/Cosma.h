@@ -1,0 +1,68 @@
+//===- baselines/Cosma.h - COSMA decomposition and baseline ----*- C++ -*-===//
+///
+/// \file
+/// COSMA (Kwasniewski et al., SC'19) derives a near-communication-optimal
+/// processor decomposition for matrix multiplication from the red-blue
+/// pebbling bound. This module implements:
+///
+///  * the grid optimizer: choose a processor grid (gm, gn, gk) and a
+///    sequential step count minimising per-processor communication volume
+///    subject to a per-processor memory budget;
+///  * the "author implementation" baseline behaviours the paper compares
+///    against (§7.1): data resident in host memory with an out-of-core GPU
+///    GEMM, and a variant restricted to the cores DISTAL leaves free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_BASELINES_COSMA_H
+#define DISTAL_BASELINES_COSMA_H
+
+#include <cstdint>
+#include <string>
+
+#include "machine/Machine.h"
+#include "runtime/Simulator.h"
+
+namespace distal {
+namespace cosma {
+
+/// A COSMA decomposition of C[m,n] += A[m,k] B[k,n] over P processors.
+struct Decomposition {
+  int Gm = 1, Gn = 1, Gk = 1; ///< Parallel processor grid.
+  int SeqSteps = 1;           ///< Sequential splits of the k dimension.
+
+  /// Per-processor communication volume (elements) of this decomposition:
+  /// each processor touches its tiles of A and B (replicated across the
+  /// grid dimensions that do not partition them) and reduces its C partial.
+  double commVolumeElems(int64_t M, int64_t N, int64_t K) const;
+  /// Per-processor working-set elements (inputs + output + buffers).
+  double memElems(int64_t M, int64_t N, int64_t K) const;
+
+  std::string str() const;
+};
+
+/// Finds the decomposition minimising communication volume for a GEMM of
+/// size MxNxK on \p Procs processors whose memories hold \p MemLimitElems
+/// elements. Exhaustive over factor triples of Procs (as in COSMA's
+/// optimizer for the exact-fit case).
+Decomposition optimize(int64_t Procs, int64_t M, int64_t N, int64_t K,
+                       double MemLimitElems);
+
+/// Simulated performance of the COSMA authors' implementation on a square
+/// GEMM of size N over \p Nodes nodes with \p ProcsPerNode ranks
+/// contributing to each node. CPU variant: near-full overlap, all cores.
+/// Set \p RestrictedCores to model the "COSMA (Restricted CPUs)" line
+/// (uses DISTAL's worker-core count). GPU variant: data staged in host
+/// memory (no framebuffer OOM) with NIC-bandwidth communication.
+struct AuthorModelOptions {
+  bool GPU = false;
+  bool RestrictedCores = false;
+};
+SimResult authorImplementation(int64_t Nodes, Coord N,
+                               const MachineSpec &Spec, int ProcsPerNode,
+                               const AuthorModelOptions &Opts);
+
+} // namespace cosma
+} // namespace distal
+
+#endif // DISTAL_BASELINES_COSMA_H

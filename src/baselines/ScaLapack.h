@@ -1,0 +1,39 @@
+//===- baselines/ScaLapack.h - ScaLAPACK pdgemm baseline -------*- C++ -*-===//
+///
+/// \file
+/// A hand-written model of ScaLAPACK's SUMMA-based pdgemm (paper §7.1):
+/// the message pattern is constructed directly against the runtime's trace
+/// types — independently of DISTAL's compiler — with the library's
+/// characteristic behaviours: blocking MPI broadcasts (no communication /
+/// computation overlap) and one rank per core group (4 ranks per node
+/// performed best in the paper's runs). Doubles as a cross-check for the
+/// compiler-generated SUMMA (their communication volumes must agree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_BASELINES_SCALAPACK_H
+#define DISTAL_BASELINES_SCALAPACK_H
+
+#include "runtime/Ledger.h"
+#include "runtime/Simulator.h"
+
+namespace distal {
+namespace scalapack {
+
+struct PdgemmOptions {
+  int64_t Nodes = 1;
+  Coord N = 0;
+  int RanksPerNode = 4;
+};
+
+/// Builds the SUMMA message/compute trace by hand (no compiler involved).
+Trace buildPdgemmTrace(const PdgemmOptions &Opts, Machine &MOut);
+
+/// Simulated pdgemm performance with ScaLAPACK's blocking-communication
+/// execution style.
+SimResult pdgemm(const PdgemmOptions &Opts, const MachineSpec &Spec);
+
+} // namespace scalapack
+} // namespace distal
+
+#endif // DISTAL_BASELINES_SCALAPACK_H

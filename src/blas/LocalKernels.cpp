@@ -1,0 +1,55 @@
+//===- blas/LocalKernels.cpp ----------------------------------*- C++ -*-===//
+
+#include "blas/LocalKernels.h"
+
+#include <algorithm>
+
+namespace distal {
+namespace blas {
+
+static constexpr int64_t BlockM = 64, BlockN = 64, BlockK = 64;
+
+void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
+          int64_t K, int64_t LdC, int64_t LdA, int64_t LdB) {
+  for (int64_t I0 = 0; I0 < M; I0 += BlockM)
+    for (int64_t K0 = 0; K0 < K; K0 += BlockK)
+      for (int64_t J0 = 0; J0 < N; J0 += BlockN) {
+        int64_t IMax = std::min(I0 + BlockM, M);
+        int64_t KMax = std::min(K0 + BlockK, K);
+        int64_t JMax = std::min(J0 + BlockN, N);
+        for (int64_t I = I0; I < IMax; ++I)
+          for (int64_t KK = K0; KK < KMax; ++KK) {
+            double AVal = A[I * LdA + KK];
+            const double *BRow = B + KK * LdB;
+            double *CRow = C + I * LdC;
+            for (int64_t J = J0; J < JMax; ++J)
+              CRow[J] += AVal * BRow[J];
+          }
+      }
+}
+
+void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
+          int64_t LdA) {
+  for (int64_t I = 0; I < M; ++I) {
+    double Sum = 0;
+    const double *ARow = A + I * LdA;
+    for (int64_t KK = 0; KK < K; ++KK)
+      Sum += ARow[KK] * X[KK];
+    Y[I] += Sum;
+  }
+}
+
+double dot(const double *A, const double *B, int64_t N) {
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+void axpy(double *Y, const double *X, double Alpha, int64_t N) {
+  for (int64_t I = 0; I < N; ++I)
+    Y[I] += Alpha * X[I];
+}
+
+} // namespace blas
+} // namespace distal

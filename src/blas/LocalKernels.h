@@ -1,0 +1,37 @@
+//===- blas/LocalKernels.h - Local dense leaf kernels ----------*- C++ -*-===//
+///
+/// \file
+/// Single-processor dense kernels substituted at schedule leaves (Fig. 2
+/// line 40 uses CuBLAS::GeMM; we provide a blocked CPU GEMM with the same
+/// row-major strided interface). These set the single-node roofline; the
+/// distribution machinery above them is what DISTAL contributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_BLAS_LOCALKERNELS_H
+#define DISTAL_BLAS_LOCALKERNELS_H
+
+#include <cstdint>
+
+namespace distal {
+namespace blas {
+
+/// C[m,n] += A[m,k] * B[k,n] with row strides LdC/LdA/LdB (row-major,
+/// unit column stride). Blocked for cache locality.
+void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
+          int64_t K, int64_t LdC, int64_t LdA, int64_t LdB);
+
+/// y[m] += A[m,k] * x[k].
+void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
+          int64_t LdA);
+
+/// Dot product of two contiguous vectors.
+double dot(const double *A, const double *B, int64_t N);
+
+/// y[i] += alpha * x[i].
+void axpy(double *Y, const double *X, double Alpha, int64_t N);
+
+} // namespace blas
+} // namespace distal
+
+#endif // DISTAL_BLAS_LOCALKERNELS_H

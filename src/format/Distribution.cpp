@@ -1,0 +1,287 @@
+//===- format/Distribution.cpp --------------------------------*- C++ -*-===//
+
+#include "format/Distribution.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/Error.h"
+#include "support/Util.h"
+
+using namespace distal;
+
+std::string MachineDimName::str() const {
+  switch (Kind) {
+  case Name:
+    return Id;
+  case Fixed:
+    return std::to_string(Value);
+  case Broadcast:
+    return "*";
+  }
+  unreachable("unknown machine dim name kind");
+}
+
+DistributionLevel DistributionLevel::parse(const std::string &Spec) {
+  size_t Arrow = Spec.find("->");
+  if (Arrow == std::string::npos)
+    reportFatalError("distribution '" + Spec + "' is missing '->'");
+  DistributionLevel L;
+  for (char C : Spec.substr(0, Arrow)) {
+    if (!std::isalpha(static_cast<unsigned char>(C)))
+      reportFatalError("tensor dimension names must be letters in '" + Spec +
+                       "'");
+    L.TensorDims.push_back(std::string(1, C));
+  }
+  for (char C : Spec.substr(Arrow + 2)) {
+    MachineDimName N;
+    if (C == '*') {
+      N.Kind = MachineDimName::Broadcast;
+    } else if (std::isdigit(static_cast<unsigned char>(C))) {
+      N.Kind = MachineDimName::Fixed;
+      N.Value = C - '0';
+    } else if (std::isalpha(static_cast<unsigned char>(C))) {
+      N.Kind = MachineDimName::Name;
+      N.Id = std::string(1, C);
+    } else {
+      reportFatalError("invalid machine dimension '" + std::string(1, C) +
+                       "' in '" + Spec + "'");
+    }
+    L.MachineDims.push_back(N);
+  }
+  return L;
+}
+
+int DistributionLevel::tensorDimNamed(const std::string &Id) const {
+  for (size_t I = 0; I < TensorDims.size(); ++I)
+    if (TensorDims[I] == Id)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string DistributionLevel::str() const {
+  std::string S;
+  for (const std::string &D : TensorDims)
+    S += D;
+  S += "->";
+  for (const MachineDimName &N : MachineDims)
+    S += N.str();
+  return S;
+}
+
+TensorDistribution TensorDistribution::parse(const std::string &Spec) {
+  return TensorDistribution({DistributionLevel::parse(Spec)});
+}
+
+TensorDistribution
+TensorDistribution::parse(const std::vector<std::string> &Specs) {
+  std::vector<DistributionLevel> Levels;
+  for (const std::string &S : Specs)
+    Levels.push_back(DistributionLevel::parse(S));
+  return TensorDistribution(std::move(Levels));
+}
+
+void TensorDistribution::validate(int TensorOrder, const Machine &M) const {
+  if (numLevels() != M.numLevels())
+    reportFatalError("distribution has " + std::to_string(numLevels()) +
+                     " level(s) but machine has " +
+                     std::to_string(M.numLevels()));
+  for (int LI = 0; LI < numLevels(); ++LI) {
+    const DistributionLevel &L = Levels[LI];
+    if (static_cast<int>(L.TensorDims.size()) != TensorOrder)
+      reportFatalError("distribution level '" + L.str() + "' names " +
+                       std::to_string(L.TensorDims.size()) +
+                       " tensor dimensions but the tensor has order " +
+                       std::to_string(TensorOrder));
+    if (static_cast<int>(L.MachineDims.size()) != M.level(LI).dim())
+      reportFatalError("distribution level '" + L.str() + "' names " +
+                       std::to_string(L.MachineDims.size()) +
+                       " machine dimensions but machine level " +
+                       std::to_string(LI) + " has dimension " +
+                       std::to_string(M.level(LI).dim()));
+    std::set<std::string> TNames(L.TensorDims.begin(), L.TensorDims.end());
+    if (TNames.size() != L.TensorDims.size())
+      reportFatalError("duplicate tensor dimension name in '" + L.str() + "'");
+    std::set<std::string> MNames;
+    for (const MachineDimName &N : L.MachineDims) {
+      if (N.Kind != MachineDimName::Name)
+        continue;
+      if (!MNames.insert(N.Id).second)
+        reportFatalError("duplicate machine dimension name in '" + L.str() +
+                         "'");
+      if (!TNames.count(N.Id))
+        reportFatalError("machine dimension '" + N.Id + "' in '" + L.str() +
+                         "' does not name a tensor dimension");
+    }
+    for (size_t D = 0; D < L.MachineDims.size(); ++D) {
+      const MachineDimName &N = L.MachineDims[D];
+      if (N.Kind == MachineDimName::Fixed &&
+          (N.Value < 0 || N.Value >= M.level(LI).Dims[D]))
+        reportFatalError("fixed coordinate " + std::to_string(N.Value) +
+                         " out of range for machine dimension " +
+                         std::to_string(D) + " in '" + L.str() + "'");
+    }
+  }
+}
+
+Rect distal::blockedPiece1D(Coord Lo, Coord Hi, int Pieces, Coord Index) {
+  DISTAL_ASSERT(Pieces > 0 && Index >= 0 && Index < Pieces,
+                "piece index out of range");
+  Coord Size = Hi - Lo;
+  Coord Block = ceilDiv(Size, Pieces);
+  Coord PLo = std::min(Lo + Index * Block, Hi);
+  Coord PHi = std::min(PLo + Block, Hi);
+  return Rect(Point({PLo}), Point({PHi}));
+}
+
+Coord distal::blockedColor1D(Coord Lo, Coord Hi, int Pieces, Coord X) {
+  DISTAL_ASSERT(X >= Lo && X < Hi, "coordinate outside range");
+  Coord Block = ceilDiv(Hi - Lo, Pieces);
+  return (X - Lo) / Block;
+}
+
+Rect TensorDistribution::ownedRect(const std::vector<Coord> &Shape,
+                                   const Machine &M, const Point &Proc) const {
+  DISTAL_ASSERT(Proc.dim() == M.dim(), "processor coordinate dim mismatch");
+  Rect Cur = Rect::forExtents(Shape);
+  int FlatDim = 0;
+  for (int LI = 0; LI < numLevels(); ++LI) {
+    const DistributionLevel &L = Levels[LI];
+    for (int D = 0; D < M.level(LI).dim(); ++D, ++FlatDim) {
+      const MachineDimName &N = L.MachineDims[D];
+      Coord C = Proc[FlatDim];
+      switch (N.Kind) {
+      case MachineDimName::Broadcast:
+        break; // Every coordinate holds a replica.
+      case MachineDimName::Fixed:
+        if (C != N.Value)
+          return Rect::empty(static_cast<int>(Shape.size()));
+        break;
+      case MachineDimName::Name: {
+        int TD = L.tensorDimNamed(N.Id);
+        DISTAL_ASSERT(TD >= 0, "validated distribution has unknown name");
+        Rect Piece = blockedPiece1D(Cur.lo()[TD], Cur.hi()[TD],
+                                    M.level(LI).Dims[D], C);
+        std::vector<Coord> Lo(Cur.lo().coords()), Hi(Cur.hi().coords());
+        Lo[TD] = Piece.lo()[0];
+        Hi[TD] = Piece.hi()[0];
+        Cur = Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+        break;
+      }
+      }
+    }
+  }
+  return Cur;
+}
+
+Rect TensorDistribution::ownersOfPoint(const std::vector<Coord> &Shape,
+                                       const Machine &M,
+                                       const Point &P) const {
+  DISTAL_ASSERT(P.dim() == static_cast<int>(Shape.size()),
+                "point dimension mismatch");
+  std::vector<Coord> Lo(M.dim()), Hi(M.dim());
+  // Track the current piece of the tensor each level partitions; the colors
+  // of inner levels are computed within the outer level's piece.
+  Rect Cur = Rect::forExtents(Shape);
+  int FlatDim = 0;
+  for (int LI = 0; LI < numLevels(); ++LI) {
+    const DistributionLevel &L = Levels[LI];
+    for (int D = 0; D < M.level(LI).dim(); ++D, ++FlatDim) {
+      const MachineDimName &N = L.MachineDims[D];
+      switch (N.Kind) {
+      case MachineDimName::Broadcast:
+        Lo[FlatDim] = 0;
+        Hi[FlatDim] = M.level(LI).Dims[D];
+        break;
+      case MachineDimName::Fixed:
+        Lo[FlatDim] = N.Value;
+        Hi[FlatDim] = N.Value + 1;
+        break;
+      case MachineDimName::Name: {
+        int TD = L.tensorDimNamed(N.Id);
+        Coord Color = blockedColor1D(Cur.lo()[TD], Cur.hi()[TD],
+                                     M.level(LI).Dims[D], P[TD]);
+        Lo[FlatDim] = Color;
+        Hi[FlatDim] = Color + 1;
+        Rect Piece = blockedPiece1D(Cur.lo()[TD], Cur.hi()[TD],
+                                    M.level(LI).Dims[D], Color);
+        std::vector<Coord> CLo(Cur.lo().coords()), CHi(Cur.hi().coords());
+        CLo[TD] = Piece.lo()[0];
+        CHi[TD] = Piece.hi()[0];
+        Cur = Rect(Point(std::move(CLo)), Point(std::move(CHi)));
+        break;
+      }
+      }
+    }
+  }
+  return Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+}
+
+Point TensorDistribution::colorOf(const std::vector<Coord> &Shape,
+                                  const Machine &M, const Point &P) const {
+  DISTAL_ASSERT(numLevels() == 1 && M.numLevels() == 1,
+                "colorOf is defined for single-level distributions");
+  const DistributionLevel &L = Levels[0];
+  std::vector<Coord> Color;
+  for (int D = 0; D < M.level(0).dim(); ++D) {
+    const MachineDimName &N = L.MachineDims[D];
+    if (N.Kind != MachineDimName::Name)
+      continue;
+    int TD = L.tensorDimNamed(N.Id);
+    Color.push_back(blockedColor1D(0, Shape[TD], M.level(0).Dims[D], P[TD]));
+  }
+  return Point(std::move(Color));
+}
+
+std::vector<Point> TensorDistribution::placementOf(const Machine &M,
+                                                   const Point &Color) const {
+  DISTAL_ASSERT(numLevels() == 1 && M.numLevels() == 1,
+                "placementOf is defined for single-level distributions");
+  const DistributionLevel &L = Levels[0];
+  std::vector<Coord> Lo(M.dim()), Hi(M.dim());
+  int ColorIdx = 0;
+  for (int D = 0; D < M.dim(); ++D) {
+    const MachineDimName &N = L.MachineDims[D];
+    switch (N.Kind) {
+    case MachineDimName::Name:
+      DISTAL_ASSERT(ColorIdx < Color.dim(), "color has too few coordinates");
+      Lo[D] = Color[ColorIdx];
+      Hi[D] = Color[ColorIdx] + 1;
+      ++ColorIdx;
+      break;
+    case MachineDimName::Fixed:
+      Lo[D] = N.Value;
+      Hi[D] = N.Value + 1;
+      break;
+    case MachineDimName::Broadcast:
+      Lo[D] = 0;
+      Hi[D] = M.level(0).Dims[D];
+      break;
+    }
+  }
+  DISTAL_ASSERT(ColorIdx == Color.dim(), "color has too many coordinates");
+  return Rect(Point(std::move(Lo)), Point(std::move(Hi))).points();
+}
+
+bool TensorDistribution::hasReplication() const {
+  for (const DistributionLevel &L : Levels)
+    for (const MachineDimName &N : L.MachineDims)
+      if (N.Kind == MachineDimName::Broadcast)
+        return true;
+  return false;
+}
+
+int64_t
+TensorDistribution::bytesOnProcessor(const std::vector<Coord> &Shape,
+                                     const Machine &M,
+                                     const Point &Proc) const {
+  return ownedRect(Shape, M, Proc).volume() * static_cast<int64_t>(8);
+}
+
+std::string TensorDistribution::str() const {
+  std::vector<std::string> Parts;
+  for (const DistributionLevel &L : Levels)
+    Parts.push_back(L.str());
+  return "[" + join(Parts, "; ") + "]";
+}

@@ -1,0 +1,126 @@
+//===- format/Distribution.h - Tensor distribution notation ----*- C++ -*-===//
+///
+/// \file
+/// Tensor distribution notation (paper §3.2): a statement `T X -> Y M`
+/// describes how the dimensions of a tensor T map onto the dimensions of a
+/// machine M. Tensor dimensions named on both sides are partitioned into
+/// equal contiguous blocks across the corresponding machine dimension;
+/// machine dimensions named with a constant fix the partition to one grid
+/// coordinate (a face of the machine); machine dimensions named `*`
+/// broadcast (replicate) the partition across that dimension.
+///
+/// Distributions may be hierarchical: one statement per machine level, each
+/// further partitioning the piece produced by the previous level.
+///
+/// The semantics is the composition of a partitioning function P mapping
+/// tensor coordinates to colors and a placement function F mapping colors to
+/// sets of processors; both are exposed for direct testing against the
+/// paper's worked example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_FORMAT_DISTRIBUTION_H
+#define DISTAL_FORMAT_DISTRIBUTION_H
+
+#include <string>
+#include <vector>
+
+#include "machine/Machine.h"
+#include "support/Geometry.h"
+
+namespace distal {
+
+/// A name on the machine side of a distribution statement.
+struct MachineDimName {
+  enum Kind { Name, Fixed, Broadcast } Kind = Name;
+  std::string Id;   ///< For Kind == Name: the dimension name.
+  Coord Value = 0;  ///< For Kind == Fixed: the grid coordinate.
+
+  std::string str() const;
+};
+
+/// One `T X -> Y M` statement targeting one level of the machine.
+struct DistributionLevel {
+  /// X: one single-character name per tensor dimension.
+  std::vector<std::string> TensorDims;
+  /// Y: one entry per machine dimension of this level.
+  std::vector<MachineDimName> MachineDims;
+
+  /// Parses e.g. "xy->xy0", "xyz->xy", "xy->xy*", "->**" (scalar).
+  static DistributionLevel parse(const std::string &Spec);
+
+  /// Index into TensorDims of the tensor dimension named \p Id, or -1.
+  int tensorDimNamed(const std::string &Id) const;
+
+  std::string str() const;
+};
+
+/// A (possibly hierarchical) tensor distribution.
+class TensorDistribution {
+public:
+  TensorDistribution() = default;
+  explicit TensorDistribution(std::vector<DistributionLevel> Levels)
+      : Levels(std::move(Levels)) {}
+
+  /// Parses a single-level distribution.
+  static TensorDistribution parse(const std::string &Spec);
+  /// Parses a multi-level distribution, one spec per machine level.
+  static TensorDistribution parse(const std::vector<std::string> &Specs);
+
+  bool defined() const { return !Levels.empty(); }
+  int numLevels() const { return static_cast<int>(Levels.size()); }
+  const DistributionLevel &level(int I) const { return Levels[I]; }
+
+  /// Checks the paper's validity conditions against a tensor order and a
+  /// machine; reports a fatal error if violated: per level, |X| = dim T,
+  /// |Y| = dim of that machine level, no duplicate names on either side,
+  /// and every name in Y appears in X.
+  void validate(int TensorOrder, const Machine &M) const;
+
+  /// The sub-rectangle of a tensor with \p Shape owned by processor
+  /// \p Proc of machine \p M (empty if the processor lies off a fixed
+  /// face). Blocked partitioning per the paper.
+  Rect ownedRect(const std::vector<Coord> &Shape, const Machine &M,
+                 const Point &Proc) const;
+
+  /// The set of processors owning the element at \p P, returned as a
+  /// rectangle in the machine's processor coordinate space (broadcast
+  /// dimensions span fully; partitioned and fixed dimensions are single
+  /// coordinates).
+  Rect ownersOfPoint(const std::vector<Coord> &Shape, const Machine &M,
+                     const Point &P) const;
+
+  /// The partitioning function P of the paper for a single-level
+  /// distribution: the color of tensor coordinate \p P, i.e. its
+  /// coordinates in the partitioned machine dimensions (in Y order).
+  Point colorOf(const std::vector<Coord> &Shape, const Machine &M,
+                const Point &P) const;
+
+  /// The placement function F of the paper for a single-level
+  /// distribution: all processors a color maps to.
+  std::vector<Point> placementOf(const Machine &M, const Point &Color) const;
+
+  /// True if any level replicates (broadcasts) the tensor.
+  bool hasReplication() const;
+
+  /// Bytes of this tensor resident on processor \p Proc (8 bytes/element).
+  int64_t bytesOnProcessor(const std::vector<Coord> &Shape, const Machine &M,
+                           const Point &Proc) const;
+
+  std::string str() const;
+
+private:
+  std::vector<DistributionLevel> Levels;
+};
+
+/// The contiguous block [Lo, Hi) of piece \p Index when the half-open range
+/// [\p Lo, \p Hi) is split into \p Pieces equal contiguous blocks (the last
+/// block may be short or empty).
+Rect blockedPiece1D(Coord Lo, Coord Hi, int Pieces, Coord Index);
+
+/// The piece index containing coordinate \p X under the same blocking.
+Coord blockedColor1D(Coord Lo, Coord Hi, int Pieces, Coord X);
+
+} // namespace distal
+
+#endif // DISTAL_FORMAT_DISTRIBUTION_H

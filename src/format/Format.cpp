@@ -1,0 +1,16 @@
+//===- format/Format.cpp --------------------------------------*- C++ -*-===//
+
+#include "format/Format.h"
+
+using namespace distal;
+
+std::string Format::str() const {
+  std::string S = "Format({";
+  for (int I = 0; I < order(); ++I) {
+    if (I != 0)
+      S += ", ";
+    S += "Dense";
+  }
+  S += "}, " + Distribution.str() + ", " + toString(Memory) + ")";
+  return S;
+}

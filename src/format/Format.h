@@ -1,0 +1,49 @@
+//===- format/Format.h - Tensor formats ------------------------*- C++ -*-===//
+///
+/// \file
+/// A tensor's format (paper Fig. 2 lines 6-12): the per-dimension storage
+/// mode (this reproduction covers the paper's dense scope), the tensor
+/// distribution onto the machine, and the memory kind the tiles live in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_FORMAT_FORMAT_H
+#define DISTAL_FORMAT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+#include "format/Distribution.h"
+
+namespace distal {
+
+/// Per-dimension storage mode. DISTAL's paper scope is dense tensors; the
+/// enum exists so formats read like the paper's `Format f({Dense, Dense},
+/// tiles)` and to leave room for the sparse extension called out in §9.
+enum class ModeKind { Dense };
+
+/// A tensor format: modes + distribution + target memory.
+class Format {
+public:
+  Format() = default;
+  Format(std::vector<ModeKind> Modes, TensorDistribution Distribution,
+         MemoryKind Memory = MemoryKind::SystemMem)
+      : Modes(std::move(Modes)), Distribution(std::move(Distribution)),
+        Memory(Memory) {}
+
+  int order() const { return static_cast<int>(Modes.size()); }
+  const std::vector<ModeKind> &modes() const { return Modes; }
+  const TensorDistribution &distribution() const { return Distribution; }
+  MemoryKind memory() const { return Memory; }
+
+  std::string str() const;
+
+private:
+  std::vector<ModeKind> Modes;
+  TensorDistribution Distribution;
+  MemoryKind Memory = MemoryKind::SystemMem;
+};
+
+} // namespace distal
+
+#endif // DISTAL_FORMAT_FORMAT_H

@@ -1,0 +1,250 @@
+//===- ir/IndexNotation.cpp -----------------------------------*- C++ -*-===//
+
+#include "ir/IndexNotation.h"
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "support/Error.h"
+
+using namespace distal;
+
+static int nextIndexVarId() {
+  static std::atomic<int> Counter{0};
+  return Counter++;
+}
+
+IndexVar::IndexVar() : IndexVar("v" + std::to_string(nextIndexVarId())) {}
+
+IndexVar::IndexVar(std::string Name)
+    : Content(std::make_shared<Payload>(
+          Payload{std::move(Name), nextIndexVarId()})) {}
+
+TensorVar::TensorVar(std::string Name, std::vector<Coord> Shape)
+    : Content(std::make_shared<Payload>(
+          Payload{std::move(Name), std::move(Shape)})) {
+  for (Coord D : Content->Shape)
+    DISTAL_ASSERT(D > 0, "tensor dimensions must be positive");
+}
+
+const std::string &TensorVar::name() const {
+  DISTAL_ASSERT(Content, "use of undefined TensorVar");
+  return Content->Name;
+}
+
+const std::vector<Coord> &TensorVar::shape() const {
+  DISTAL_ASSERT(Content, "use of undefined TensorVar");
+  return Content->Shape;
+}
+
+struct distal::ExprNode {
+  ExprKind Kind;
+  Access Acc;        // Kind == Access
+  double Literal = 0; // Kind == Literal
+  Expr Lhs, Rhs;     // Kind == Add / Mul
+};
+
+Access::Access(TensorVar Tensor, std::vector<IndexVar> Indices)
+    : Tensor(std::move(Tensor)), Indices(std::move(Indices)) {
+  DISTAL_ASSERT(static_cast<int>(this->Indices.size()) == this->Tensor.order(),
+                "access arity must match tensor order");
+}
+
+Access::operator Expr() const { return Expr(*this); }
+
+std::string Access::str() const {
+  std::ostringstream OS;
+  OS << Tensor.name();
+  if (!Indices.empty()) {
+    OS << "(";
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      if (I != 0)
+        OS << ",";
+      OS << Indices[I].name();
+    }
+    OS << ")";
+  }
+  return OS.str();
+}
+
+Expr::Expr(double Literal) {
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Literal;
+  N->Literal = Literal;
+  Node = std::move(N);
+}
+
+Expr::Expr(const Access &A) {
+  DISTAL_ASSERT(A.tensor().defined(), "access to undefined tensor");
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Access;
+  N->Acc = A;
+  Node = std::move(N);
+}
+
+ExprKind Expr::kind() const {
+  DISTAL_ASSERT(Node, "use of undefined Expr");
+  return Node->Kind;
+}
+
+const Access &Expr::access() const {
+  DISTAL_ASSERT(kind() == ExprKind::Access, "expr is not an access");
+  return Node->Acc;
+}
+
+double Expr::literal() const {
+  DISTAL_ASSERT(kind() == ExprKind::Literal, "expr is not a literal");
+  return Node->Literal;
+}
+
+const Expr &Expr::lhs() const {
+  DISTAL_ASSERT(kind() == ExprKind::Add || kind() == ExprKind::Mul,
+                "expr has no operands");
+  return Node->Lhs;
+}
+
+const Expr &Expr::rhs() const {
+  DISTAL_ASSERT(kind() == ExprKind::Add || kind() == ExprKind::Mul,
+                "expr has no operands");
+  return Node->Rhs;
+}
+
+Expr Expr::makeAdd(Expr L, Expr R) {
+  DISTAL_ASSERT(L.defined() && R.defined(), "undefined operand");
+  Expr E;
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Add;
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  E.Node = std::move(N);
+  return E;
+}
+
+Expr Expr::makeMul(Expr L, Expr R) {
+  DISTAL_ASSERT(L.defined() && R.defined(), "undefined operand");
+  Expr E;
+  auto N = std::make_shared<ExprNode>();
+  N->Kind = ExprKind::Mul;
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  E.Node = std::move(N);
+  return E;
+}
+
+Expr distal::operator+(const Expr &L, const Expr &R) {
+  return Expr::makeAdd(L, R);
+}
+
+Expr distal::operator*(const Expr &L, const Expr &R) {
+  return Expr::makeMul(L, R);
+}
+
+std::string Expr::str() const {
+  switch (kind()) {
+  case ExprKind::Access:
+    return access().str();
+  case ExprKind::Literal: {
+    std::ostringstream OS;
+    OS << literal();
+    return OS.str();
+  }
+  case ExprKind::Add:
+    return "(" + lhs().str() + " + " + rhs().str() + ")";
+  case ExprKind::Mul:
+    return lhs().str() + " * " + rhs().str();
+  }
+  unreachable("unknown expr kind");
+}
+
+void distal::gatherAccesses(const Expr &E, std::vector<Access> &Out) {
+  switch (E.kind()) {
+  case ExprKind::Access:
+    Out.push_back(E.access());
+    return;
+  case ExprKind::Literal:
+    return;
+  case ExprKind::Add:
+  case ExprKind::Mul:
+    gatherAccesses(E.lhs(), Out);
+    gatherAccesses(E.rhs(), Out);
+    return;
+  }
+}
+
+Assignment::Assignment(Access Lhs, Expr Rhs)
+    : Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {
+  DISTAL_ASSERT(this->Lhs.tensor().defined(), "assignment to undefined tensor");
+  DISTAL_ASSERT(this->Rhs.defined(), "assignment from undefined expression");
+  (void)inferDomains(); // Validates extent consistency eagerly.
+}
+
+std::vector<Access> Assignment::accesses() const {
+  std::vector<Access> Result = {Lhs};
+  gatherAccesses(Rhs, Result);
+  return Result;
+}
+
+std::vector<Access> Assignment::rhsAccesses() const {
+  std::vector<Access> Result;
+  gatherAccesses(Rhs, Result);
+  return Result;
+}
+
+std::vector<TensorVar> Assignment::tensors() const {
+  std::vector<TensorVar> Result;
+  std::set<TensorVar> Seen;
+  for (const Access &A : accesses())
+    if (Seen.insert(A.tensor()).second)
+      Result.push_back(A.tensor());
+  return Result;
+}
+
+std::vector<IndexVar> Assignment::freeVars() const { return Lhs.indices(); }
+
+std::vector<IndexVar> Assignment::reductionVars() const {
+  std::set<IndexVar> Free(Lhs.indices().begin(), Lhs.indices().end());
+  std::vector<IndexVar> Result;
+  std::set<IndexVar> Seen;
+  for (const Access &A : rhsAccesses())
+    for (const IndexVar &V : A.indices())
+      if (!Free.count(V) && Seen.insert(V).second)
+        Result.push_back(V);
+  return Result;
+}
+
+std::vector<IndexVar> Assignment::defaultLoopOrder() const {
+  std::vector<IndexVar> Result;
+  std::set<IndexVar> Seen;
+  for (const Access &A : accesses())
+    for (const IndexVar &V : A.indices())
+      if (Seen.insert(V).second)
+        Result.push_back(V);
+  return Result;
+}
+
+std::map<IndexVar, Coord> Assignment::inferDomains() const {
+  std::map<IndexVar, Coord> Domains;
+  for (const Access &A : accesses()) {
+    const std::vector<Coord> &Shape = A.tensor().shape();
+    for (size_t I = 0; I < A.indices().size(); ++I) {
+      const IndexVar &V = A.indices()[I];
+      auto It = Domains.find(V);
+      if (It == Domains.end()) {
+        Domains[V] = Shape[I];
+        continue;
+      }
+      if (It->second != Shape[I])
+        reportFatalError("index variable '" + V.name() +
+                         "' has inconsistent extents " +
+                         std::to_string(It->second) + " and " +
+                         std::to_string(Shape[I]));
+    }
+  }
+  return Domains;
+}
+
+std::string Assignment::str() const {
+  std::string Op = hasReduction() ? " += " : " = ";
+  return Lhs.str() + Op + Rhs.str();
+}

@@ -1,0 +1,173 @@
+//===- ir/IndexNotation.h - Tensor index notation AST ----------*- C++ -*-===//
+///
+/// \file
+/// Tensor index notation, DISTAL's computation language (paper §2).
+/// Statements are assignments whose left-hand side is a tensor access and
+/// whose right-hand side is built from additions and multiplications of
+/// accesses; index variables appearing only on the right-hand side denote
+/// sum reductions over their domain, e.g. the TTV kernel
+///   A(i,j) = B(i,j,k) * c(k).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_IR_INDEXNOTATION_H
+#define DISTAL_IR_INDEXNOTATION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/Geometry.h"
+
+namespace distal {
+
+/// An index variable ranging over one dimension of an iteration space.
+/// IndexVars are value types; identity is by a unique id so that two
+/// distinct variables may share a display name.
+class IndexVar {
+public:
+  /// Creates a fresh variable with a generated name.
+  IndexVar();
+  /// Creates a fresh variable with the given display name.
+  explicit IndexVar(std::string Name);
+
+  const std::string &name() const { return Content->Name; }
+  int id() const { return Content->Id; }
+
+  bool operator==(const IndexVar &O) const { return Content == O.Content; }
+  bool operator!=(const IndexVar &O) const { return !(*this == O); }
+  bool operator<(const IndexVar &O) const { return id() < O.id(); }
+
+private:
+  struct Payload {
+    std::string Name;
+    int Id;
+  };
+  std::shared_ptr<Payload> Content;
+};
+
+/// An abstract tensor operand: a name and a dense shape. TensorVars are
+/// value types with shared identity, so copies refer to the same tensor.
+class TensorVar {
+public:
+  TensorVar() = default;
+  TensorVar(std::string Name, std::vector<Coord> Shape);
+
+  bool defined() const { return Content != nullptr; }
+  const std::string &name() const;
+  const std::vector<Coord> &shape() const;
+  int order() const { return static_cast<int>(shape().size()); }
+
+  bool operator==(const TensorVar &O) const { return Content == O.Content; }
+  bool operator!=(const TensorVar &O) const { return !(*this == O); }
+  bool operator<(const TensorVar &O) const { return Content < O.Content; }
+
+private:
+  struct Payload {
+    std::string Name;
+    std::vector<Coord> Shape;
+  };
+  std::shared_ptr<Payload> Content;
+};
+
+class Expr;
+
+/// A tensor access T(i, j, ...). A 0-order tensor is accessed with no
+/// index variables.
+class Access {
+public:
+  Access() = default;
+  Access(TensorVar Tensor, std::vector<IndexVar> Indices);
+
+  const TensorVar &tensor() const { return Tensor; }
+  const std::vector<IndexVar> &indices() const { return Indices; }
+
+  /// Implicit conversion so an access can be used as an expression.
+  operator Expr() const; // NOLINT(google-explicit-constructor)
+
+  std::string str() const;
+
+private:
+  TensorVar Tensor;
+  std::vector<IndexVar> Indices;
+};
+
+/// Expression node kinds.
+enum class ExprKind { Access, Literal, Add, Mul };
+
+struct ExprNode;
+
+/// An immutable expression tree over accesses, literals, +, and *.
+class Expr {
+public:
+  Expr() = default;
+  Expr(double Literal); // NOLINT(google-explicit-constructor)
+  Expr(const Access &A); // NOLINT(google-explicit-constructor)
+
+  bool defined() const { return Node != nullptr; }
+  ExprKind kind() const;
+
+  /// For Access nodes.
+  const Access &access() const;
+  /// For Literal nodes.
+  double literal() const;
+  /// For Add/Mul nodes.
+  const Expr &lhs() const;
+  const Expr &rhs() const;
+
+  std::string str() const;
+
+  static Expr makeAdd(Expr L, Expr R);
+  static Expr makeMul(Expr L, Expr R);
+
+private:
+  std::shared_ptr<const ExprNode> Node;
+};
+
+Expr operator+(const Expr &L, const Expr &R);
+Expr operator*(const Expr &L, const Expr &R);
+
+/// An assignment statement `lhs = rhs` (or `lhs += rhs` when Accumulate is
+/// set by the lowering of reduction handling).
+class Assignment {
+public:
+  Assignment() = default;
+  Assignment(Access Lhs, Expr Rhs);
+
+  const Access &lhs() const { return Lhs; }
+  const Expr &rhs() const { return Rhs; }
+
+  /// All accesses appearing in the statement, left-hand side first.
+  std::vector<Access> accesses() const;
+  /// Right-hand-side accesses only.
+  std::vector<Access> rhsAccesses() const;
+  /// Distinct tensors, left-hand side first.
+  std::vector<TensorVar> tensors() const;
+
+  /// Free variables: those used on the left-hand side.
+  std::vector<IndexVar> freeVars() const;
+  /// Reduction variables: used on the right-hand side only.
+  std::vector<IndexVar> reductionVars() const;
+  /// Default loop order: variables in order of first appearance, left-hand
+  /// side first then the right-hand side left to right (TACO's order).
+  std::vector<IndexVar> defaultLoopOrder() const;
+  bool hasReduction() const { return !reductionVars().empty(); }
+
+  /// Infers the extent of every index variable from the shapes of the
+  /// tensors it indexes. Reports a fatal error on inconsistent extents.
+  std::map<IndexVar, Coord> inferDomains() const;
+
+  std::string str() const;
+
+private:
+  Access Lhs;
+  Expr Rhs;
+};
+
+/// Collects the accesses in \p E in left-to-right order.
+void gatherAccesses(const Expr &E, std::vector<Access> &Out);
+
+} // namespace distal
+
+#endif // DISTAL_IR_INDEXNOTATION_H

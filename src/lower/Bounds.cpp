@@ -1,0 +1,30 @@
+//===- lower/Bounds.cpp ---------------------------------------*- C++ -*-===//
+
+#include "lower/Bounds.h"
+
+#include "support/Error.h"
+
+using namespace distal;
+
+Rect distal::accessRect(const Access &A, const ProvenanceGraph &Prov,
+                        const std::map<IndexVar, Interval> &Known) {
+  int Order = A.tensor().order();
+  std::vector<Coord> Lo(Order), Hi(Order);
+  for (int D = 0; D < Order; ++D) {
+    Interval I = Prov.recoverInterval(A.indices()[D], Known);
+    Lo[D] = I.Lo;
+    Hi[D] = I.Hi;
+  }
+  return Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+}
+
+int64_t distal::iterationCount(const std::vector<IndexVar> &OriginalVars,
+                               const ProvenanceGraph &Prov,
+                               const std::map<IndexVar, Interval> &Known) {
+  int64_t Count = 1;
+  for (const IndexVar &V : OriginalVars) {
+    Interval I = Prov.recoverInterval(V, Known);
+    Count *= std::max<Coord>(I.width(), 0);
+  }
+  return Count;
+}

@@ -1,0 +1,37 @@
+//===- lower/Bounds.h - Communication bounds analysis ----------*- C++ -*-===//
+///
+/// \file
+/// Derives the hyper-rectangle of a tensor access touched by a set of loop
+/// iterations — the "standard bounds analysis procedure using the extents
+/// of index variables" that DISTAL feeds to Legion's partitioning API
+/// (paper §6.2). Loop variables bound to points are fixed; unbound loop
+/// variables contribute their full extents via the provenance graph's
+/// interval recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_LOWER_BOUNDS_H
+#define DISTAL_LOWER_BOUNDS_H
+
+#include <map>
+
+#include "ir/IndexNotation.h"
+#include "schedule/Provenance.h"
+
+namespace distal {
+
+/// The rectangle of \p A's tensor read (or written) across all iterations
+/// consistent with \p Known.
+Rect accessRect(const Access &A, const ProvenanceGraph &Prov,
+                const std::map<IndexVar, Interval> &Known);
+
+/// The number of iteration-space points executed by the loops consistent
+/// with \p Known: the product of the recovered interval widths of
+/// \p OriginalVars.
+int64_t iterationCount(const std::vector<IndexVar> &OriginalVars,
+                       const ProvenanceGraph &Prov,
+                       const std::map<IndexVar, Interval> &Known);
+
+} // namespace distal
+
+#endif // DISTAL_LOWER_BOUNDS_H

@@ -1,0 +1,26 @@
+//===- lower/EmitCpp.h - Generated-program printer -------------*- C++ -*-===//
+///
+/// \file
+/// Renders a lowered Plan as the Legion-style C++ program DISTAL would
+/// generate (paper Fig. 3's "Legion Program" box): index task launches over
+/// the machine, partition creation per communicate tag, rotation index
+/// arithmetic, sequential step loops, and the leaf kernel. Used for
+/// inspection, documentation, and golden tests pinning the lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_LOWER_EMITCPP_H
+#define DISTAL_LOWER_EMITCPP_H
+
+#include <string>
+
+#include "lower/Plan.h"
+
+namespace distal {
+
+/// Renders \p P as a readable Legion-like C++ program.
+std::string emitCpp(const Plan &P);
+
+} // namespace distal
+
+#endif // DISTAL_LOWER_EMITCPP_H

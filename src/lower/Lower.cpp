@@ -1,0 +1,107 @@
+//===- lower/Lower.cpp ----------------------------------------*- C++ -*-===//
+
+#include "lower/Lower.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/Error.h"
+
+using namespace distal;
+
+Plan distal::lower(ConcreteNest Nest, Machine M,
+                   std::map<TensorVar, Format> Formats) {
+  Plan P;
+  P.NumDist = Nest.distributedPrefix();
+  if (P.NumDist == 0)
+    reportFatalError("lowering requires at least one distributed loop; "
+                     "use distribute");
+
+  // Every tensor must have a format valid for the machine.
+  for (const TensorVar &T : Nest.Stmt.tensors()) {
+    auto It = Formats.find(T);
+    if (It == Formats.end())
+      reportFatalError("tensor '" + T.name() + "' has no format");
+    It->second.distribution().validate(T.order(), M);
+    if (It->second.order() != T.order())
+      reportFatalError("format order mismatch for tensor '" + T.name() + "'");
+  }
+
+  // Tensors without a communicate tag default to task-level communication
+  // at the innermost distributed loop. (The paper's default nests
+  // communication under the innermost variable; hoisting to the task level
+  // only coarsens granularity and never changes results.)
+  std::set<TensorVar> Communicated;
+  for (const LoopSpec &L : Nest.Loops)
+    for (const TensorVar &T : L.Communicate)
+      Communicated.insert(T);
+  for (const TensorVar &T : Nest.Stmt.tensors())
+    if (!Communicated.count(T))
+      Nest.Loops[P.NumDist - 1].Communicate.push_back(T);
+
+  // The output tensor must be communicated at the task level so each task
+  // accumulates into a single private instance across its sequential steps.
+  const TensorVar &Out = Nest.Stmt.lhs().tensor();
+  for (int I = P.NumDist; I < static_cast<int>(Nest.Loops.size()); ++I)
+    for (const TensorVar &T : Nest.Loops[I].Communicate)
+      if (T == Out)
+        reportFatalError("output tensor '" + Out.name() +
+                         "' must be communicated at a distributed loop");
+
+  // Leaf loops start after the innermost communicate tag.
+  int LastComm = P.NumDist - 1;
+  for (int I = P.NumDist; I < static_cast<int>(Nest.Loops.size()); ++I)
+    if (!Nest.Loops[I].Communicate.empty())
+      LastComm = I;
+  P.LeafBegin = std::max(P.NumDist, LastComm + 1);
+
+  if (Nest.Leaf == LeafKernel::GeMM) {
+    if (Nest.Stmt.rhsAccesses().size() != 2)
+      reportFatalError("GeMM leaf substitution requires a two-operand "
+                       "product");
+  }
+
+  P.Nest = std::move(Nest);
+  P.M = std::move(M);
+  P.Formats = std::move(Formats);
+  return P;
+}
+
+ConcreteNest distal::lowerPlacement(const TensorVar &T,
+                                    const TensorDistribution &D,
+                                    const Machine &M) {
+  D.validate(T.order(), M);
+  // Step 1-2 of §5.3: build a loop nest over the tensor dimensions (plus
+  // broadcast machine dimensions) accessing T, then divide and distribute
+  // the partitioned dimensions per machine level.
+  std::vector<IndexVar> TensorVars;
+  for (int I = 0; I < T.order(); ++I)
+    TensorVars.push_back(IndexVar("x" + std::to_string(I)));
+  Assignment Stmt(Access(T, TensorVars), Expr(Access(T, TensorVars)));
+  Schedule S(Stmt);
+  std::vector<IndexVar> DistOrder;
+  std::vector<IndexVar> Current = TensorVars;
+  for (int LI = 0; LI < D.numLevels(); ++LI) {
+    const DistributionLevel &L = D.level(LI);
+    for (int MD = 0; MD < M.level(LI).dim(); ++MD) {
+      const MachineDimName &N = L.MachineDims[MD];
+      if (N.Kind != MachineDimName::Name)
+        continue; // Fixed and broadcast dims need no loop of their own.
+      int TD = L.tensorDimNamed(N.Id);
+      IndexVar Outer(N.Id + "o" + std::to_string(LI)),
+          Inner(N.Id + "i" + std::to_string(LI));
+      S.divide(Current[TD], Outer, Inner, M.level(LI).Dims[MD]);
+      DistOrder.push_back(Outer);
+      Current[TD] = Inner;
+    }
+  }
+  // Step 3-4: reorder the distributed variables outermost and distribute.
+  std::vector<IndexVar> Order = DistOrder;
+  for (const IndexVar &V : Current)
+    Order.push_back(V);
+  S.reorder(Order).distribute(DistOrder);
+  // Step 5: communicate T underneath the distributed variables.
+  if (!DistOrder.empty())
+    S.communicate(T, DistOrder.back());
+  return S.takeNest();
+}

@@ -1,0 +1,36 @@
+//===- lower/Lower.h - Lowering concrete index notation --------*- C++ -*-===//
+///
+/// \file
+/// Lowers scheduled concrete index notation to a distributed Plan
+/// (paper §6.2): distributed foralls become index task launches,
+/// communicate tags choose partition granularity, and the innermost loops
+/// are selected as the leaf kernel. Also implements the §5.3 translation of
+/// tensor distribution notation into a placement nest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_LOWER_LOWER_H
+#define DISTAL_LOWER_LOWER_H
+
+#include <map>
+
+#include "lower/Plan.h"
+
+namespace distal {
+
+/// Lowers a scheduled nest to a Plan targeting machine \p M with the given
+/// tensor formats. Reports fatal errors on inconsistent inputs. Tensors
+/// without a communicate tag default to task-level communication (a
+/// granularity choice only; results are unaffected).
+Plan lower(ConcreteNest Nest, Machine M, std::map<TensorVar, Format> Formats);
+
+/// Lowers a tensor distribution notation statement to the concrete index
+/// notation placement nest of §5.3 (e.g. for T xy->x M:
+/// forall xo forall xi forall y T(x,y) s.t. divide, distribute,
+/// communicate). Used to place or re-distribute tensors.
+ConcreteNest lowerPlacement(const TensorVar &T, const TensorDistribution &D,
+                            const Machine &M);
+
+} // namespace distal
+
+#endif // DISTAL_LOWER_LOWER_H

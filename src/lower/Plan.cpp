@@ -1,0 +1,101 @@
+//===- lower/Plan.cpp -----------------------------------------*- C++ -*-===//
+
+#include "lower/Plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/Error.h"
+
+using namespace distal;
+
+Rect Plan::launchDomain() const {
+  std::vector<Coord> Extents;
+  for (int I = 0; I < NumDist; ++I)
+    Extents.push_back(Nest.Prov.extent(Nest.Loops[I].Var));
+  return Rect::forExtents(Extents);
+}
+
+std::vector<IndexVar> Plan::distVars() const {
+  std::vector<IndexVar> Vars;
+  for (int I = 0; I < NumDist; ++I)
+    Vars.push_back(Nest.Loops[I].Var);
+  return Vars;
+}
+
+std::vector<IndexVar> Plan::stepVars() const {
+  std::vector<IndexVar> Vars;
+  for (int I = NumDist; I < LeafBegin; ++I)
+    Vars.push_back(Nest.Loops[I].Var);
+  return Vars;
+}
+
+std::vector<IndexVar> Plan::leafVars() const {
+  std::vector<IndexVar> Vars;
+  for (int I = LeafBegin; I < static_cast<int>(Nest.Loops.size()); ++I)
+    Vars.push_back(Nest.Loops[I].Var);
+  return Vars;
+}
+
+Rect Plan::stepDomain() const {
+  std::vector<Coord> Extents;
+  for (int I = NumDist; I < LeafBegin; ++I)
+    Extents.push_back(Nest.Prov.extent(Nest.Loops[I].Var));
+  return Rect::forExtents(Extents);
+}
+
+std::vector<TensorVar> Plan::taskComms() const {
+  std::vector<TensorVar> Tensors;
+  for (int I = 0; I < NumDist; ++I)
+    for (const TensorVar &T : Nest.Loops[I].Communicate)
+      Tensors.push_back(T);
+  return Tensors;
+}
+
+std::vector<StepComm> Plan::stepComms() const {
+  std::vector<StepComm> Comms;
+  for (int I = NumDist; I < LeafBegin; ++I)
+    for (const TensorVar &T : Nest.Loops[I].Communicate)
+      Comms.push_back(StepComm{T, I});
+  return Comms;
+}
+
+const Format &Plan::formatOf(const TensorVar &T) const {
+  auto It = Formats.find(T);
+  DISTAL_ASSERT(It != Formats.end(), "tensor has no format in plan");
+  return It->second;
+}
+
+int64_t Plan::distReductionFactor() const {
+  std::vector<IndexVar> Frees = Nest.Stmt.freeVars();
+  std::set<IndexVar> FreeSet(Frees.begin(), Frees.end());
+  // A distributed loop variable contributes to the reduction factor when no
+  // free (output) variable derives from it. We check by recovering each free
+  // variable's interval with only this loop bound to a point: if every free
+  // variable still spans its full extent, the loop is reduction-only.
+  int64_t Factor = 1;
+  for (int I = 0; I < NumDist; ++I) {
+    const IndexVar &V = Nest.Loops[I].Var;
+    std::map<IndexVar, Interval> Known = {{V, Interval::point(0)}};
+    bool AffectsOutput = false;
+    for (const IndexVar &F : FreeSet) {
+      Interval Full = Interval::range(0, Nest.Prov.extent(F));
+      if (!(Nest.Prov.recoverInterval(F, Known) == Full))
+        AffectsOutput = true;
+    }
+    if (!AffectsOutput)
+      Factor *= Nest.Prov.extent(V);
+  }
+  return Factor;
+}
+
+std::string Plan::str() const {
+  std::ostringstream OS;
+  OS << "plan on " << M.str() << "\n";
+  OS << "  launch domain " << launchDomain().str() << ", steps "
+     << stepDomain().volume() << ", leaf loops "
+     << (Nest.Loops.size() - LeafBegin) << "\n";
+  OS << Nest.str();
+  return OS.str();
+}

@@ -1,0 +1,584 @@
+//===- runtime/Executor.cpp -----------------------------------*- C++ -*-===//
+
+#include "runtime/Executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "blas/LocalKernels.h"
+#include "lower/Bounds.h"
+#include "support/Error.h"
+#include "support/Util.h"
+
+using namespace distal;
+
+Executor::Executor(const Plan &P, const Mapper &Map) : P(P), Map(Map) {}
+
+static int countMuls(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Access:
+  case ExprKind::Literal:
+    return 0;
+  case ExprKind::Add:
+  case ExprKind::Mul:
+    return (E.kind() == ExprKind::Mul ? 1 : 0) + countMuls(E.lhs()) +
+           countMuls(E.rhs());
+  }
+  unreachable("unknown expr kind");
+}
+
+/// Bounding box of the rectangles accessed by every access of \p T.
+static Rect tensorRect(const TensorVar &T, const Assignment &Stmt,
+                       const ProvenanceGraph &Prov,
+                       const std::map<IndexVar, Interval> &Known) {
+  Rect Result = Rect::empty(T.order());
+  bool First = true;
+  for (const Access &A : Stmt.accesses()) {
+    if (A.tensor() != T)
+      continue;
+    Rect R = accessRect(A, Prov, Known);
+    if (First) {
+      Result = R;
+      First = false;
+      continue;
+    }
+    std::vector<Coord> Lo(T.order()), Hi(T.order());
+    for (int D = 0; D < T.order(); ++D) {
+      Lo[D] = std::min(Result.lo()[D], R.lo()[D]);
+      Hi[D] = std::max(Result.hi()[D], R.hi()[D]);
+    }
+    Result = Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+  }
+  DISTAL_ASSERT(!First, "tensor does not appear in the statement");
+  return Result;
+}
+
+std::vector<Message> Executor::gatherMessages(const TensorVar &T,
+                                              const Rect &R,
+                                              const Point &DstProc) const {
+  std::vector<Message> Msgs;
+  if (R.isEmpty())
+    return Msgs;
+  const TensorDistribution &D = P.formatOf(T).distribution();
+  const Machine &M = P.M;
+  const std::vector<Coord> &Shape = T.shape();
+  int64_t Dst = M.linearize(DstProc);
+  int64_t DstNode = M.nodeOf(DstProc);
+
+  // Recursively enumerate owner tiles overlapping R. Each machine level
+  // partitions the piece selected by the previous level, so the recursion
+  // carries the current piece rectangle.
+  std::vector<Coord> Owner(M.dim());
+  std::function<void(int, int, int, Rect)> Recurse =
+      [&](int Level, int DimInLevel, int FlatDim, Rect Piece) {
+        if (Level == D.numLevels()) {
+          Rect Overlap = R.intersect(Piece);
+          if (Overlap.isEmpty())
+            return;
+          Message Msg;
+          Msg.Src = M.linearize(Point(Owner));
+          Msg.Dst = Dst;
+          Msg.Bytes = Overlap.volume() * 8;
+          Msg.SameNode = M.nodeOf(Point(Owner)) == DstNode;
+          Msg.Tensor = T.name();
+          Msgs.push_back(Msg);
+          return;
+        }
+        const DistributionLevel &L = D.level(Level);
+        const MachineLevel &ML = M.level(Level);
+        if (DimInLevel == ML.dim()) {
+          Recurse(Level + 1, 0, FlatDim, Piece);
+          return;
+        }
+        const MachineDimName &N = L.MachineDims[DimInLevel];
+        switch (N.Kind) {
+        case MachineDimName::Fixed:
+          Owner[FlatDim] = N.Value;
+          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
+          return;
+        case MachineDimName::Broadcast:
+          // Fetch from the replica sharing the destination's coordinate
+          // (Legion's mapper picks the nearest valid instance).
+          Owner[FlatDim] = DstProc[FlatDim];
+          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
+          return;
+        case MachineDimName::Name: {
+          int TD = L.tensorDimNamed(N.Id);
+          Coord PLo = std::max(R.lo()[TD], Piece.lo()[TD]);
+          Coord PHi = std::min(R.hi()[TD], Piece.hi()[TD]);
+          if (PLo >= PHi)
+            return;
+          Coord C0 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
+                                    ML.Dims[DimInLevel], PLo);
+          Coord C1 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
+                                    ML.Dims[DimInLevel], PHi - 1);
+          for (Coord C = C0; C <= C1; ++C) {
+            Rect Block = blockedPiece1D(Piece.lo()[TD], Piece.hi()[TD],
+                                        ML.Dims[DimInLevel], C);
+            std::vector<Coord> Lo(Piece.lo().coords()),
+                Hi(Piece.hi().coords());
+            Lo[TD] = Block.lo()[0];
+            Hi[TD] = Block.hi()[0];
+            Owner[FlatDim] = C;
+            Recurse(Level, DimInLevel + 1, FlatDim + 1,
+                    Rect(Point(Lo), Point(Hi)));
+          }
+          return;
+        }
+        }
+      };
+  Recurse(0, 0, 0, Rect::forExtents(Shape));
+  return Msgs;
+}
+
+namespace {
+
+/// Precomputed affine leaf-kernel structure for one task/step context: every
+/// original index variable (and hence every access offset) is an affine
+/// function of the leaf loop variables. This plays the role of the code
+/// TACO's backend would generate for the leaf loops.
+struct AffineLeaf {
+  bool Affine = true;
+  bool NeedGuard = false;
+  std::vector<Coord> LeafExtents;
+  // Per original variable: base value and per-leaf-var coefficients.
+  std::vector<Coord> VarBase;
+  std::vector<std::vector<Coord>> VarCoef;
+  std::vector<Coord> VarExtent;
+  // Per access: instance pointer, base offset, per-leaf-var coefficients.
+  std::vector<double *> AccData;
+  std::vector<int64_t> AccBase;
+  std::vector<std::vector<int64_t>> AccCoef;
+};
+
+} // namespace
+
+void Executor::runLeaf(const std::map<IndexVar, Coord> &FixedVals,
+                       std::map<TensorVar, Instance *> &Insts) {
+  const Assignment &Stmt = P.Nest.Stmt;
+  const ProvenanceGraph &Prov = P.Nest.Prov;
+  std::vector<IndexVar> LeafV = P.leafVars();
+  std::vector<IndexVar> OrigV = Stmt.defaultLoopOrder();
+  std::vector<Access> Accesses = Stmt.accesses(); // LHS first.
+  int NumLeaf = static_cast<int>(LeafV.size());
+  int NumOrig = static_cast<int>(OrigV.size());
+  int NumAcc = static_cast<int>(Accesses.size());
+
+  AffineLeaf L;
+  L.LeafExtents.resize(NumLeaf);
+  for (int I = 0; I < NumLeaf; ++I)
+    L.LeafExtents[I] = Prov.extent(LeafV[I]);
+
+  // Detect affine recovery of every original variable in the leaf vars.
+  auto ValuesWith = [&](const std::vector<Coord> &LeafVals) {
+    std::map<IndexVar, Coord> Vals = FixedVals;
+    for (int I = 0; I < NumLeaf; ++I)
+      Vals[LeafV[I]] = LeafVals[I];
+    return Vals;
+  };
+  std::vector<Coord> Zero(NumLeaf, 0), Probe(NumLeaf, 0);
+  std::map<IndexVar, Coord> ValsZero = ValuesWith(Zero);
+  L.VarBase.resize(NumOrig);
+  L.VarCoef.assign(NumOrig, std::vector<Coord>(NumLeaf, 0));
+  L.VarExtent.resize(NumOrig);
+  for (int V = 0; V < NumOrig; ++V) {
+    L.VarBase[V] = Prov.recoverValue(OrigV[V], ValsZero);
+    L.VarExtent[V] = Prov.extent(OrigV[V]);
+    for (int I = 0; I < NumLeaf; ++I) {
+      if (L.LeafExtents[I] <= 1)
+        continue;
+      Probe = Zero;
+      Probe[I] = 1;
+      L.VarCoef[V][I] =
+          Prov.recoverValue(OrigV[V], ValuesWith(Probe)) - L.VarBase[V];
+    }
+    // Verify affineness at the far corner.
+    for (int I = 0; I < NumLeaf; ++I)
+      Probe[I] = L.LeafExtents[I] - 1;
+    Coord Predicted = L.VarBase[V];
+    for (int I = 0; I < NumLeaf; ++I)
+      Predicted += L.VarCoef[V][I] * Probe[I];
+    if (Prov.recoverValue(OrigV[V], ValuesWith(Probe)) != Predicted)
+      L.Affine = false;
+    if (Predicted >= L.VarExtent[V])
+      L.NeedGuard = true;
+  }
+
+  // Map each access to its instance and affine offset function.
+  std::map<IndexVar, int> OrigIdx;
+  for (int V = 0; V < NumOrig; ++V)
+    OrigIdx[OrigV[V]] = V;
+  L.AccData.resize(NumAcc);
+  L.AccBase.assign(NumAcc, 0);
+  L.AccCoef.assign(NumAcc, std::vector<int64_t>(NumLeaf, 0));
+  for (int A = 0; A < NumAcc; ++A) {
+    const Access &Acc = Accesses[A];
+    auto It = Insts.find(Acc.tensor());
+    DISTAL_ASSERT(It != Insts.end() && It->second,
+                  "leaf run without an instance for an accessed tensor");
+    Instance *Inst = It->second;
+    L.AccData[A] = Inst->data();
+    std::vector<Coord> BaseCoords(Acc.tensor().order());
+    for (int D = 0; D < Acc.tensor().order(); ++D) {
+      int V = OrigIdx[Acc.indices()[D]];
+      BaseCoords[D] = std::min(L.VarBase[V],
+                               Inst->rect().hi()[D] > 0
+                                   ? Inst->rect().hi()[D] - 1
+                                   : L.VarBase[V]);
+      for (int I = 0; I < NumLeaf; ++I)
+        L.AccCoef[A][I] += L.VarCoef[V][I] * Inst->stride(D);
+    }
+    L.AccBase[A] = Inst->offset(Point(BaseCoords));
+    // Adjust the base back if clamping changed coordinates (only possible
+    // in guarded edge tiles whose guarded points are skipped anyway).
+    for (int D = 0; D < Acc.tensor().order(); ++D) {
+      int V = OrigIdx[Acc.indices()[D]];
+      L.AccBase[A] += (L.VarBase[V] - BaseCoords[D]) * Inst->stride(D);
+    }
+  }
+
+  if (!L.Affine)
+    reportFatalError("leaf loops are not affine in the leaf variables; "
+                     "rotate must be applied to sequential step loops only");
+
+  // Fast path: GeMM substitution with the canonical (m, n, k) layout.
+  if (P.Nest.Leaf == LeafKernel::GeMM && NumLeaf == 3 && NumAcc == 3 &&
+      !L.NeedGuard) {
+    const auto &OutC = L.AccCoef[0], &AC = L.AccCoef[1], &BC = L.AccCoef[2];
+    bool Canonical = OutC[2] == 0 && OutC[1] == 1 && AC[1] == 0 &&
+                     AC[2] == 1 && BC[0] == 0 && BC[2] >= 1 && BC[1] == 1;
+    if (Canonical) {
+      blas::gemm(L.AccData[0] + L.AccBase[0], L.AccData[1] + L.AccBase[1],
+                 L.AccData[2] + L.AccBase[2], L.LeafExtents[0],
+                 L.LeafExtents[1], L.LeafExtents[2], OutC[0], AC[0], BC[2]);
+      return;
+    }
+  }
+
+  // General affine path: recurse over leaf loops maintaining running
+  // offsets; evaluate the expression tree at each innermost point.
+  std::vector<int64_t> CurOff = L.AccBase;
+  std::vector<Coord> CurVal = L.VarBase;
+
+  // Expression evaluation consuming access values left to right.
+  std::function<double(const Expr &, int &)> Eval = [&](const Expr &E,
+                                                        int &Cursor) {
+    switch (E.kind()) {
+    case ExprKind::Access: {
+      double V = L.AccData[Cursor][CurOff[Cursor]];
+      ++Cursor;
+      return V;
+    }
+    case ExprKind::Literal:
+      return E.literal();
+    case ExprKind::Add: {
+      double LV = Eval(E.lhs(), Cursor);
+      return LV + Eval(E.rhs(), Cursor);
+    }
+    case ExprKind::Mul: {
+      double LV = Eval(E.lhs(), Cursor);
+      return LV * Eval(E.rhs(), Cursor);
+    }
+    }
+    unreachable("unknown expr kind");
+  };
+
+  std::function<void(int)> Loop = [&](int Depth) {
+    if (Depth == NumLeaf) {
+      if (L.NeedGuard)
+        for (int V = 0; V < NumOrig; ++V)
+          if (CurVal[V] >= L.VarExtent[V])
+            return;
+      int Cursor = 1; // Access 0 is the output.
+      L.AccData[0][CurOff[0]] += Eval(Stmt.rhs(), Cursor);
+      return;
+    }
+    for (Coord I = 0; I < L.LeafExtents[Depth]; ++I) {
+      Loop(Depth + 1);
+      for (int A = 0; A < NumAcc; ++A)
+        CurOff[A] += L.AccCoef[A][Depth];
+      for (int V = 0; V < NumOrig; ++V)
+        CurVal[V] += L.VarCoef[V][Depth];
+    }
+    for (int A = 0; A < NumAcc; ++A)
+      CurOff[A] -= L.AccCoef[A][Depth] * L.LeafExtents[Depth];
+    for (int V = 0; V < NumOrig; ++V)
+      CurVal[V] -= L.VarCoef[V][Depth] * L.LeafExtents[Depth];
+  };
+  Loop(0);
+}
+
+Trace Executor::run(const std::map<TensorVar, Region *> &Regions) {
+  return runImpl(&Regions);
+}
+
+Trace Executor::simulate() { return runImpl(nullptr); }
+
+Trace Executor::runImpl(const std::map<TensorVar, Region *> *Regions) {
+  const Assignment &Stmt = P.Nest.Stmt;
+  const ProvenanceGraph &Prov = P.Nest.Prov;
+  const TensorVar &Out = Stmt.lhs().tensor();
+
+  Rect Launch = P.launchDomain();
+  Rect Steps = P.stepDomain();
+  int64_t NumSteps = Steps.volume();
+
+  Trace T;
+  T.NumProcs = P.M.numProcessors();
+  T.Phases.resize(static_cast<size_t>(NumSteps) + 2);
+  T.Phases.front().Label = "launch";
+  for (int64_t S = 0; S < NumSteps; ++S)
+    T.Phases[static_cast<size_t>(S) + 1].Label = "step " + std::to_string(S);
+  T.Phases.back().Label = "writeback";
+
+  // Baseline resident memory: owned tiles of every region per processor.
+  std::map<int64_t, int64_t> TaskBytes;
+  for (int64_t PId = 0; PId < T.NumProcs; ++PId) {
+    Point Proc = P.M.delinearize(PId);
+    int64_t Owned = 0;
+    for (const TensorVar &TV : Stmt.tensors())
+      Owned +=
+          P.formatOf(TV).distribution().bytesOnProcessor(TV.shape(), P.M, Proc);
+    T.PeakMemBytes[PId] = Owned;
+  }
+
+  if (Regions) {
+    for (const TensorVar &TV : Stmt.tensors())
+      if (!Regions->count(TV))
+        reportFatalError("no region provided for tensor '" + TV.name() + "'");
+    Regions->at(Out)->zero();
+  }
+
+  std::vector<IndexVar> DistV = P.distVars();
+  std::vector<IndexVar> StepV = P.stepVars();
+  std::vector<TensorVar> TaskC = P.taskComms();
+  std::vector<StepComm> StepC = P.stepComms();
+  std::vector<IndexVar> OrigV = Stmt.defaultLoopOrder();
+  double FlopsPerPoint = countMuls(Stmt.rhs()) + 1;
+
+  // Per-task state, kept across the lock-step sequential loop so that each
+  // step can see where every rectangle was resident in the previous step
+  // (Legion fetches from the nearest valid instance, which is what turns a
+  // rotated schedule into true systolic nearest-neighbour communication).
+  struct TaskState {
+    Point TP, ProcPt;
+    int64_t ProcId = 0;
+    std::map<IndexVar, Interval> Fixed;
+    std::map<IndexVar, Coord> FixedVals;
+    std::map<TensorVar, Instance> OwnedInsts;
+    std::map<TensorVar, Instance *> Insts;
+    std::map<TensorVar, std::vector<Coord>> FetchKeys;
+    Rect OutRect;
+    int64_t TaskInstBytes = 0;
+    int64_t MaxStepBytes = 0;
+  };
+  std::vector<TaskState> Tasks;
+
+  // Phase 0: task launch and task-level instances.
+  Launch.forEachPoint([&](const Point &TP) {
+    TaskState TS;
+    TS.TP = TP;
+    TS.ProcPt = Map.placeTask(TP, Launch, P.M);
+    TS.ProcId = P.M.linearize(TS.ProcPt);
+    for (size_t I = 0; I < DistV.size(); ++I) {
+      TS.Fixed[DistV[I]] = Interval::point(TP[static_cast<int>(I)]);
+      TS.FixedVals[DistV[I]] = TP[static_cast<int>(I)];
+    }
+    for (const TensorVar &TV : TaskC) {
+      Rect R = tensorRect(TV, Stmt, Prov, TS.Fixed);
+      // When the required rectangle is already resident (it lies within
+      // this processor's owned piece), Legion maps the existing instance
+      // instead of allocating a copy.
+      Rect Owned =
+          P.formatOf(TV).distribution().ownedRect(TV.shape(), P.M, TS.ProcPt);
+      if (!Owned.contains(R) || TV == Out)
+        TS.TaskInstBytes += R.volume() * 8;
+      if (TV == Out) {
+        // Output instances are reduction-privatised, not fetched.
+        if (Regions)
+          TS.OwnedInsts.emplace(TV, Instance(R));
+      } else {
+        for (Message &Msg : gatherMessages(TV, R, TS.ProcPt))
+          T.Phases.front().Messages.push_back(std::move(Msg));
+        if (Regions)
+          TS.OwnedInsts.emplace(TV, Regions->at(TV)->gather(R));
+      }
+      if (Regions)
+        TS.Insts[TV] = &TS.OwnedInsts.at(TV);
+    }
+    TS.OutRect = tensorRect(Out, Stmt, Prov, TS.Fixed);
+    Tasks.push_back(std::move(TS));
+  });
+
+  // Sequential steps, lock-stepped across all tasks. Holders track which
+  // processors have each (tensor, rectangle) resident from the previous
+  // step so fetches can relay from a neighbour instead of the home owner.
+  using RectKey = std::pair<std::vector<Coord>, std::vector<Coord>>;
+  std::map<TensorVar, std::map<RectKey, std::vector<int64_t>>> PrevHolders,
+      CurHolders;
+  auto keyOf = [](const Rect &R) {
+    return RectKey{R.lo().coords(), R.hi().coords()};
+  };
+  int64_t StepIdx = 0;
+  Steps.forEachPoint([&](const Point &SP) {
+    Phase &Ph = T.Phases[static_cast<size_t>(StepIdx) + 1];
+    CurHolders.clear();
+    for (TaskState &TS : Tasks) {
+      for (size_t I = 0; I < StepV.size(); ++I) {
+        TS.Fixed[StepV[I]] = Interval::point(SP[static_cast<int>(I)]);
+        TS.FixedVals[StepV[I]] = SP[static_cast<int>(I)];
+      }
+      int64_t StepBytes = 0;
+      for (const StepComm &SC : StepC) {
+        // Loops at or above the communicate point are fixed; deeper
+        // sequential loops are free (they rerun over the materialised
+        // data).
+        std::map<IndexVar, Interval> Known;
+        std::vector<Coord> Key;
+        for (size_t I = 0; I < DistV.size(); ++I) {
+          Known[DistV[I]] = TS.Fixed[DistV[I]];
+          Key.push_back(TS.TP[static_cast<int>(I)]);
+        }
+        for (size_t I = 0; I < StepV.size(); ++I) {
+          int LoopIdx = P.NumDist + static_cast<int>(I);
+          if (LoopIdx > SC.LoopIdx)
+            break;
+          Known[StepV[I]] = TS.Fixed[StepV[I]];
+          Key.push_back(SP[static_cast<int>(I)]);
+        }
+        Rect R = tensorRect(SC.Tensor, Stmt, Prov, Known);
+        StepBytes += R.volume() * 8;
+        CurHolders[SC.Tensor][keyOf(R)].push_back(TS.ProcId);
+        auto KeyIt = TS.FetchKeys.find(SC.Tensor);
+        if (KeyIt != TS.FetchKeys.end() && KeyIt->second == Key)
+          continue; // Data already resident from an inner iteration.
+        TS.FetchKeys[SC.Tensor] = Key;
+
+        std::vector<Message> Msgs = gatherMessages(SC.Tensor, R, TS.ProcPt);
+        // Relay: if some processor held exactly this rectangle last step,
+        // fetch from the closest holder when that beats the home owner.
+        auto HIt = PrevHolders.find(SC.Tensor);
+        if (HIt != PrevHolders.end()) {
+          auto RIt = HIt->second.find(keyOf(R));
+          if (RIt != HIt->second.end() && !RIt->second.empty()) {
+            auto distanceTo = [&](int64_t Src) {
+              if (Src == TS.ProcId)
+                return std::pair<int, int64_t>{0, 0};
+              bool SameNode = P.M.nodeOf(P.M.delinearize(Src)) ==
+                              P.M.nodeOf(TS.ProcPt);
+              return std::pair<int, int64_t>{SameNode ? 1 : 2,
+                                             std::abs(Src - TS.ProcId)};
+            };
+            int64_t BestSrc = RIt->second.front();
+            for (int64_t Cand : RIt->second)
+              if (distanceTo(Cand) < distanceTo(BestSrc))
+                BestSrc = Cand;
+            // Fetch locally when this processor owns the data; otherwise
+            // always prefer the pipeline copy: that is what makes rotated
+            // schedules truly systolic (each holder forwards to exactly
+            // one neighbour).
+            bool OwnerIsSelf =
+                Msgs.size() == 1 && Msgs.front().Src == Msgs.front().Dst;
+            if (!OwnerIsSelf) {
+              Message Relay;
+              Relay.Src = BestSrc;
+              Relay.Dst = TS.ProcId;
+              Relay.Bytes = R.volume() * 8;
+              Relay.SameNode = P.M.nodeOf(P.M.delinearize(BestSrc)) ==
+                               P.M.nodeOf(TS.ProcPt);
+              Relay.Tensor = SC.Tensor.name();
+              Msgs = {Relay};
+            }
+          }
+        }
+        for (Message &Msg : Msgs)
+          Ph.Messages.push_back(std::move(Msg));
+        if (Regions) {
+          TS.OwnedInsts.erase(SC.Tensor);
+          auto [It2, Inserted] = TS.OwnedInsts.emplace(
+              SC.Tensor, Regions->at(SC.Tensor)->gather(R));
+          (void)Inserted;
+          TS.Insts[SC.Tensor] = &It2->second;
+        }
+      }
+      TS.MaxStepBytes = std::max(TS.MaxStepBytes, StepBytes);
+
+      // Leaf work: iteration sub-volume at this context.
+      int64_t Count = iterationCount(OrigV, Prov, TS.Fixed);
+      int64_t LeafBytes = 0;
+      for (const Access &A : Stmt.accesses())
+        LeafBytes += accessRect(A, Prov, TS.Fixed).volume() * 8;
+      Ph.addWork(TS.ProcId, static_cast<double>(Count) * FlopsPerPoint,
+                 LeafBytes);
+
+      // Tasks at the ragged edge of an uneven divide may own no
+      // iterations at all.
+      if (Regions && Count > 0)
+        runLeaf(TS.FixedVals, TS.Insts);
+    }
+    std::swap(PrevHolders, CurHolders);
+    ++StepIdx;
+  });
+
+  // Writeback / reduction of every task's output instance to its owners.
+  for (TaskState &TS : Tasks) {
+    for (Message Msg : gatherMessages(Out, TS.OutRect, TS.ProcPt)) {
+      if (Msg.Src == Msg.Dst)
+        continue;
+      // Data flows from this task to the owner: reverse the direction.
+      std::swap(Msg.Src, Msg.Dst);
+      Msg.Reduction = true;
+      T.Phases.back().Messages.push_back(std::move(Msg));
+    }
+    if (Regions)
+      Regions->at(Out)->reduceBack(TS.OwnedInsts.at(Out));
+
+    // Live instances: task-level + double-buffered step instances.
+    TaskBytes[TS.ProcId] = std::max(
+        TaskBytes[TS.ProcId], TS.TaskInstBytes + 2 * TS.MaxStepBytes);
+  }
+
+  for (auto &[ProcId, Bytes] : TaskBytes)
+    T.PeakMemBytes[ProcId] += Bytes;
+  return T;
+}
+
+void distal::referenceExecute(const Assignment &Stmt,
+                              const std::map<TensorVar, Region *> &Regions) {
+  std::vector<IndexVar> Vars = Stmt.defaultLoopOrder();
+  std::map<IndexVar, Coord> Extents = Stmt.inferDomains();
+  Region *Out = Regions.at(Stmt.lhs().tensor());
+  Out->zero();
+
+  std::vector<Coord> Domain;
+  for (const IndexVar &V : Vars)
+    Domain.push_back(Extents[V]);
+
+  std::map<IndexVar, Coord> Vals;
+  std::function<double(const Expr &)> Eval = [&](const Expr &E) -> double {
+    switch (E.kind()) {
+    case ExprKind::Access: {
+      std::vector<Coord> Coords;
+      for (const IndexVar &V : E.access().indices())
+        Coords.push_back(Vals.at(V));
+      return Regions.at(E.access().tensor())->at(Point(Coords));
+    }
+    case ExprKind::Literal:
+      return E.literal();
+    case ExprKind::Add:
+      return Eval(E.lhs()) + Eval(E.rhs());
+    case ExprKind::Mul:
+      return Eval(E.lhs()) * Eval(E.rhs());
+    }
+    unreachable("unknown expr kind");
+  };
+
+  Rect::forExtents(Domain).forEachPoint([&](const Point &P) {
+    for (size_t I = 0; I < Vars.size(); ++I)
+      Vals[Vars[I]] = P[static_cast<int>(I)];
+    std::vector<Coord> OutCoords;
+    for (const IndexVar &V : Stmt.lhs().indices())
+      OutCoords.push_back(Vals.at(V));
+    Out->at(Point(OutCoords)) += Eval(Stmt.rhs());
+  });
+}

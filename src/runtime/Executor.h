@@ -1,0 +1,63 @@
+//===- runtime/Executor.h - Plan execution engine --------------*- C++ -*-===//
+///
+/// \file
+/// Executes lowered Plans. Two backends share one walk of the plan's
+/// bulk-synchronous structure:
+///
+///  * Execute: real data. Every task computes exclusively on Instances
+///    gathered from each region per the communication analysis, then
+///    reduces its output instance back — so an incorrect partition or
+///    bounds computation produces incorrect numbers, giving the test suite
+///    real distributed-memory semantics on one process.
+///  * Simulate: no data. The same walk records the trace (messages, flops,
+///    memory) for the Simulator to price against a MachineSpec, standing in
+///    for the 256-node Lassen runs of the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_EXECUTOR_H
+#define DISTAL_RUNTIME_EXECUTOR_H
+
+#include <map>
+
+#include "lower/Plan.h"
+#include "runtime/Ledger.h"
+#include "runtime/Mapper.h"
+#include "runtime/Region.h"
+
+namespace distal {
+
+class Executor {
+public:
+  explicit Executor(const Plan &P, const Mapper &Map = defaultMapper());
+
+  /// Runs the plan on real data. \p Regions must contain every tensor of
+  /// the statement; the output region is zeroed first. Returns the trace.
+  Trace run(const std::map<TensorVar, Region *> &Regions);
+
+  /// Walks the plan without data, returning the trace for simulation.
+  Trace simulate();
+
+  /// Messages needed to materialise rectangle \p R of tensor \p T in the
+  /// memory of \p DstProc, fetching each piece from the replica nearest the
+  /// destination (exposed for testing the communication analysis).
+  std::vector<Message> gatherMessages(const TensorVar &T, const Rect &R,
+                                      const Point &DstProc) const;
+
+private:
+  Trace runImpl(const std::map<TensorVar, Region *> *Regions);
+  void runLeaf(const std::map<IndexVar, Coord> &FixedVals,
+               std::map<TensorVar, Instance *> &Insts);
+
+  const Plan &P;
+  const Mapper &Map;
+};
+
+/// Sequential reference executor: runs \p Stmt directly over dense arrays
+/// (indexed like Regions) with no distribution. Used to validate Plans.
+void referenceExecute(const Assignment &Stmt,
+                      const std::map<TensorVar, Region *> &Regions);
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_EXECUTOR_H

@@ -1,0 +1,80 @@
+//===- runtime/Ledger.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/Ledger.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace distal;
+
+void Phase::addWork(int64_t Proc, double Flops, int64_t Bytes) {
+  ProcWork &W = Work[Proc];
+  W.Flops += Flops;
+  W.LeafBytes += Bytes;
+}
+
+int64_t Phase::totalMessageBytes() const {
+  int64_t Total = 0;
+  for (const Message &M : Messages)
+    Total += M.Bytes;
+  return Total;
+}
+
+double Trace::totalFlops() const {
+  double Total = 0;
+  for (const Phase &P : Phases)
+    for (const auto &[Proc, W] : P.Work)
+      Total += W.Flops;
+  return Total;
+}
+
+int64_t Trace::totalLeafBytes() const {
+  int64_t Total = 0;
+  for (const Phase &P : Phases)
+    for (const auto &[Proc, W] : P.Work)
+      Total += W.LeafBytes;
+  return Total;
+}
+
+int64_t Trace::totalCommBytes() const {
+  int64_t Total = 0;
+  for (const Phase &P : Phases)
+    for (const Message &M : P.Messages)
+      if (M.Src != M.Dst)
+        Total += M.Bytes;
+  return Total;
+}
+
+int64_t Trace::interNodeCommBytes() const {
+  int64_t Total = 0;
+  for (const Phase &P : Phases)
+    for (const Message &M : P.Messages)
+      if (!M.SameNode)
+        Total += M.Bytes;
+  return Total;
+}
+
+int64_t Trace::totalMessages() const {
+  int64_t Total = 0;
+  for (const Phase &P : Phases)
+    for (const Message &M : P.Messages)
+      if (M.Src != M.Dst)
+        ++Total;
+  return Total;
+}
+
+int64_t Trace::maxPeakMemBytes() const {
+  int64_t Max = 0;
+  for (const auto &[Proc, Bytes] : PeakMemBytes)
+    Max = std::max(Max, Bytes);
+  return Max;
+}
+
+std::string Trace::summary() const {
+  std::ostringstream OS;
+  OS << "trace: " << Phases.size() << " phases, " << totalFlops() << " flops, "
+     << totalCommBytes() << " comm bytes (" << interNodeCommBytes()
+     << " inter-node), " << totalMessages() << " messages, peak mem "
+     << maxPeakMemBytes() << " bytes";
+  return OS.str();
+}

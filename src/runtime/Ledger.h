@@ -1,0 +1,73 @@
+//===- runtime/Ledger.h - Communication and compute trace ------*- C++ -*-===//
+///
+/// \file
+/// The execution trace shared by the Execute and Simulate backends. A plan
+/// executes as a sequence of bulk-synchronous *phases* (task-launch
+/// communication, one phase per sequential step, and a final
+/// writeback/reduction phase). Each phase records the point-to-point
+/// messages implied by the partitions (Legion's implicit communication,
+/// paper §6.1) and per-processor leaf compute work. The Simulator prices a
+/// trace against a MachineSpec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_LEDGER_H
+#define DISTAL_RUNTIME_LEDGER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/Machine.h"
+
+namespace distal {
+
+/// One data movement between two processors' memories.
+struct Message {
+  int64_t Src = 0;      ///< Linearized source processor.
+  int64_t Dst = 0;      ///< Linearized destination processor.
+  int64_t Bytes = 0;
+  bool SameNode = false;
+  bool Reduction = false; ///< Part of a reduction tree (writeback phase).
+  std::string Tensor;
+};
+
+/// Per-processor leaf work within one phase.
+struct ProcWork {
+  double Flops = 0;
+  int64_t LeafBytes = 0; ///< Unique tensor bytes touched by leaves.
+};
+
+/// One bulk-synchronous phase.
+struct Phase {
+  std::string Label;
+  std::vector<Message> Messages;
+  std::map<int64_t, ProcWork> Work;
+
+  void addWork(int64_t Proc, double Flops, int64_t Bytes);
+  int64_t totalMessageBytes() const;
+};
+
+/// A whole-plan execution trace.
+struct Trace {
+  std::vector<Phase> Phases;
+  int64_t NumProcs = 0;
+  /// Peak bytes resident per processor: owned tiles plus live instances.
+  std::map<int64_t, int64_t> PeakMemBytes;
+
+  double totalFlops() const;
+  int64_t totalLeafBytes() const;
+  /// Total bytes moved between distinct processors.
+  int64_t totalCommBytes() const;
+  /// Bytes moved between distinct nodes only.
+  int64_t interNodeCommBytes() const;
+  int64_t totalMessages() const;
+  int64_t maxPeakMemBytes() const;
+
+  std::string summary() const;
+};
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_LEDGER_H

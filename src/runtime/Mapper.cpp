@@ -1,0 +1,39 @@
+//===- runtime/Mapper.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/Mapper.h"
+
+#include "support/Error.h"
+
+using namespace distal;
+
+Mapper::~Mapper() = default;
+
+Point Mapper::placeTask(const Point &TaskPt, const Rect &LaunchDomain,
+                        const Machine &M) const {
+  std::vector<int> Dims = M.flatDims();
+  // Fast path: launch grid congruent to the machine grid.
+  if (LaunchDomain.dim() == M.dim()) {
+    bool Match = true;
+    for (int I = 0; I < M.dim(); ++I)
+      if (LaunchDomain.hi()[I] - LaunchDomain.lo()[I] != Dims[I])
+        Match = false;
+    if (Match) {
+      std::vector<Coord> Coords(M.dim());
+      for (int I = 0; I < M.dim(); ++I)
+        Coords[I] = TaskPt[I] - LaunchDomain.lo()[I];
+      return Point(std::move(Coords));
+    }
+  }
+  // General path: wrap linearized task ids across the processor space.
+  int64_t Linear = 0;
+  for (int I = 0; I < LaunchDomain.dim(); ++I) {
+    int64_t Extent = LaunchDomain.hi()[I] - LaunchDomain.lo()[I];
+    Linear = Linear * Extent + (TaskPt[I] - LaunchDomain.lo()[I]);
+  }
+  return M.delinearize(Linear % M.numProcessors());
+}
+
+const Mapper &distal::defaultMapper() {
+  static Mapper M;
+  return M;
+}

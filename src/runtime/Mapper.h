@@ -1,0 +1,37 @@
+//===- runtime/Mapper.h - Task placement mapping ---------------*- C++ -*-===//
+///
+/// \file
+/// The mapping interface (paper §6.1/§6.2): mappers control which processor
+/// each point of an index task launch executes on. The default mapper
+/// places the launch grid directly onto the machine grid when shapes match
+/// and otherwise wraps linearized task ids across processors. Custom
+/// mappers let tests and experiments permute placement without touching
+/// schedules, mirroring Legion's separation of mapping from correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_MAPPER_H
+#define DISTAL_RUNTIME_MAPPER_H
+
+#include "machine/Machine.h"
+#include "support/Geometry.h"
+
+namespace distal {
+
+/// Maps index-task-launch points to processors.
+class Mapper {
+public:
+  virtual ~Mapper();
+
+  /// Returns the full machine coordinate of the processor that executes the
+  /// task at \p TaskPt of \p LaunchDomain.
+  virtual Point placeTask(const Point &TaskPt, const Rect &LaunchDomain,
+                          const Machine &M) const;
+};
+
+/// The default mapper singleton.
+const Mapper &defaultMapper();
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_MAPPER_H

@@ -1,0 +1,102 @@
+//===- runtime/Region.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/Region.h"
+
+#include <algorithm>
+
+#include "support/Error.h"
+
+using namespace distal;
+
+static std::vector<Coord> rowMajorStrides(const std::vector<Coord> &Extents) {
+  std::vector<Coord> Strides(Extents.size(), 1);
+  for (int I = static_cast<int>(Extents.size()) - 2; I >= 0; --I)
+    Strides[I] = Strides[I + 1] * Extents[I + 1];
+  return Strides;
+}
+
+Instance::Instance(Rect R) : Bounds(std::move(R)) {
+  std::vector<Coord> Extents(Bounds.dim());
+  for (int I = 0; I < Bounds.dim(); ++I)
+    Extents[I] = std::max<Coord>(Bounds.hi()[I] - Bounds.lo()[I], 0);
+  Strides = rowMajorStrides(Extents);
+  Data.assign(static_cast<size_t>(Bounds.volume()), 0.0);
+  if (Bounds.dim() == 0)
+    Data.assign(1, 0.0);
+}
+
+int64_t Instance::offset(const Point &Global) const {
+  DISTAL_ASSERT(Bounds.contains(Global), "instance access out of bounds");
+  int64_t Off = 0;
+  for (int I = 0; I < Bounds.dim(); ++I)
+    Off += (Global[I] - Bounds.lo()[I]) * Strides[I];
+  return Off;
+}
+
+int64_t Instance::stride(int D) const {
+  DISTAL_ASSERT(D >= 0 && D < Bounds.dim(), "stride dimension out of range");
+  return Strides[D];
+}
+
+void Instance::zero() { std::fill(Data.begin(), Data.end(), 0.0); }
+
+Region::Region(TensorVar Var, Format Fmt, Machine M)
+    : Var(std::move(Var)), Fmt(std::move(Fmt)), M(std::move(M)) {
+  DISTAL_ASSERT(this->Var.defined(), "region over undefined tensor");
+  if (this->Fmt.order() != this->Var.order())
+    reportFatalError("format order does not match tensor '" +
+                     this->Var.name() + "'");
+  this->Fmt.distribution().validate(this->Var.order(), this->M);
+  Strides = rowMajorStrides(shape());
+  int64_t Vol = 1;
+  for (Coord D : shape())
+    Vol *= D;
+  Data.assign(static_cast<size_t>(Vol), 0.0);
+}
+
+int64_t Region::volume() const { return static_cast<int64_t>(Data.size()); }
+
+int64_t Region::offset(const Point &P) const {
+  DISTAL_ASSERT(P.dim() == Var.order(), "region access dimension mismatch");
+  int64_t Off = 0;
+  for (int I = 0; I < P.dim(); ++I) {
+    DISTAL_ASSERT(P[I] >= 0 && P[I] < shape()[I], "region access out of range");
+    Off += P[I] * Strides[I];
+  }
+  return Off;
+}
+
+void Region::fill(const std::function<double(const Point &)> &Fn) {
+  Rect::forExtents(shape()).forEachPoint(
+      [&](const Point &P) { at(P) = Fn(P); });
+}
+
+void Region::fillRandom(uint64_t Seed) {
+  uint64_t State = Seed * 2654435761u + 12345;
+  for (double &V : Data) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    V = static_cast<double>((State >> 33) % 1000) / 999.0 - 0.5;
+  }
+}
+
+void Region::zero() { std::fill(Data.begin(), Data.end(), 0.0); }
+
+Instance Region::gather(const Rect &R) const {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R),
+                "gather rectangle outside region bounds");
+  Instance I(R);
+  R.forEachPoint([&](const Point &P) { I.at(P) = at(P); });
+  return I;
+}
+
+void Region::reduceBack(const Instance &I) {
+  I.rect().forEachPoint([&](const Point &P) { at(P) += I.at(P); });
+}
+
+void Region::writeBack(const Instance &I) {
+  I.rect().forEachPoint([&](const Point &P) { at(P) = I.at(P); });
+}
+
+Rect Region::ownedRect(const Point &Proc) const {
+  return Fmt.distribution().ownedRect(shape(), M, Proc);
+}

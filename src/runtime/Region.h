@@ -1,0 +1,101 @@
+//===- runtime/Region.h - Logical regions and instances --------*- C++ -*-===//
+///
+/// \file
+/// The data side of the Legion-substitute runtime (paper §6.1). A Region is
+/// a logical n-dimensional array of doubles with a *home distribution*
+/// describing which processor's memory owns each element. An Instance is a
+/// physical, rectangle-restricted copy materialised in one processor's
+/// memory for a task to compute on; tasks may only touch instances, never
+/// the logical region directly, which gives the Execute backend real
+/// distributed-memory semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_REGION_H
+#define DISTAL_RUNTIME_REGION_H
+
+#include <functional>
+#include <vector>
+
+#include "format/Format.h"
+#include "ir/IndexNotation.h"
+#include "machine/Machine.h"
+
+namespace distal {
+
+/// A physical instance: the data of one rectangle of a region, resident in
+/// one processor's memory.
+class Instance {
+public:
+  Instance() = default;
+  explicit Instance(Rect R);
+
+  const Rect &rect() const { return Bounds; }
+  bool valid() const { return Bounds.dim() >= 0 && !Data.empty(); }
+  int64_t bytes() const { return static_cast<int64_t>(Data.size()) * 8; }
+
+  /// Element access by global (region) coordinates.
+  double at(const Point &Global) const { return Data[offset(Global)]; }
+  double &at(const Point &Global) { return Data[offset(Global)]; }
+
+  /// Row-major offset of a global coordinate within this instance.
+  int64_t offset(const Point &Global) const;
+  /// Row-major stride of dimension \p D within this instance.
+  int64_t stride(int D) const;
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  void zero();
+
+private:
+  Rect Bounds;
+  std::vector<Coord> Strides;
+  std::vector<double> Data;
+};
+
+/// A logical region backing one tensor.
+class Region {
+public:
+  Region(TensorVar Var, Format Fmt, Machine M);
+
+  const TensorVar &var() const { return Var; }
+  const Format &format() const { return Fmt; }
+  const Machine &machine() const { return M; }
+  const std::vector<Coord> &shape() const { return Var.shape(); }
+  int64_t volume() const;
+
+  /// Whole-region element access (used by tests, fills, and the runtime's
+  /// copy engine; tasks use instances).
+  double at(const Point &P) const { return Data[offset(P)]; }
+  double &at(const Point &P) { return Data[offset(P)]; }
+
+  /// Fills every element with Fn(coordinates).
+  void fill(const std::function<double(const Point &)> &Fn);
+  /// Deterministic pseudo-random fill.
+  void fillRandom(uint64_t Seed);
+  void zero();
+
+  /// Copies the rectangle \p R out of the region into a fresh instance.
+  Instance gather(const Rect &R) const;
+  /// Accumulates (+=) an instance's contents back into the region.
+  void reduceBack(const Instance &I);
+  /// Overwrites the region contents covered by the instance.
+  void writeBack(const Instance &I);
+
+  /// The rectangle owned by processor \p Proc under the home distribution.
+  Rect ownedRect(const Point &Proc) const;
+
+private:
+  int64_t offset(const Point &P) const;
+
+  TensorVar Var;
+  Format Fmt;
+  Machine M;
+  std::vector<Coord> Strides;
+  std::vector<double> Data;
+};
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_REGION_H

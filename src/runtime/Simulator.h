@@ -1,0 +1,43 @@
+//===- runtime/Simulator.h - Trace cost model ------------------*- C++ -*-===//
+///
+/// \file
+/// Prices an execution trace against a MachineSpec, standing in for runs on
+/// the Lassen supercomputer. Each bulk-synchronous phase is costed with an
+/// alpha-beta model: per-processor ingress and egress (full duplex),
+/// broadcast/reduction fan-out priced as pipelined binomial trees,
+/// per-node NIC sharing, and a compute roofline (FLOP peak vs. memory
+/// bandwidth). Communication overlaps computation up to the spec's
+/// OverlapFactor, modelling Legion's asynchronous execution vs. blocking
+/// MPI libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_SIMULATOR_H
+#define DISTAL_RUNTIME_SIMULATOR_H
+
+#include "machine/Machine.h"
+#include "runtime/Ledger.h"
+
+namespace distal {
+
+/// Result of simulating one trace.
+struct SimResult {
+  double Seconds = 0;
+  bool OutOfMemory = false;
+  int64_t PeakMemBytes = 0;
+  double TotalFlops = 0;
+  int64_t TotalLeafBytes = 0;
+  int64_t CommBytes = 0;
+  int64_t InterNodeBytes = 0;
+
+  /// Throughput per node (the paper's weak-scaling y axes).
+  double gflopsPerNode(int64_t Nodes) const;
+  double gbytesPerNodePerSec(int64_t Nodes) const;
+};
+
+/// Prices \p T on machine \p M with performance model \p Spec.
+SimResult simulate(const Trace &T, const Machine &M, const MachineSpec &Spec);
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_SIMULATOR_H

@@ -1,0 +1,253 @@
+//===- schedule/Schedule.cpp ----------------------------------*- C++ -*-===//
+
+#include "schedule/Schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/Error.h"
+#include "support/Util.h"
+
+using namespace distal;
+
+int ConcreteNest::loopIndexOf(const IndexVar &V) const {
+  for (size_t I = 0; I < Loops.size(); ++I)
+    if (Loops[I].Var == V)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int ConcreteNest::distributedPrefix() const {
+  int Prefix = 0;
+  while (Prefix < static_cast<int>(Loops.size()) &&
+         Loops[Prefix].Distributed)
+    ++Prefix;
+  for (int I = Prefix; I < static_cast<int>(Loops.size()); ++I)
+    if (Loops[I].Distributed)
+      reportFatalError("distributed loops must form a contiguous outermost "
+                       "block; loop '" +
+                       Loops[I].Var.name() + "' is distributed under a "
+                       "sequential loop (use reorder)");
+  return Prefix;
+}
+
+std::string ConcreteNest::str() const {
+  std::ostringstream OS;
+  for (const LoopSpec &L : Loops) {
+    OS << "forall " << L.Var.name();
+    std::vector<std::string> Tags;
+    if (L.Distributed)
+      Tags.push_back("distribute");
+    if (L.Parallelized)
+      Tags.push_back("parallelize");
+    for (const TensorVar &T : L.Communicate)
+      Tags.push_back("communicate(" + T.name() + ")");
+    if (!Tags.empty())
+      OS << " s.t. " << join(Tags);
+    OS << "\n";
+  }
+  OS << "  " << Stmt.str();
+  std::string Rels = Prov.str();
+  if (!Rels.empty())
+    OS << "\n  where " << Rels;
+  return OS.str();
+}
+
+Schedule::Schedule(Assignment Stmt) {
+  Nest.Stmt = std::move(Stmt);
+  for (const auto &[Var, Extent] : Nest.Stmt.inferDomains())
+    Nest.Prov.addSource(Var, Extent);
+  for (const IndexVar &V : Nest.Stmt.defaultLoopOrder())
+    Nest.Loops.push_back(LoopSpec{V, false, false, {}});
+}
+
+LoopSpec &Schedule::loopFor(const IndexVar &V, const char *Command) {
+  int Idx = Nest.loopIndexOf(V);
+  if (Idx < 0)
+    reportFatalError(std::string(Command) + ": '" + V.name() +
+                     "' is not a loop of the current nest");
+  return Nest.Loops[Idx];
+}
+
+Schedule &Schedule::split(const IndexVar &V, const IndexVar &Outer,
+                          const IndexVar &Inner, Coord Factor) {
+  int Idx = Nest.loopIndexOf(V);
+  if (Idx < 0)
+    reportFatalError("split: '" + V.name() + "' is not a loop");
+  Nest.Prov.split(V, Outer, Inner, Factor);
+  LoopSpec Old = Nest.Loops[Idx];
+  if (!Old.Communicate.empty())
+    reportFatalError("split of a loop carrying communicate tags");
+  Nest.Loops[Idx] = LoopSpec{Outer, Old.Distributed, Old.Parallelized, {}};
+  Nest.Loops.insert(Nest.Loops.begin() + Idx + 1,
+                    LoopSpec{Inner, false, false, {}});
+  return *this;
+}
+
+Schedule &Schedule::divide(const IndexVar &V, const IndexVar &Outer,
+                           const IndexVar &Inner, Coord Divisor) {
+  int Idx = Nest.loopIndexOf(V);
+  if (Idx < 0)
+    reportFatalError("divide: '" + V.name() + "' is not a loop");
+  Nest.Prov.divide(V, Outer, Inner, Divisor);
+  LoopSpec Old = Nest.Loops[Idx];
+  if (!Old.Communicate.empty())
+    reportFatalError("divide of a loop carrying communicate tags");
+  Nest.Loops[Idx] = LoopSpec{Outer, Old.Distributed, Old.Parallelized, {}};
+  Nest.Loops.insert(Nest.Loops.begin() + Idx + 1,
+                    LoopSpec{Inner, false, false, {}});
+  return *this;
+}
+
+Schedule &Schedule::reorder(const std::vector<IndexVar> &Order) {
+  std::vector<int> Positions;
+  for (const IndexVar &V : Order) {
+    int Idx = Nest.loopIndexOf(V);
+    if (Idx < 0)
+      reportFatalError("reorder: '" + V.name() + "' is not a loop");
+    Positions.push_back(Idx);
+  }
+  std::set<int> Unique(Positions.begin(), Positions.end());
+  if (Unique.size() != Positions.size())
+    reportFatalError("reorder: duplicate loop named");
+  std::vector<int> Sorted(Unique.begin(), Unique.end());
+  std::vector<LoopSpec> NewLoops = Nest.Loops;
+  for (size_t I = 0; I < Order.size(); ++I)
+    NewLoops[Sorted[I]] = Nest.Loops[Positions[I]];
+  Nest.Loops = std::move(NewLoops);
+  return *this;
+}
+
+Schedule &Schedule::collapse(const IndexVar &Outer, const IndexVar &Inner,
+                             const IndexVar &Fused) {
+  int OI = Nest.loopIndexOf(Outer), II = Nest.loopIndexOf(Inner);
+  if (OI < 0 || II < 0)
+    reportFatalError("collapse: operand is not a loop");
+  if (II != OI + 1)
+    reportFatalError("collapse: loops must be directly nested (use reorder)");
+  if (!Nest.Loops[OI].Communicate.empty() ||
+      !Nest.Loops[II].Communicate.empty())
+    reportFatalError("collapse of loops carrying communicate tags");
+  Nest.Prov.fuse(Outer, Inner, Fused);
+  bool Dist = Nest.Loops[OI].Distributed && Nest.Loops[II].Distributed;
+  Nest.Loops[OI] = LoopSpec{Fused, Dist, false, {}};
+  Nest.Loops.erase(Nest.Loops.begin() + II);
+  return *this;
+}
+
+Schedule &Schedule::parallelize(const IndexVar &V) {
+  loopFor(V, "parallelize").Parallelized = true;
+  return *this;
+}
+
+Schedule &Schedule::precompute(const IndexVar &V, const std::string &Note) {
+  (void)loopFor(V, "precompute");
+  (void)Note;
+  return *this;
+}
+
+Schedule &Schedule::distribute(const std::vector<IndexVar> &Vars) {
+  for (const IndexVar &V : Vars)
+    loopFor(V, "distribute").Distributed = true;
+  return *this;
+}
+
+Schedule &Schedule::distribute(const std::vector<IndexVar> &Targets,
+                               const std::vector<IndexVar> &Dist,
+                               const std::vector<IndexVar> &Local,
+                               const std::vector<int> &GridDims) {
+  if (Targets.size() != Dist.size() || Targets.size() != Local.size() ||
+      Targets.size() != GridDims.size())
+    reportFatalError("compound distribute requires equal-length argument "
+                     "lists");
+  // Divide each dimension by the corresponding machine dimension.
+  for (size_t I = 0; I < Targets.size(); ++I)
+    divide(Targets[I], Dist[I], Local[I], GridDims[I]);
+  // Reorder so each outer divided variable is outermost.
+  std::vector<IndexVar> Order(Dist);
+  Order.insert(Order.end(), Local.begin(), Local.end());
+  reorder(Order);
+  // Distribute all of the outer divided variables.
+  return distribute(Dist);
+}
+
+Schedule &Schedule::distribute(const std::vector<IndexVar> &Targets,
+                               const std::vector<IndexVar> &Dist,
+                               const std::vector<IndexVar> &Local,
+                               const Machine &M) {
+  std::vector<int> Dims = M.flatDims();
+  if (Dims.size() != Targets.size())
+    reportFatalError("compound distribute: machine dimensionality " +
+                     std::to_string(Dims.size()) + " does not match " +
+                     std::to_string(Targets.size()) + " target variables");
+  return distribute(Targets, Dist, Local, Dims);
+}
+
+Schedule &Schedule::communicate(const TensorVar &T, const IndexVar &V) {
+  std::vector<TensorVar> Tensors = Nest.Stmt.tensors();
+  if (std::find(Tensors.begin(), Tensors.end(), T) == Tensors.end())
+    reportFatalError("communicate: tensor '" + T.name() +
+                     "' does not appear in the statement");
+  LoopSpec &L = loopFor(V, "communicate");
+  if (std::find(L.Communicate.begin(), L.Communicate.end(), T) !=
+      L.Communicate.end())
+    reportFatalError("communicate: tensor '" + T.name() +
+                     "' already communicated at loop '" + V.name() + "'");
+  // A tensor may be communicated at exactly one loop.
+  for (const LoopSpec &Other : Nest.Loops)
+    if (&Other != &L)
+      if (std::find(Other.Communicate.begin(), Other.Communicate.end(), T) !=
+          Other.Communicate.end())
+        reportFatalError("communicate: tensor '" + T.name() +
+                         "' already communicated at loop '" +
+                         Other.Var.name() + "'");
+  L.Communicate.push_back(T);
+  return *this;
+}
+
+Schedule &Schedule::communicate(const std::vector<TensorVar> &Ts,
+                                const IndexVar &V) {
+  for (const TensorVar &T : Ts)
+    communicate(T, V);
+  return *this;
+}
+
+Schedule &Schedule::rotate(const IndexVar &Target,
+                           const std::vector<IndexVar> &Over,
+                           const IndexVar &Result) {
+  int Idx = Nest.loopIndexOf(Target);
+  if (Idx < 0)
+    reportFatalError("rotate: '" + Target.name() + "' is not a loop");
+  for (const IndexVar &V : Over)
+    if (Nest.loopIndexOf(V) < 0)
+      reportFatalError("rotate: over-variable '" + V.name() +
+                       "' is not a loop");
+  Nest.Prov.rotate(Target, Over, Result);
+  LoopSpec Old = Nest.Loops[Idx];
+  if (Old.Distributed)
+    reportFatalError("rotate of a distributed loop is not supported; rotate "
+                     "the sequential loop");
+  Nest.Loops[Idx] = LoopSpec{Result, false, Old.Parallelized,
+                             Old.Communicate};
+  return *this;
+}
+
+Schedule &Schedule::substitute(const std::vector<IndexVar> &LeafVars,
+                               LeafKernel K) {
+  // The named variables must be the innermost loops, in order.
+  size_t N = LeafVars.size();
+  if (N > Nest.Loops.size())
+    reportFatalError("substitute names more loops than exist");
+  for (size_t I = 0; I < N; ++I) {
+    const IndexVar &Expected = LeafVars[I];
+    const IndexVar &Actual = Nest.Loops[Nest.Loops.size() - N + I].Var;
+    if (Expected != Actual)
+      reportFatalError("substitute: leaf loops must be the innermost loops "
+                       "in order; found '" +
+                       Actual.name() + "' where '" + Expected.name() +
+                       "' was named");
+  }
+  Nest.Leaf = K;
+  return *this;
+}

@@ -1,0 +1,17 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void distal::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "distal fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void distal::unreachable(const char *Message) {
+  std::fprintf(stderr, "distal internal error: unreachable reached: %s\n",
+               Message);
+  std::abort();
+}

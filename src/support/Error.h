@@ -1,0 +1,32 @@
+//===- support/Error.h - Assertions and fatal errors ----------*- C++ -*-===//
+///
+/// \file
+/// Error handling primitives for DISTAL. Programmatic errors (violated
+/// invariants) use DISTAL_ASSERT / distal::unreachable; user-facing errors
+/// (malformed schedules, invalid distributions) use reportFatalError, which
+/// prints a diagnostic and aborts, mirroring report_fatal_error in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_ERROR_H
+#define DISTAL_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+
+namespace distal {
+
+/// Prints "distal fatal error: <Message>" to stderr and aborts. Used for
+/// errors triggered by user input (bad distribution strings, inconsistent
+/// schedules) rather than internal invariant violations.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace distal
+
+/// Asserts \p Cond with a mandatory explanatory message.
+#define DISTAL_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+#endif // DISTAL_SUPPORT_ERROR_H

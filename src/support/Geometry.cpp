@@ -1,0 +1,146 @@
+//===- support/Geometry.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/Geometry.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace distal;
+
+Point Point::filled(int Dim, Coord Value) {
+  DISTAL_ASSERT(Dim >= 0, "negative dimension");
+  return Point(std::vector<Coord>(Dim, Value));
+}
+
+Point Point::operator+(const Point &O) const {
+  DISTAL_ASSERT(dim() == O.dim(), "dimension mismatch in point addition");
+  std::vector<Coord> Result(Coords);
+  for (int I = 0; I < dim(); ++I)
+    Result[I] += O.Coords[I];
+  return Point(std::move(Result));
+}
+
+Point Point::concat(const Point &O) const {
+  std::vector<Coord> Result(Coords);
+  Result.insert(Result.end(), O.Coords.begin(), O.Coords.end());
+  return Point(std::move(Result));
+}
+
+Point Point::select(const std::vector<int> &Dims) const {
+  std::vector<Coord> Result;
+  Result.reserve(Dims.size());
+  for (int D : Dims) {
+    DISTAL_ASSERT(D >= 0 && D < dim(), "selected dimension out of range");
+    Result.push_back(Coords[D]);
+  }
+  return Point(std::move(Result));
+}
+
+std::string Point::str() const {
+  std::ostringstream OS;
+  OS << "(";
+  for (int I = 0; I < dim(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Coords[I];
+  }
+  OS << ")";
+  return OS.str();
+}
+
+Rect::Rect(Point Lo, Point Hi) : LoPt(std::move(Lo)), HiPt(std::move(Hi)) {
+  DISTAL_ASSERT(LoPt.dim() == HiPt.dim(), "rect corner dimension mismatch");
+}
+
+Rect Rect::forExtents(const std::vector<Coord> &Extents) {
+  Point Lo = Point::zero(static_cast<int>(Extents.size()));
+  return Rect(Lo, Point(Extents));
+}
+
+Rect Rect::empty(int Dim) {
+  return Rect(Point::zero(Dim), Point::zero(Dim));
+}
+
+bool Rect::isEmpty() const {
+  // A 0-dimensional rectangle contains exactly one (empty) point.
+  for (int I = 0; I < dim(); ++I)
+    if (HiPt[I] <= LoPt[I])
+      return true;
+  return false;
+}
+
+int64_t Rect::volume() const {
+  if (isEmpty())
+    return 0;
+  int64_t Vol = 1;
+  for (int I = 0; I < dim(); ++I)
+    Vol *= HiPt[I] - LoPt[I];
+  return Vol;
+}
+
+bool Rect::contains(const Point &P) const {
+  DISTAL_ASSERT(P.dim() == dim(), "dimension mismatch in contains");
+  for (int I = 0; I < dim(); ++I)
+    if (P[I] < LoPt[I] || P[I] >= HiPt[I])
+      return false;
+  return true;
+}
+
+bool Rect::contains(const Rect &R) const {
+  if (R.isEmpty())
+    return true;
+  DISTAL_ASSERT(R.dim() == dim(), "dimension mismatch in contains");
+  for (int I = 0; I < dim(); ++I)
+    if (R.LoPt[I] < LoPt[I] || R.HiPt[I] > HiPt[I])
+      return false;
+  return true;
+}
+
+Rect Rect::intersect(const Rect &O) const {
+  DISTAL_ASSERT(O.dim() == dim(), "dimension mismatch in intersect");
+  std::vector<Coord> Lo(dim()), Hi(dim());
+  for (int I = 0; I < dim(); ++I) {
+    Lo[I] = std::max(LoPt[I], O.LoPt[I]);
+    Hi[I] = std::min(HiPt[I], O.HiPt[I]);
+  }
+  return Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+}
+
+void Rect::forEachPoint(const std::function<void(const Point &)> &Fn) const {
+  if (isEmpty())
+    return;
+  if (dim() == 0) {
+    Fn(Point());
+    return;
+  }
+  Point Cur = LoPt;
+  while (true) {
+    Fn(Cur);
+    int D = dim() - 1;
+    while (D >= 0) {
+      if (++Cur[D] < HiPt[D])
+        break;
+      Cur[D] = LoPt[D];
+      --D;
+    }
+    if (D < 0)
+      return;
+  }
+}
+
+std::vector<Point> Rect::points() const {
+  std::vector<Point> Result;
+  Result.reserve(static_cast<size_t>(volume()));
+  forEachPoint([&](const Point &P) { Result.push_back(P); });
+  return Result;
+}
+
+std::string Rect::str() const {
+  if (isEmpty())
+    return "[empty dim=" + std::to_string(dim()) + "]";
+  return "[" + LoPt.str() + " .. " + HiPt.str() + ")";
+}
+
+int64_t distal::differenceVolume(const Rect &R, const Rect &S) {
+  return R.volume() - R.intersect(S).volume();
+}

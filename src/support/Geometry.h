@@ -1,0 +1,118 @@
+//===- support/Geometry.h - n-dimensional integer geometry ----*- C++ -*-===//
+///
+/// \file
+/// Points and hyper-rectangles over n-dimensional integer spaces. These are
+/// the coordinate types used for tensors, machine grids, iteration spaces,
+/// and the rectangles produced by the communication bounds analysis, in the
+/// spirit of Legion's Point/Rect types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_GEOMETRY_H
+#define DISTAL_SUPPORT_GEOMETRY_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace distal {
+
+/// A coordinate along one dimension.
+using Coord = int64_t;
+
+/// A point in an n-dimensional integer space.
+class Point {
+public:
+  Point() = default;
+  explicit Point(std::vector<Coord> Coords) : Coords(std::move(Coords)) {}
+  /// Creates a \p Dim-dimensional point with every coordinate \p Value.
+  static Point filled(int Dim, Coord Value);
+  /// The zero point of dimension \p Dim.
+  static Point zero(int Dim) { return filled(Dim, 0); }
+
+  int dim() const { return static_cast<int>(Coords.size()); }
+  Coord operator[](int I) const {
+    DISTAL_ASSERT(I >= 0 && I < dim(), "point index out of range");
+    return Coords[I];
+  }
+  Coord &operator[](int I) {
+    DISTAL_ASSERT(I >= 0 && I < dim(), "point index out of range");
+    return Coords[I];
+  }
+
+  bool operator==(const Point &O) const { return Coords == O.Coords; }
+  bool operator!=(const Point &O) const { return !(*this == O); }
+  bool operator<(const Point &O) const { return Coords < O.Coords; }
+
+  /// Element-wise sum; both points must have equal dimension.
+  Point operator+(const Point &O) const;
+
+  /// Concatenates the coordinates of this point with \p O.
+  Point concat(const Point &O) const;
+
+  /// Returns the sub-point formed by the coordinates at \p Dims.
+  Point select(const std::vector<int> &Dims) const;
+
+  const std::vector<Coord> &coords() const { return Coords; }
+
+  std::string str() const;
+
+private:
+  std::vector<Coord> Coords;
+};
+
+/// A half-open n-dimensional rectangle [Lo, Hi): every point p with
+/// Lo[i] <= p[i] < Hi[i]. A rectangle with any Hi[i] <= Lo[i] is empty.
+class Rect {
+public:
+  Rect() = default;
+  Rect(Point Lo, Point Hi);
+  /// The full rectangle [0, Extents) of an iteration/tensor domain.
+  static Rect forExtents(const std::vector<Coord> &Extents);
+  /// A canonical empty rectangle of dimension \p Dim.
+  static Rect empty(int Dim);
+
+  int dim() const { return LoPt.dim(); }
+  const Point &lo() const { return LoPt; }
+  const Point &hi() const { return HiPt; }
+
+  bool isEmpty() const;
+  /// Number of integer points contained.
+  int64_t volume() const;
+  bool contains(const Point &P) const;
+  bool contains(const Rect &R) const;
+  /// Intersection; dimensions must match.
+  Rect intersect(const Rect &O) const;
+  /// True if the two rectangles share at least one point.
+  bool overlaps(const Rect &O) const { return !intersect(O).isEmpty(); }
+
+  bool operator==(const Rect &O) const {
+    if (isEmpty() && O.isEmpty())
+      return dim() == O.dim();
+    return LoPt == O.LoPt && HiPt == O.HiPt;
+  }
+  bool operator!=(const Rect &O) const { return !(*this == O); }
+
+  /// Invokes \p Fn for every point in the rectangle in lexicographic order.
+  void forEachPoint(const std::function<void(const Point &)> &Fn) const;
+
+  /// Lists all points in lexicographic order (for tests and small domains).
+  std::vector<Point> points() const;
+
+  std::string str() const;
+
+private:
+  Point LoPt, HiPt;
+};
+
+/// Computes the volume of the set difference R \ S, i.e. the number of
+/// points of \p R not contained in \p S. Used by the communication ledger to
+/// discount locally-owned data.
+int64_t differenceVolume(const Rect &R, const Rect &S);
+
+} // namespace distal
+
+#endif // DISTAL_SUPPORT_GEOMETRY_H

@@ -1,0 +1,87 @@
+//===- support/Util.h - Small generic helpers ------------------*- C++ -*-===//
+///
+/// \file
+/// Small arithmetic and string helpers shared across DISTAL modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_UTIL_H
+#define DISTAL_SUPPORT_UTIL_H
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/Error.h"
+
+namespace distal {
+
+/// Integer ceiling division for non-negative operands.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  DISTAL_ASSERT(A >= 0 && B > 0, "ceilDiv requires A >= 0 and B > 0");
+  return (A + B - 1) / B;
+}
+
+/// Product of all elements of \p Values (1 for an empty vector).
+inline int64_t product(const std::vector<int64_t> &Values) {
+  return std::accumulate(Values.begin(), Values.end(), int64_t(1),
+                         std::multiplies<int64_t>());
+}
+
+/// Product of all elements of an int vector, widened to 64 bits.
+inline int64_t product(const std::vector<int> &Values) {
+  int64_t Result = 1;
+  for (int V : Values)
+    Result *= V;
+  return Result;
+}
+
+/// Joins the elements of \p Parts with \p Sep, formatting each with
+/// operator<<.
+template <typename T>
+std::string join(const std::vector<T> &Parts, const std::string &Sep = ", ") {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      OS << Sep;
+    OS << Parts[I];
+  }
+  return OS.str();
+}
+
+/// Floor of the cube root of \p N restricted to exact integer results when
+/// they exist (e.g. cbrtFloor(27) == 3 even under floating-point noise).
+inline int64_t cbrtFloor(int64_t N) {
+  DISTAL_ASSERT(N >= 0, "cbrtFloor requires a non-negative input");
+  int64_t R = 0;
+  while ((R + 1) * (R + 1) * (R + 1) <= N)
+    ++R;
+  return R;
+}
+
+/// Floor of the square root of \p N with the same exactness guarantee.
+inline int64_t sqrtFloor(int64_t N) {
+  DISTAL_ASSERT(N >= 0, "sqrtFloor requires a non-negative input");
+  int64_t R = 0;
+  while ((R + 1) * (R + 1) <= N)
+    ++R;
+  return R;
+}
+
+/// True when \p N is a perfect square.
+inline bool isPerfectSquare(int64_t N) {
+  int64_t R = sqrtFloor(N);
+  return R * R == N;
+}
+
+/// True when \p N is a perfect cube.
+inline bool isPerfectCube(int64_t N) {
+  int64_t R = cbrtFloor(N);
+  return R * R * R == N;
+}
+
+} // namespace distal
+
+#endif // DISTAL_SUPPORT_UTIL_H

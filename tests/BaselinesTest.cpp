@@ -1,0 +1,203 @@
+//===- tests/BaselinesTest.cpp - ScaLAPACK/CTF/COSMA baselines -*- C++ -*-===//
+
+#include "algorithms/Matmul.h"
+#include "baselines/Cosma.h"
+#include "baselines/Ctf.h"
+#include "baselines/ScaLapack.h"
+#include "runtime/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+using namespace distal::algorithms;
+
+TEST(CosmaOptimizer, UsesAllProcessors) {
+  for (int64_t P : {1, 2, 4, 8, 12, 64, 100}) {
+    cosma::Decomposition D = cosma::optimize(P, 4096, 4096, 4096, 1e18);
+    EXPECT_EQ(static_cast<int64_t>(D.Gm) * D.Gn * D.Gk, P);
+  }
+}
+
+TEST(CosmaOptimizer, UnlimitedMemoryPrefersReplication) {
+  // With memory to spare, a 3D-style decomposition (gk > 1) communicates
+  // less than any 2D one for a cube-friendly processor count.
+  cosma::Decomposition D = cosma::optimize(64, 8192, 8192, 8192, 1e18);
+  EXPECT_GT(D.Gk, 1);
+}
+
+TEST(CosmaOptimizer, TightMemoryForcesSequentialSteps) {
+  // When only a few tiles fit per processor, COSMA must step the k
+  // dimension sequentially, paying more communication than the
+  // unlimited-memory optimum.
+  int64_t N = 8192;
+  double TileElems = static_cast<double>(N / 8) * (N / 8);
+  cosma::Decomposition Tight = cosma::optimize(64, N, N, N, 2.5 * TileElems);
+  EXPECT_GT(Tight.SeqSteps, 1);
+  EXPECT_LE(Tight.memElems(N, N, N), 2.5 * TileElems);
+  cosma::Decomposition Free = cosma::optimize(64, N, N, N, 1e18);
+  EXPECT_LE(Free.commVolumeElems(N, N, N), Tight.commVolumeElems(N, N, N));
+}
+
+TEST(CosmaOptimizer, MemoryBudgetRespected) {
+  int64_t N = 4096;
+  // The output tile alone needs N^2/P = 1e6 elements; budgets below that
+  // are infeasible.
+  for (double Budget : {2e6, 4e6, 16e6}) {
+    cosma::Decomposition D = cosma::optimize(16, N, N, N, Budget);
+    EXPECT_LE(D.memElems(N, N, N), Budget);
+  }
+}
+
+TEST(CosmaOptimizer, IsOptimalAgainstBruteForce) {
+  // Exhaustively verify the chosen decomposition minimises comm volume.
+  int64_t N = 1024, P = 24;
+  double Budget = 1e18;
+  cosma::Decomposition Best = cosma::optimize(P, N, N, N, Budget);
+  for (int Gm = 1; Gm <= P; ++Gm)
+    for (int Gn = 1; Gm * Gn <= P; ++Gn) {
+      if (P % (Gm * Gn) != 0)
+        continue;
+      cosma::Decomposition D;
+      D.Gm = Gm;
+      D.Gn = Gn;
+      D.Gk = static_cast<int>(P / Gm / Gn);
+      EXPECT_GE(D.commVolumeElems(N, N, N) + 1e-9,
+                Best.commVolumeElems(N, N, N));
+    }
+}
+
+TEST(ScaLapack, TraceMatchesCompilerSummaVolume) {
+  // The hand-written pdgemm moves the same data volume as the
+  // compiler-generated SUMMA on a matching grid (one rank per processor).
+  scalapack::PdgemmOptions SOpts;
+  SOpts.Nodes = 4;
+  SOpts.RanksPerNode = 1;
+  SOpts.N = 64;
+  Machine M = Machine::grid({1});
+  Trace THand = scalapack::buildPdgemmTrace(SOpts, M);
+
+  MatmulOptions Opts;
+  Opts.N = 64;
+  Opts.Procs = 4;
+  Opts.ChunkSize = 32; // Panel = N / Gx.
+  Trace TComp = Executor(buildMatmul(MatmulAlgo::Summa, Opts).P).simulate();
+  EXPECT_EQ(THand.totalCommBytes(), TComp.totalCommBytes());
+}
+
+TEST(ScaLapack, BlockingCommunicationIsSlowerAtScale) {
+  MachineSpec Spec = MachineSpec::lassenCPU();
+  int64_t Nodes = 64;
+  Coord N = 2048 * 8;
+  scalapack::PdgemmOptions SOpts;
+  SOpts.Nodes = Nodes;
+  SOpts.N = N;
+  SimResult Sca = scalapack::pdgemm(SOpts, Spec);
+
+  MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * 2;
+  Opts.ProcsPerNode = 2;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Summa, Opts);
+  SimResult Ours =
+      simulate(Executor(Prob.P).simulate(), Prob.P.M, Spec);
+  EXPECT_GT(Ours.gflopsPerNode(Nodes), Sca.gflopsPerNode(Nodes));
+}
+
+TEST(Ctf, GemmRunsAndScales) {
+  MachineSpec Spec = MachineSpec::lassenCPU();
+  ctf::CtfOptions Opts;
+  Opts.Nodes = 16;
+  Opts.N = 8192;
+  SimResult R = ctf::gemm(Opts, Spec);
+  EXPECT_GT(R.gflopsPerNode(16), 0);
+  EXPECT_LT(R.gflopsPerNode(16), 760); // Below the per-node peak.
+}
+
+TEST(Ctf, TtvPaysRefoldAndLosesBadly) {
+  // The paper's 45.7x outlier: CTF refolds the whole 3-tensor over the
+  // network while DISTAL's TTV computes in place.
+  MachineSpec Spec = MachineSpec::lassenCPU();
+  int64_t Nodes = 16;
+  Coord D = 2048;
+  ctf::CtfOptions Opts;
+  Opts.Nodes = Nodes;
+  Opts.N = D;
+  SimResult Ctf =
+      ctf::higherOrder(HigherOrderKernel::TTV, Opts, Spec);
+
+  algorithms::HigherOrderOptions HOpts;
+  HOpts.Dim = D;
+  HOpts.Procs = Nodes * 2;
+  HOpts.ProcsPerNode = 2;
+  HigherOrderProblem Prob =
+      buildHigherOrder(HigherOrderKernel::TTV, HOpts);
+  SimResult Ours =
+      simulate(Executor(Prob.P).simulate(), Prob.P.M, Spec);
+  EXPECT_GT(Ours.gbytesPerNodePerSec(Nodes),
+            10 * Ctf.gbytesPerNodePerSec(Nodes));
+}
+
+TEST(Ctf, RedistributionVolumeIsWholeTensor) {
+  Phase Ph;
+  ctf::addRedistribution(Ph, 8, 4, 8000, "B");
+  int64_t Total = 0;
+  for (const Message &M : Ph.Messages) {
+    EXPECT_FALSE(M.SameNode);
+    Total += M.Bytes;
+  }
+  // Each processor keeps ~1/P locally; the rest crosses the network in 2
+  // passes at 35% effective all-to-all bandwidth (cost modelled as
+  // inflated bytes).
+  double Inflation = 2.0 / 0.35;
+  EXPECT_NEAR(static_cast<double>(Total), 8000.0 * 7 / 8 * Inflation, 256);
+}
+
+TEST(CosmaAuthor, GpuVariantAvoidsFramebufferOom) {
+  // At 32+ nodes DISTAL's COSMA schedule exhausts GPU framebuffer memory
+  // (paper §7.1.2) while the author implementation stages in host memory.
+  MachineSpec Spec = MachineSpec::lassenGPU();
+  int64_t Nodes = 32;
+  Coord N = 20000 * 5; // ~sqrt(32) weak scaling.
+
+  MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * 4;
+  Opts.ProcsPerNode = 4;
+  Opts.Proc = ProcessorKind::GPU;
+  Opts.Memory = MemoryKind::GPUFrameBuffer;
+  Opts.MemLimitElems = 1e18; // DISTAL replicates freely, then OOMs.
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cosma, Opts);
+  SimResult Ours = simulate(Executor(Prob.P).simulate(), Prob.P.M, Spec);
+  EXPECT_TRUE(Ours.OutOfMemory);
+
+  cosma::AuthorModelOptions AOpts;
+  AOpts.GPU = true;
+  SimResult Author = cosma::authorImplementation(Nodes, N, Spec, 4, AOpts);
+  EXPECT_FALSE(Author.OutOfMemory);
+  EXPECT_GT(Author.gflopsPerNode(Nodes), 0);
+}
+
+TEST(CosmaAuthor, RestrictedCoresMatchesDistalCpu) {
+  // §7.1.1: COSMA restricted to DISTAL's 36 worker cores performs like
+  // DISTAL's best schedule.
+  MachineSpec Spec = MachineSpec::lassenCPU();
+  int64_t Nodes = 16;
+  Coord N = 8192 * 4;
+  cosma::AuthorModelOptions Full, Restricted;
+  Restricted.RestrictedCores = true;
+  double F = cosma::authorImplementation(Nodes, N, Spec, 2, Full)
+                 .gflopsPerNode(Nodes);
+  double R = cosma::authorImplementation(Nodes, N, Spec, 2, Restricted)
+                 .gflopsPerNode(Nodes);
+  EXPECT_GT(F, R); // Full cores are faster...
+
+  MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Nodes * 2;
+  Opts.ProcsPerNode = 2;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  double Ours = simulate(Executor(Prob.P).simulate(), Prob.P.M, Spec)
+                    .gflopsPerNode(Nodes);
+  // ...and the restricted variant lands within 10% of DISTAL.
+  EXPECT_NEAR(R, Ours, 0.15 * Ours);
+}

@@ -1,0 +1,223 @@
+//===- tests/DistributionTest.cpp - Distribution notation tests -*- C++ -*-===//
+//
+// Validates tensor distribution notation (paper §3.2), including the paper's
+// worked running example: T xy->xy* M with T 2x2 and M 2x2x2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "format/Distribution.h"
+#include "format/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+TEST(Blocked1D, PiecesCoverExactly) {
+  // 10 elements over 3 pieces: 4, 4, 2.
+  EXPECT_EQ(blockedPiece1D(0, 10, 3, 0), Rect(Point({0}), Point({4})));
+  EXPECT_EQ(blockedPiece1D(0, 10, 3, 1), Rect(Point({4}), Point({8})));
+  EXPECT_EQ(blockedPiece1D(0, 10, 3, 2), Rect(Point({8}), Point({10})));
+}
+
+TEST(Blocked1D, ColorMatchesPiece) {
+  for (Coord X = 0; X < 10; ++X) {
+    Coord C = blockedColor1D(0, 10, 3, X);
+    EXPECT_TRUE(blockedPiece1D(0, 10, 3, C).contains(Point({X})));
+  }
+}
+
+TEST(Blocked1D, MorePiecesThanElements) {
+  // 2 elements over 4 pieces: 1, 1, 0, 0.
+  EXPECT_EQ(blockedPiece1D(0, 2, 4, 0).volume(), 1);
+  EXPECT_EQ(blockedPiece1D(0, 2, 4, 1).volume(), 1);
+  EXPECT_TRUE(blockedPiece1D(0, 2, 4, 2).isEmpty());
+}
+
+TEST(DistributionParse, Forms) {
+  DistributionLevel L = DistributionLevel::parse("xy->xy0");
+  ASSERT_EQ(L.TensorDims.size(), 2u);
+  ASSERT_EQ(L.MachineDims.size(), 3u);
+  EXPECT_EQ(L.MachineDims[0].Kind, MachineDimName::Name);
+  EXPECT_EQ(L.MachineDims[2].Kind, MachineDimName::Fixed);
+  EXPECT_EQ(L.MachineDims[2].Value, 0);
+  EXPECT_EQ(L.str(), "xy->xy0");
+
+  DistributionLevel B = DistributionLevel::parse("xy->xy*");
+  EXPECT_EQ(B.MachineDims[2].Kind, MachineDimName::Broadcast);
+
+  DistributionLevel S = DistributionLevel::parse("->**");
+  EXPECT_TRUE(S.TensorDims.empty());
+  ASSERT_EQ(S.MachineDims.size(), 2u);
+}
+
+TEST(DistributionParseDeath, MissingArrow) {
+  EXPECT_DEATH(DistributionLevel::parse("xyxy"), "missing '->'");
+}
+
+TEST(DistributionValidate, PaperRules) {
+  Machine M = Machine::grid({2, 2});
+  // Valid: tile.
+  TensorDistribution::parse("xy->xy").validate(2, M);
+  // Valid: row-wise on a 1-d machine.
+  TensorDistribution::parse("xy->x").validate(2, Machine::grid({4}));
+  // |X| != dim T.
+  EXPECT_DEATH(TensorDistribution::parse("x->xy").validate(2, M),
+               "order");
+  // |Y| != dim M.
+  EXPECT_DEATH(TensorDistribution::parse("xy->x").validate(2, M),
+               "machine");
+  // Duplicate names in X.
+  EXPECT_DEATH(TensorDistribution::parse("xx->xy").validate(2, M),
+               "duplicate");
+  // Name in Y missing from X.
+  EXPECT_DEATH(TensorDistribution::parse("xy->xz").validate(2, M),
+               "does not name");
+}
+
+TEST(Distribution, BlockedVectorPaperFig5a) {
+  // T x->x M: 100 components over 10 processors: 10 each.
+  Machine M = Machine::grid({10});
+  TensorDistribution D = TensorDistribution::parse("x->x");
+  for (Coord P = 0; P < 10; ++P) {
+    Rect R = D.ownedRect({100}, M, Point({P}));
+    EXPECT_EQ(R, Rect(Point({P * 10}), Point({(P + 1) * 10})));
+  }
+}
+
+TEST(Distribution, RowWiseFig5b) {
+  // T xy->x M: rows partitioned, columns span fully.
+  Machine M = Machine::grid({4});
+  TensorDistribution D = TensorDistribution::parse("xy->x");
+  Rect R = D.ownedRect({8, 6}, M, Point({2}));
+  EXPECT_EQ(R, Rect(Point({4, 0}), Point({6, 6})));
+}
+
+TEST(Distribution, TiledFig5c) {
+  Machine M = Machine::grid({2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy");
+  EXPECT_EQ(D.ownedRect({8, 8}, M, Point({1, 0})),
+            Rect(Point({4, 0}), Point({8, 4})));
+}
+
+TEST(Distribution, ColumnWise) {
+  // T xy->y M partitions columns.
+  Machine M = Machine::grid({2});
+  TensorDistribution D = TensorDistribution::parse("xy->y");
+  EXPECT_EQ(D.ownedRect({4, 8}, M, Point({1})),
+            Rect(Point({0, 4}), Point({4, 8})));
+}
+
+TEST(Distribution, FixedFaceFig5d) {
+  // T xy->xy0 M restricts tiles to the z = 0 face of the machine.
+  Machine M = Machine::grid({2, 2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy0");
+  EXPECT_EQ(D.ownedRect({4, 4}, M, Point({0, 1, 0})),
+            Rect(Point({0, 2}), Point({2, 4})));
+  EXPECT_TRUE(D.ownedRect({4, 4}, M, Point({0, 1, 1})).isEmpty());
+}
+
+TEST(Distribution, PaperRunningExamplePartitionFunction) {
+  // §3.2: T xy->xy* M with T 2x2, M 2x2x2.
+  // P maps each coordinate to its color in the first two machine dims.
+  Machine M = Machine::grid({2, 2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy*");
+  for (Coord X = 0; X < 2; ++X)
+    for (Coord Y = 0; Y < 2; ++Y)
+      EXPECT_EQ(D.colorOf({2, 2}, M, Point({X, Y})), Point({X, Y}));
+}
+
+TEST(Distribution, PaperRunningExamplePlacementFunction) {
+  // F expands each color across the broadcast third dimension:
+  // F(0,0) = {(0,0,0), (0,0,1)}, etc.
+  Machine M = Machine::grid({2, 2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy*");
+  for (Coord X = 0; X < 2; ++X)
+    for (Coord Y = 0; Y < 2; ++Y) {
+      std::vector<Point> Procs = D.placementOf(M, Point({X, Y}));
+      ASSERT_EQ(Procs.size(), 2u);
+      EXPECT_EQ(Procs[0], Point({X, Y, 0}));
+      EXPECT_EQ(Procs[1], Point({X, Y, 1}));
+    }
+}
+
+TEST(Distribution, BroadcastOwnership) {
+  Machine M = Machine::grid({2, 2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy*");
+  // Every z-coordinate owns a replica of tile (1, 0).
+  Rect R0 = D.ownedRect({4, 4}, M, Point({1, 0, 0}));
+  Rect R1 = D.ownedRect({4, 4}, M, Point({1, 0, 1}));
+  EXPECT_EQ(R0, R1);
+  EXPECT_EQ(R0, Rect(Point({2, 0}), Point({4, 2})));
+  EXPECT_TRUE(D.hasReplication());
+  EXPECT_FALSE(TensorDistribution::parse("xy->xy").hasReplication());
+}
+
+TEST(Distribution, OwnersOfPoint) {
+  Machine M = Machine::grid({2, 2, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy*");
+  Rect Owners = D.ownersOfPoint({4, 4}, M, Point({3, 1}));
+  EXPECT_EQ(Owners, Rect(Point({1, 0, 0}), Point({2, 1, 2})));
+
+  TensorDistribution F = TensorDistribution::parse("xy->xy0");
+  EXPECT_EQ(F.ownersOfPoint({4, 4}, M, Point({3, 1})),
+            Rect(Point({1, 0, 0}), Point({2, 1, 1})));
+}
+
+TEST(Distribution, ThreeTensorOntoGridFig5f) {
+  // T xyz->xy M: first two dims tiled, z spans fully.
+  Machine M = Machine::grid({2, 2});
+  TensorDistribution D = TensorDistribution::parse("xyz->xy");
+  EXPECT_EQ(D.ownedRect({4, 4, 6}, M, Point({0, 1})),
+            Rect(Point({0, 2, 0}), Point({2, 4, 6})));
+}
+
+TEST(Distribution, HierarchicalTwoLevels) {
+  // Paper §3.2 "Hierarchy": [T xy->xy M, T xy->x M]: 2-d tiling across a
+  // 2x2 node grid, then row-wise split of each tile across 2 GPUs.
+  MachineLevel Nodes{{2, 2}, ProcessorKind::CPUSocket};
+  MachineLevel GPUs{{2}, ProcessorKind::GPU};
+  Machine M({Nodes, GPUs});
+  TensorDistribution D = TensorDistribution::parse(
+      std::vector<std::string>{"xy->xy", "xy->x"});
+  D.validate(2, M);
+  // Node (1, 0) owns rows 4..8, cols 0..4; GPU 1 of it owns rows 6..8.
+  EXPECT_EQ(D.ownedRect({8, 8}, M, Point({1, 0, 1})),
+            Rect(Point({6, 0}), Point({8, 4})));
+  // Owners of element (7, 1): node (1,0), gpu 1.
+  EXPECT_EQ(D.ownersOfPoint({8, 8}, M, Point({7, 1})),
+            Rect(Point({1, 0, 1}), Point({2, 1, 2})));
+}
+
+TEST(Distribution, OwnedRectsTileTheTensor) {
+  // Property: for a non-replicated distribution, owned rectangles are
+  // disjoint and their volumes sum to the tensor volume.
+  Machine M = Machine::grid({3, 2});
+  TensorDistribution D = TensorDistribution::parse("xy->xy");
+  std::vector<Coord> Shape = {7, 5};
+  int64_t Total = 0;
+  std::vector<Rect> Rects;
+  M.processorSpace().forEachPoint([&](const Point &P) {
+    Rect R = D.ownedRect(Shape, M, P);
+    for (const Rect &Other : Rects)
+      EXPECT_FALSE(R.overlaps(Other));
+    Rects.push_back(R);
+    Total += R.volume();
+  });
+  EXPECT_EQ(Total, 35);
+}
+
+TEST(Distribution, ScalarReplicatedEverywhere) {
+  Machine M = Machine::grid({2, 2});
+  TensorDistribution D = TensorDistribution::parse("->**");
+  D.validate(0, M);
+  Rect R = D.ownedRect({}, M, Point({1, 1}));
+  EXPECT_EQ(R.volume(), 1);
+  EXPECT_EQ(D.bytesOnProcessor({}, M, Point({0, 0})), 8);
+}
+
+TEST(Format, Printing) {
+  Format F({ModeKind::Dense, ModeKind::Dense},
+           TensorDistribution::parse("xy->xy"), MemoryKind::GPUFrameBuffer);
+  EXPECT_EQ(F.order(), 2);
+  EXPECT_EQ(F.str(), "Format({Dense, Dense}, [xy->xy], fbmem)");
+}

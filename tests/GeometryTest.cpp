@@ -1,0 +1,141 @@
+//===- tests/GeometryTest.cpp - Point/Rect unit tests ----------*- C++ -*-===//
+
+#include "support/Geometry.h"
+#include "support/Util.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+TEST(Point, BasicAccessors) {
+  Point P({1, 2, 3});
+  EXPECT_EQ(P.dim(), 3);
+  EXPECT_EQ(P[0], 1);
+  EXPECT_EQ(P[2], 3);
+  EXPECT_EQ(P.str(), "(1, 2, 3)");
+}
+
+TEST(Point, FilledAndZero) {
+  EXPECT_EQ(Point::filled(2, 7), Point({7, 7}));
+  EXPECT_EQ(Point::zero(3), Point({0, 0, 0}));
+  EXPECT_EQ(Point::zero(0).dim(), 0);
+}
+
+TEST(Point, Addition) {
+  EXPECT_EQ(Point({1, 2}) + Point({3, 4}), Point({4, 6}));
+}
+
+TEST(Point, ConcatAndSelect) {
+  Point P = Point({1, 2}).concat(Point({3}));
+  EXPECT_EQ(P, Point({1, 2, 3}));
+  EXPECT_EQ(P.select({2, 0}), Point({3, 1}));
+}
+
+TEST(Point, Ordering) {
+  EXPECT_LT(Point({1, 2}), Point({1, 3}));
+  EXPECT_LT(Point({0, 9}), Point({1, 0}));
+}
+
+TEST(Rect, VolumeAndEmpty) {
+  Rect R(Point({0, 0}), Point({3, 4}));
+  EXPECT_EQ(R.volume(), 12);
+  EXPECT_FALSE(R.isEmpty());
+  Rect E(Point({2, 2}), Point({2, 5}));
+  EXPECT_TRUE(E.isEmpty());
+  EXPECT_EQ(E.volume(), 0);
+}
+
+TEST(Rect, ZeroDimRectHasOnePoint) {
+  Rect R = Rect(Point(), Point());
+  EXPECT_FALSE(R.isEmpty());
+  EXPECT_EQ(R.volume(), 1);
+  EXPECT_EQ(R.points().size(), 1u);
+}
+
+TEST(Rect, Contains) {
+  Rect R(Point({1, 1}), Point({4, 4}));
+  EXPECT_TRUE(R.contains(Point({1, 1})));
+  EXPECT_TRUE(R.contains(Point({3, 3})));
+  EXPECT_FALSE(R.contains(Point({4, 3})));
+  EXPECT_TRUE(R.contains(Rect(Point({2, 2}), Point({4, 4}))));
+  EXPECT_FALSE(R.contains(Rect(Point({0, 2}), Point({3, 3}))));
+  EXPECT_TRUE(R.contains(Rect::empty(2)));
+}
+
+TEST(Rect, Intersection) {
+  Rect A(Point({0, 0}), Point({4, 4}));
+  Rect B(Point({2, 1}), Point({6, 3}));
+  Rect I = A.intersect(B);
+  EXPECT_EQ(I, Rect(Point({2, 1}), Point({4, 3})));
+  EXPECT_TRUE(A.overlaps(B));
+  Rect C(Point({4, 0}), Point({5, 4}));
+  EXPECT_FALSE(A.overlaps(C));
+}
+
+TEST(Rect, ForExtents) {
+  Rect R = Rect::forExtents({2, 3});
+  EXPECT_EQ(R.lo(), Point({0, 0}));
+  EXPECT_EQ(R.hi(), Point({2, 3}));
+}
+
+TEST(Rect, PointIterationOrder) {
+  Rect R(Point({0, 0}), Point({2, 2}));
+  std::vector<Point> Pts = R.points();
+  ASSERT_EQ(Pts.size(), 4u);
+  EXPECT_EQ(Pts[0], Point({0, 0}));
+  EXPECT_EQ(Pts[1], Point({0, 1}));
+  EXPECT_EQ(Pts[2], Point({1, 0}));
+  EXPECT_EQ(Pts[3], Point({1, 1}));
+}
+
+TEST(Rect, DifferenceVolume) {
+  Rect R(Point({0, 0}), Point({4, 4}));
+  Rect S(Point({0, 0}), Point({4, 2}));
+  EXPECT_EQ(differenceVolume(R, S), 8);
+  EXPECT_EQ(differenceVolume(R, R), 0);
+  EXPECT_EQ(differenceVolume(R, Rect::empty(2)), 16);
+}
+
+TEST(Util, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 3), 4);
+  EXPECT_EQ(ceilDiv(9, 3), 3);
+  EXPECT_EQ(ceilDiv(0, 3), 0);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+}
+
+TEST(Util, Roots) {
+  EXPECT_EQ(sqrtFloor(16), 4);
+  EXPECT_EQ(sqrtFloor(17), 4);
+  EXPECT_EQ(cbrtFloor(27), 3);
+  EXPECT_EQ(cbrtFloor(26), 2);
+  EXPECT_TRUE(isPerfectSquare(64));
+  EXPECT_FALSE(isPerfectSquare(63));
+  EXPECT_TRUE(isPerfectCube(64));
+  EXPECT_FALSE(isPerfectCube(100));
+}
+
+TEST(Util, Product) {
+  EXPECT_EQ(product(std::vector<int64_t>{2, 3, 4}), 24);
+  EXPECT_EQ(product(std::vector<int64_t>{}), 1);
+  EXPECT_EQ(product(std::vector<int>{5, 5}), 25);
+}
+
+class RectVolumeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectVolumeProperty, IntersectionCommutesAndBounds) {
+  int Seed = GetParam();
+  // Deterministic pseudo-random rectangles.
+  auto Next = [State = static_cast<uint64_t>(Seed) * 2654435761u]() mutable {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Coord>((State >> 33) % 10);
+  };
+  Rect A(Point({Next(), Next()}), Point({Next(), Next()}));
+  Rect B(Point({Next(), Next()}), Point({Next(), Next()}));
+  Rect AB = A.intersect(B), BA = B.intersect(A);
+  EXPECT_EQ(AB.volume(), BA.volume());
+  EXPECT_LE(AB.volume(), std::max<int64_t>(A.volume(), 0));
+  EXPECT_LE(AB.volume(), std::max<int64_t>(B.volume(), 0));
+  EXPECT_TRUE(A.contains(AB) || AB.isEmpty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectVolumeProperty, ::testing::Range(0, 25));

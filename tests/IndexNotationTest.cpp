@@ -1,0 +1,126 @@
+//===- tests/IndexNotationTest.cpp - Index notation unit tests -*- C++ -*-===//
+
+#include "ir/IndexNotation.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+namespace {
+
+struct Vars {
+  IndexVar I{"i"}, J{"j"}, K{"k"}, L{"l"};
+};
+
+} // namespace
+
+TEST(IndexVar, IdentityIsById) {
+  IndexVar A("i"), B("i");
+  EXPECT_NE(A, B);
+  IndexVar C = A;
+  EXPECT_EQ(A, C);
+  EXPECT_EQ(A.name(), "i");
+}
+
+TEST(IndexVar, FreshNamesAreGenerated) {
+  IndexVar A, B;
+  EXPECT_NE(A.name(), B.name());
+}
+
+TEST(TensorVar, ShapeAndOrder) {
+  TensorVar T("B", {4, 5, 6});
+  EXPECT_EQ(T.order(), 3);
+  EXPECT_EQ(T.shape()[1], 5);
+  TensorVar Scalar("a", {});
+  EXPECT_EQ(Scalar.order(), 0);
+}
+
+TEST(Access, Printing) {
+  Vars V;
+  TensorVar B("B", {4, 4});
+  Access A(B, {V.I, V.K});
+  EXPECT_EQ(A.str(), "B(i,k)");
+}
+
+TEST(Expr, MatmulConstruction) {
+  Vars V;
+  TensorVar A("A", {4, 4}), B("B", {4, 4}), C("C", {4, 4});
+  Expr Rhs = Access(B, {V.I, V.K}) * Access(C, {V.K, V.J});
+  EXPECT_EQ(Rhs.kind(), ExprKind::Mul);
+  EXPECT_EQ(Rhs.str(), "B(i,k) * C(k,j)");
+  Assignment S(Access(A, {V.I, V.J}), Rhs);
+  EXPECT_EQ(S.str(), "A(i,j) += B(i,k) * C(k,j)");
+}
+
+TEST(Expr, AddAndLiteral) {
+  Vars V;
+  TensorVar A("A", {4}), B("B", {4});
+  Expr E = Access(A, {V.I}) + Expr(2.0) * Access(B, {V.I});
+  EXPECT_EQ(E.kind(), ExprKind::Add);
+  EXPECT_EQ(E.rhs().kind(), ExprKind::Mul);
+  EXPECT_EQ(E.rhs().lhs().literal(), 2.0);
+}
+
+TEST(Assignment, FreeAndReductionVars) {
+  Vars V;
+  // TTV: A(i,j) = B(i,j,k) * c(k).
+  TensorVar A("A", {4, 5}), B("B", {4, 5, 6}), C("c", {6});
+  Assignment S(Access(A, {V.I, V.J}),
+               Access(B, {V.I, V.J, V.K}) * Access(C, {V.K}));
+  ASSERT_EQ(S.freeVars().size(), 2u);
+  ASSERT_EQ(S.reductionVars().size(), 1u);
+  EXPECT_EQ(S.reductionVars()[0], V.K);
+  EXPECT_TRUE(S.hasReduction());
+}
+
+TEST(Assignment, DefaultLoopOrderIsFirstAppearance) {
+  Vars V;
+  TensorVar A("A", {4, 4}), B("B", {4, 4}), C("C", {4, 4});
+  Assignment S(Access(A, {V.I, V.J}),
+               Access(B, {V.I, V.K}) * Access(C, {V.K, V.J}));
+  std::vector<IndexVar> Order = S.defaultLoopOrder();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], V.I);
+  EXPECT_EQ(Order[1], V.J);
+  EXPECT_EQ(Order[2], V.K);
+}
+
+TEST(Assignment, InferDomains) {
+  Vars V;
+  TensorVar A("A", {4, 5}), B("B", {4, 5, 6}), C("c", {6});
+  Assignment S(Access(A, {V.I, V.J}),
+               Access(B, {V.I, V.J, V.K}) * Access(C, {V.K}));
+  auto Domains = S.inferDomains();
+  EXPECT_EQ(Domains[V.I], 4);
+  EXPECT_EQ(Domains[V.J], 5);
+  EXPECT_EQ(Domains[V.K], 6);
+}
+
+TEST(Assignment, MttkrpStructure) {
+  Vars V;
+  // A(i,l) = B(i,j,k) * C(j,l) * D(k,l).
+  TensorVar A("A", {8, 4}), B("B", {8, 6, 7}), C("C", {6, 4}), D("D", {7, 4});
+  Assignment S(Access(A, {V.I, V.L}),
+               Access(B, {V.I, V.J, V.K}) * Access(C, {V.J, V.L}) *
+                   Access(D, {V.K, V.L}));
+  EXPECT_EQ(S.tensors().size(), 4u);
+  EXPECT_EQ(S.rhsAccesses().size(), 3u);
+  ASSERT_EQ(S.reductionVars().size(), 2u);
+}
+
+TEST(Assignment, ScalarOutputInnerProduct) {
+  Vars V;
+  TensorVar A("a", {}), B("B", {3, 3, 3}), C("C", {3, 3, 3});
+  Assignment S(Access(A, {}),
+               Access(B, {V.I, V.J, V.K}) * Access(C, {V.I, V.J, V.K}));
+  EXPECT_TRUE(S.freeVars().empty());
+  EXPECT_EQ(S.reductionVars().size(), 3u);
+}
+
+TEST(AssignmentDeath, InconsistentExtentsAbort) {
+  Vars V;
+  TensorVar A("A", {4, 4}), B("B", {5, 4});
+  EXPECT_DEATH(
+      { Assignment S(Access(A, {V.I, V.J}), Expr(Access(B, {V.I, V.J}))); },
+      "inconsistent extents");
+}

@@ -1,0 +1,186 @@
+//===- tests/LowerTest.cpp - Lowering, plans, bounds, emitCpp --*- C++ -*-===//
+
+#include "algorithms/Matmul.h"
+#include "lower/Bounds.h"
+#include "lower/EmitCpp.h"
+#include "lower/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+using namespace distal::algorithms;
+
+namespace {
+
+MatmulProblem summa(Coord N, int64_t Procs, Coord Chunk = 0) {
+  MatmulOptions Opts;
+  Opts.N = N;
+  Opts.Procs = Procs;
+  Opts.ChunkSize = Chunk;
+  return buildMatmul(MatmulAlgo::Summa, Opts);
+}
+
+} // namespace
+
+TEST(Plan, SummaStructure) {
+  MatmulProblem Prob = summa(16, 4, 4);
+  const Plan &P = Prob.P;
+  EXPECT_EQ(P.NumDist, 2);
+  EXPECT_EQ(P.launchDomain(), Rect::forExtents({2, 2}));
+  EXPECT_EQ(P.stepDomain().volume(), 4); // ceil(16/4) k chunks.
+  EXPECT_EQ(P.leafVars().size(), 3u);
+  EXPECT_EQ(P.taskComms().size(), 1u); // A at jo.
+  EXPECT_EQ(P.stepComms().size(), 2u); // B, C at ko.
+  EXPECT_EQ(P.distReductionFactor(), 1);
+}
+
+TEST(Plan, JohnsonStructure) {
+  MatmulOptions Opts;
+  Opts.N = 16;
+  Opts.Procs = 8;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Johnson, Opts);
+  EXPECT_EQ(Prob.P.NumDist, 3);
+  EXPECT_EQ(Prob.P.stepDomain().volume(), 1); // One-shot, no step loops.
+  EXPECT_EQ(Prob.P.taskComms().size(), 3u);
+  EXPECT_EQ(Prob.P.distReductionFactor(), 2);
+}
+
+TEST(Plan, Printing) {
+  MatmulProblem Prob = summa(16, 4);
+  std::string S = Prob.P.str();
+  EXPECT_NE(S.find("launch domain"), std::string::npos);
+  EXPECT_NE(S.find("forall io"), std::string::npos);
+}
+
+TEST(Lower, DefaultCommunicationIsTaskLevel) {
+  // Without communicate tags, every tensor lands at the innermost
+  // distributed loop.
+  IndexVar I("i"), J("j"), K("k"), Io("io"), Ii("ii"), Jo("jo"), Ji("ji");
+  TensorVar A("A", {8, 8}), B("B", {8, 8}), C("C", {8, 8});
+  Assignment Stmt(Access(A, {I, J}), Access(B, {I, K}) * Access(C, {K, J}));
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{2, 2});
+  Format F({ModeKind::Dense, ModeKind::Dense},
+           TensorDistribution::parse("xy->xy"));
+  Plan P = lower(S.takeNest(), Machine::grid({2, 2}),
+                 {{A, F}, {B, F}, {C, F}});
+  EXPECT_EQ(P.taskComms().size(), 3u);
+  EXPECT_EQ(P.LeafBegin, 2);
+}
+
+TEST(Lower, RequiresDistributedLoop) {
+  IndexVar I("i");
+  TensorVar A("A", {8}), B("B", {8});
+  Assignment Stmt(Access(A, {I}), Expr(Access(B, {I})));
+  Schedule S(Stmt);
+  Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
+               "distribute");
+}
+
+TEST(Lower, RequiresFormats) {
+  IndexVar I("i"), Io("io"), Ii("ii");
+  TensorVar A("A", {8}), B("B", {8});
+  Assignment Stmt(Access(A, {I}), Expr(Access(B, {I})));
+  Schedule S(Stmt);
+  S.distribute({I}, {Io}, {Ii}, std::vector<int>{2});
+  Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}}),
+               "no format");
+}
+
+TEST(Lower, OutputMustBeTaskLevel) {
+  IndexVar I("i"), Io("io"), Ii("ii");
+  TensorVar A("A", {8}), B("B", {8});
+  Assignment Stmt(Access(A, {I}), Expr(Access(B, {I})));
+  Schedule S(Stmt);
+  S.divide(I, Io, Ii, 2).distribute({Io}).communicate(A, Ii);
+  Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
+               "communicated at a distributed loop");
+}
+
+TEST(Bounds, SummaTaskRectsMatchTiles) {
+  MatmulProblem Prob = summa(16, 4);
+  const Plan &P = Prob.P;
+  // Fix io = 1, jo = 0; A's rect must be tile (1, 0) = rows 8..16, cols
+  // 0..8.
+  std::map<IndexVar, Interval> Known;
+  std::vector<IndexVar> Dist = P.distVars();
+  Known[Dist[0]] = Interval::point(1);
+  Known[Dist[1]] = Interval::point(0);
+  Rect RA = accessRect(P.Nest.Stmt.lhs(), P.Nest.Prov, Known);
+  EXPECT_EQ(RA, Rect(Point({8, 0}), Point({16, 8})));
+}
+
+TEST(Bounds, IterationCountMatchesFlops) {
+  MatmulProblem Prob = summa(16, 4);
+  std::map<IndexVar, Interval> Known;
+  std::vector<IndexVar> Dist = Prob.P.distVars();
+  Known[Dist[0]] = Interval::point(0);
+  Known[Dist[1]] = Interval::point(0);
+  // One task covers an 8x8 tile across all k: 8*8*16 points.
+  EXPECT_EQ(iterationCount(Prob.Stmt.defaultLoopOrder(), Prob.P.Nest.Prov,
+                           Known),
+            8 * 8 * 16);
+}
+
+TEST(EmitCpp, SummaGolden) {
+  MatmulProblem Prob = summa(16, 4, 4);
+  std::string Code = emitCpp(Prob.P);
+  EXPECT_NE(Code.find("IndexTaskLauncher launcher(LEAF_TASK_ID, Rect<2>{2, "
+                      "2})"),
+            std::string::npos);
+  EXPECT_NE(Code.find("part_A"), std::string::npos);
+  EXPECT_NE(Code.find("REDUCE_SUM"), std::string::npos);
+  EXPECT_NE(Code.find("for (int64_t ko = 0; ko < 4; ko++)"),
+            std::string::npos);
+  EXPECT_NE(Code.find("gemm("), std::string::npos);
+  EXPECT_NE(Code.find("implicit communication"), std::string::npos);
+}
+
+TEST(EmitCpp, CannonShowsRotation) {
+  MatmulOptions Opts;
+  Opts.N = 24;
+  Opts.Procs = 9;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  std::string Code = emitCpp(Prob.P);
+  EXPECT_NE(Code.find("rotate(ko, {io, jo}, kos)"), std::string::npos);
+}
+
+TEST(EmitCpp, GenericLeafPrintsScalarLoopNest) {
+  IndexVar I("i"), Io("io"), Ii("ii");
+  TensorVar A("A", {8}), B("B", {8});
+  Assignment Stmt(Access(A, {I}), Expr(Access(B, {I})));
+  Schedule S(Stmt);
+  S.distribute({I}, {Io}, {Ii}, std::vector<int>{2});
+  Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  Plan P = lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}});
+  std::string Code = emitCpp(P);
+  EXPECT_NE(Code.find("for (int64_t ii = 0; ii < 4; ii++)"),
+            std::string::npos);
+  EXPECT_NE(Code.find("A(i) = B(i);"), std::string::npos);
+}
+
+TEST(LowerPlacement, MatchesPaperSection53) {
+  // §5.3: T xy->x M lowers to forall xo forall xi forall y T(x,y)
+  // s.t. divide(x, xo, xi, gx), distribute(xo), communicate(T, xo).
+  TensorVar T("T", {8, 6});
+  Machine M = Machine::grid({4});
+  ConcreteNest Nest =
+      lowerPlacement(T, TensorDistribution::parse("xy->x"), M);
+  ASSERT_EQ(Nest.Loops.size(), 3u);
+  EXPECT_TRUE(Nest.Loops[0].Distributed);
+  EXPECT_FALSE(Nest.Loops[1].Distributed);
+  EXPECT_EQ(Nest.Loops[0].Communicate.size(), 1u);
+  std::string S = Nest.str();
+  EXPECT_NE(S.find("divide(x0, xo0, xi0, 4)"), std::string::npos);
+}
+
+TEST(LowerPlacement, TiledDistributesTwoLoops) {
+  TensorVar T("T", {8, 8});
+  Machine M = Machine::grid({2, 2});
+  ConcreteNest Nest =
+      lowerPlacement(T, TensorDistribution::parse("xy->xy"), M);
+  EXPECT_EQ(Nest.distributedPrefix(), 2);
+}

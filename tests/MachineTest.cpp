@@ -1,0 +1,64 @@
+//===- tests/MachineTest.cpp - Machine model unit tests --------*- C++ -*-===//
+
+#include "machine/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+TEST(Machine, FlatGrid) {
+  Machine M = Machine::grid({4, 4});
+  EXPECT_EQ(M.numLevels(), 1);
+  EXPECT_EQ(M.numProcessors(), 16);
+  EXPECT_EQ(M.dim(), 2);
+  EXPECT_EQ(M.dimExtent(0), 4);
+  EXPECT_EQ(M.dimExtent(1), 4);
+  EXPECT_EQ(M.str(), "Machine(cpuGrid(4, 4))");
+}
+
+TEST(Machine, LinearizeRoundTrip) {
+  Machine M = Machine::grid({2, 3, 4});
+  for (int64_t I = 0; I < M.numProcessors(); ++I) {
+    Point P = M.delinearize(I);
+    EXPECT_EQ(M.linearize(P), I);
+  }
+  EXPECT_EQ(M.linearize(Point({1, 2, 3})), 1 * 12 + 2 * 4 + 3);
+}
+
+TEST(Machine, HierarchicalNodeThenGPUs) {
+  // A 2x2 grid of nodes, each with a 1-d grid of 4 GPUs (paper §3.1).
+  MachineLevel Nodes{{2, 2}, ProcessorKind::CPUSocket};
+  MachineLevel GPUs{{4}, ProcessorKind::GPU};
+  Machine M({Nodes, GPUs});
+  EXPECT_EQ(M.numLevels(), 2);
+  EXPECT_EQ(M.numProcessors(), 16);
+  EXPECT_EQ(M.numNodes(), 4);
+  EXPECT_EQ(M.dim(), 3);
+  // Processor (1, 0, 3) is GPU 3 of node (1, 0).
+  EXPECT_EQ(M.nodeOf(Point({1, 0, 3})), 2);
+  EXPECT_EQ(M.nodeOf(Point({0, 1, 0})), 1);
+}
+
+TEST(Machine, ProcessorSpace) {
+  Machine M = Machine::grid({3, 2});
+  Rect Space = M.processorSpace();
+  EXPECT_EQ(Space.volume(), 6);
+  EXPECT_EQ(Space.hi(), Point({3, 2}));
+}
+
+TEST(Machine, FlatGridNodeOfIsIdentity) {
+  Machine M = Machine::grid({3, 3});
+  EXPECT_EQ(M.nodeOf(Point({2, 1})), 7);
+  EXPECT_EQ(M.numNodes(), 9);
+}
+
+TEST(MachineSpec, Presets) {
+  MachineSpec CPU = MachineSpec::lassenCPU();
+  EXPECT_GT(CPU.PeakFlopsPerProc, 0);
+  EXPECT_LT(CPU.ComputeFraction, 1.0); // Runtime cores are reserved.
+  MachineSpec GPU = MachineSpec::lassenGPU();
+  EXPECT_GT(GPU.PeakFlopsPerProc, CPU.PeakFlopsPerProc);
+  EXPECT_EQ(GPU.MemCapacityPerProc, 16e9); // V100 framebuffer.
+  // Legion DMA reaches 18 of 25 GB/s out of framebuffer (paper §7.1.2).
+  EXPECT_DOUBLE_EQ(GPU.NodeNicBandwidth, 18e9);
+}

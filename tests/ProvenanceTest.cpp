@@ -1,0 +1,215 @@
+//===- tests/ProvenanceTest.cpp - Provenance graph unit tests --*- C++ -*-===//
+
+#include "schedule/Provenance.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+namespace {
+
+struct Fixture : public ::testing::Test {
+  IndexVar I{"i"}, Io{"io"}, Ii{"ii"}, K{"k"}, Ko{"ko"}, Ki{"ki"},
+      Kos{"kos"}, F{"f"}, J{"j"}, Jo{"jo"}, Ji{"ji"};
+  ProvenanceGraph P;
+};
+
+} // namespace
+
+TEST_F(Fixture, DivideExtents) {
+  P.addSource(I, 100);
+  P.divide(I, Io, Ii, 4);
+  EXPECT_EQ(P.extent(Io), 4);
+  EXPECT_EQ(P.extent(Ii), 25);
+}
+
+TEST_F(Fixture, DivideNonEvenExtents) {
+  P.addSource(I, 10);
+  P.divide(I, Io, Ii, 4);
+  EXPECT_EQ(P.extent(Io), 4);
+  EXPECT_EQ(P.extent(Ii), 3); // ceil(10/4).
+}
+
+TEST_F(Fixture, SplitExtents) {
+  P.addSource(K, 100);
+  P.split(K, Ko, Ki, 32);
+  EXPECT_EQ(P.extent(Ko), 4); // ceil(100/32).
+  EXPECT_EQ(P.extent(Ki), 32);
+}
+
+TEST_F(Fixture, RecoverValueThroughDivide) {
+  P.addSource(I, 100);
+  P.divide(I, Io, Ii, 4);
+  std::map<IndexVar, Coord> Vals = {{Io, 2}, {Ii, 7}};
+  EXPECT_EQ(P.recoverValue(I, Vals), 2 * 25 + 7);
+}
+
+TEST_F(Fixture, RecoverValueMayOverrun) {
+  // divide(10, 4) gives inner extent 3; (io=3, ii=2) maps to 11 >= 10,
+  // which callers must guard against.
+  P.addSource(I, 10);
+  P.divide(I, Io, Ii, 4);
+  std::map<IndexVar, Coord> Vals = {{Io, 3}, {Ii, 2}};
+  EXPECT_EQ(P.recoverValue(I, Vals), 11);
+  EXPECT_GE(P.recoverValue(I, Vals), P.extent(I));
+}
+
+TEST_F(Fixture, RecoverValueThroughFuse) {
+  P.addSource(I, 4);
+  P.addSource(J, 5);
+  P.fuse(I, J, F);
+  EXPECT_EQ(P.extent(F), 20);
+  std::map<IndexVar, Coord> Vals = {{F, 13}};
+  EXPECT_EQ(P.recoverValue(I, Vals), 2);
+  EXPECT_EQ(P.recoverValue(J, Vals), 3);
+}
+
+TEST_F(Fixture, RecoverValueThroughRotate) {
+  // Cannon-style: ko = (kos + io + jo) mod 3.
+  P.addSource(K, 3);
+  P.addSource(I, 3);
+  P.addSource(J, 3);
+  P.rotate(K, {I, J}, Kos);
+  EXPECT_EQ(P.extent(Kos), 3);
+  std::map<IndexVar, Coord> Vals = {{Kos, 2}, {I, 2}, {J, 1}};
+  EXPECT_EQ(P.recoverValue(K, Vals), (2 + 2 + 1) % 3);
+}
+
+TEST_F(Fixture, RotateIsAPermutationPerProcessor) {
+  // For each fixed (i, j), kos -> k is a bijection (paper Fig. 12).
+  P.addSource(K, 4);
+  P.addSource(I, 4);
+  P.addSource(J, 4);
+  P.rotate(K, {I, J}, Kos);
+  for (Coord IV = 0; IV < 4; ++IV)
+    for (Coord JV = 0; JV < 4; ++JV) {
+      std::set<Coord> Seen;
+      for (Coord KV = 0; KV < 4; ++KV) {
+        std::map<IndexVar, Coord> Vals = {{Kos, KV}, {I, IV}, {J, JV}};
+        Seen.insert(P.recoverValue(K, Vals));
+      }
+      EXPECT_EQ(Seen.size(), 4u);
+    }
+}
+
+TEST_F(Fixture, RotateBreaksSymmetryAcrossProcessors) {
+  // At a fixed time step kos, all processors in a row access distinct k
+  // (no two processors contend for the same data).
+  P.addSource(K, 4);
+  P.addSource(I, 4);
+  P.addSource(J, 4);
+  P.rotate(K, {I, J}, Kos);
+  for (Coord KV = 0; KV < 4; ++KV)
+    for (Coord IV = 0; IV < 4; ++IV) {
+      std::set<Coord> Seen;
+      for (Coord JV = 0; JV < 4; ++JV) {
+        std::map<IndexVar, Coord> Vals = {{Kos, KV}, {I, IV}, {J, JV}};
+        Seen.insert(P.recoverValue(K, Vals));
+      }
+      EXPECT_EQ(Seen.size(), 4u) << "duplicate access in a row";
+    }
+}
+
+TEST_F(Fixture, IntervalPointThroughDivide) {
+  P.addSource(I, 100);
+  P.divide(I, Io, Ii, 4);
+  std::map<IndexVar, Interval> Known = {{Io, Interval::point(1)},
+                                        {Ii, Interval::point(3)}};
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::range(28, 29));
+}
+
+TEST_F(Fixture, IntervalOuterFixedInnerFree) {
+  // The bounds analysis of §6.2: with io fixed and ii free, i spans the
+  // io-th tile.
+  P.addSource(I, 100);
+  P.divide(I, Io, Ii, 4);
+  std::map<IndexVar, Interval> Known = {{Io, Interval::point(2)},
+                                        {Ii, Interval::range(0, 25)}};
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::range(50, 75));
+}
+
+TEST_F(Fixture, IntervalClampsAtDomainEnd) {
+  P.addSource(I, 10);
+  P.divide(I, Io, Ii, 4);
+  std::map<IndexVar, Interval> Known = {{Io, Interval::point(3)},
+                                        {Ii, Interval::range(0, 3)}};
+  // Tile 3 holds only element 9.
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::range(9, 10));
+}
+
+TEST_F(Fixture, IntervalUnknownVarIsFullExtent) {
+  P.addSource(I, 42);
+  std::map<IndexVar, Interval> Known;
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::range(0, 42));
+}
+
+TEST_F(Fixture, IntervalThroughRotatePoint) {
+  P.addSource(K, 4);
+  P.addSource(I, 4);
+  P.addSource(J, 4);
+  P.rotate(K, {I, J}, Kos);
+  std::map<IndexVar, Interval> Known = {{Kos, Interval::point(3)},
+                                        {I, Interval::point(2)},
+                                        {J, Interval::point(0)}};
+  EXPECT_EQ(P.recoverInterval(K, Known), Interval::point((3 + 2) % 4));
+}
+
+TEST_F(Fixture, IntervalThroughRotateUnknownOffsetIsConservative) {
+  P.addSource(K, 4);
+  P.addSource(I, 4);
+  P.rotate(K, {I}, Kos);
+  std::map<IndexVar, Interval> Known = {{Kos, Interval::point(1)},
+                                        {I, Interval::range(0, 4)}};
+  EXPECT_EQ(P.recoverInterval(K, Known), Interval::range(0, 4));
+}
+
+TEST_F(Fixture, IntervalRotateWrapIsConservative) {
+  P.addSource(K, 10);
+  P.addSource(I, 10);
+  P.rotate(K, {I}, Kos);
+  // kos in [6, 9) shifted by 3 -> [9, 12) wraps; expect full extent.
+  std::map<IndexVar, Interval> Known = {{Kos, Interval::range(6, 9)},
+                                        {I, Interval::point(3)}};
+  EXPECT_EQ(P.recoverInterval(K, Known), Interval::range(0, 10));
+}
+
+TEST_F(Fixture, IntervalThroughSplitChain) {
+  // split then divide chain: k (60) -> ko (6) x ki (10); ki -> kio x kii.
+  IndexVar Kio("kio"), Kii("kii");
+  P.addSource(K, 60);
+  P.split(K, Ko, Ki, 10);
+  P.divide(Ki, Kio, Kii, 2);
+  std::map<IndexVar, Interval> Known = {{Ko, Interval::point(3)},
+                                        {Kio, Interval::point(1)},
+                                        {Kii, Interval::range(0, 5)}};
+  // k = ko*10 + (kio*5 + kii) = 30 + 5 + [0,5) = [35, 40).
+  EXPECT_EQ(P.recoverInterval(K, Known), Interval::range(35, 40));
+}
+
+TEST_F(Fixture, IntervalThroughFuse) {
+  P.addSource(I, 4);
+  P.addSource(J, 6);
+  P.fuse(I, J, F);
+  std::map<IndexVar, Interval> Known = {{F, Interval::range(0, 24)}};
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::range(0, 4));
+  EXPECT_EQ(P.recoverInterval(J, Known), Interval::range(0, 6));
+  Known = {{F, Interval::point(13)}};
+  EXPECT_EQ(P.recoverInterval(I, Known), Interval::point(2));
+  EXPECT_EQ(P.recoverInterval(J, Known), Interval::point(1));
+  // Straddling a block boundary: inner becomes full.
+  Known = {{F, Interval::range(5, 8)}};
+  EXPECT_EQ(P.recoverInterval(J, Known), Interval::range(0, 6));
+}
+
+TEST_F(Fixture, ErrorsAreFatal) {
+  P.addSource(I, 10);
+  EXPECT_DEATH(P.addSource(I, 10), "already registered");
+  EXPECT_DEATH(P.divide(J, Jo, Ji, 2), "unknown variable");
+  EXPECT_DEATH(P.extent(J), "unknown");
+}
+
+TEST_F(Fixture, RelationPrinting) {
+  P.addSource(I, 100);
+  P.divide(I, Io, Ii, 4);
+  EXPECT_EQ(P.str(), "divide(i, io, ii, 4)");
+}

@@ -1,0 +1,171 @@
+//===- tests/ScheduleTest.cpp - Scheduling language unit tests -*- C++ -*-===//
+
+#include "schedule/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+
+namespace {
+
+/// Builds the matmul statement A(i,j) = B(i,k) * C(k,j) over NxN tensors.
+struct MatmulFixture : public ::testing::Test {
+  MatmulFixture()
+      : A("A", {N, N}), B("B", {N, N}), C("C", {N, N}),
+        Stmt(Access(A, {I, J}), Access(B, {I, K}) * Access(C, {K, J})) {}
+
+  static constexpr Coord N = 24;
+  IndexVar I{"i"}, J{"j"}, K{"k"};
+  IndexVar Io{"io"}, Ii{"ii"}, Jo{"jo"}, Ji{"ji"}, Ko{"ko"}, Ki{"ki"},
+      Kos{"kos"};
+  TensorVar A, B, C;
+  Assignment Stmt;
+
+  std::vector<IndexVar> loopVars(const ConcreteNest &Nest) {
+    std::vector<IndexVar> Vars;
+    for (const LoopSpec &L : Nest.Loops)
+      Vars.push_back(L.Var);
+    return Vars;
+  }
+};
+
+} // namespace
+
+TEST_F(MatmulFixture, InitialNestIsDefaultOrder) {
+  Schedule S(Stmt);
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{I, J, K}));
+  EXPECT_EQ(S.nest().distributedPrefix(), 0);
+}
+
+TEST_F(MatmulFixture, SplitInsertsInnerLoop) {
+  Schedule S(Stmt);
+  S.split(K, Ko, Ki, 8);
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{I, J, Ko, Ki}));
+  EXPECT_EQ(S.nest().Prov.extent(Ko), 3);
+  EXPECT_EQ(S.nest().Prov.extent(Ki), 8);
+}
+
+TEST_F(MatmulFixture, ReorderPermutesNamedLoops) {
+  Schedule S(Stmt);
+  S.split(K, Ko, Ki, 8).reorder({Ko, I, J, Ki});
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{Ko, I, J, Ki}));
+}
+
+TEST_F(MatmulFixture, PartialReorderKeepsOtherLoops) {
+  Schedule S(Stmt);
+  S.reorder({J, I}); // Swap only i and j; k stays innermost.
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{J, I, K}));
+}
+
+TEST_F(MatmulFixture, CollapseFusesAdjacentLoops) {
+  Schedule S(Stmt);
+  IndexVar F("f");
+  S.collapse(I, J, F);
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{F, K}));
+  EXPECT_EQ(S.nest().Prov.extent(F), N * N);
+}
+
+TEST_F(MatmulFixture, CompoundDistributeMatchesPaperExpansion) {
+  // distribute({i,j}, {io,jo}, {ii,ji}, Grid(2,3)) == divide + reorder +
+  // distribute (§3.3).
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{2, 3});
+  EXPECT_EQ(loopVars(S.nest()), (std::vector<IndexVar>{Io, Jo, Ii, Ji, K}));
+  EXPECT_TRUE(S.nest().Loops[0].Distributed);
+  EXPECT_TRUE(S.nest().Loops[1].Distributed);
+  EXPECT_FALSE(S.nest().Loops[2].Distributed);
+  EXPECT_EQ(S.nest().distributedPrefix(), 2);
+  EXPECT_EQ(S.nest().Prov.extent(Io), 2);
+  EXPECT_EQ(S.nest().Prov.extent(Jo), 3);
+  EXPECT_EQ(S.nest().Prov.extent(Ii), 12);
+  EXPECT_EQ(S.nest().Prov.extent(Ji), 8);
+}
+
+TEST_F(MatmulFixture, SummaScheduleFig2) {
+  // The SUMMA schedule of Fig. 2 / Fig. 9 row 3.
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{2, 2})
+      .split(K, Ko, Ki, 8)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .communicate(A, Jo)
+      .communicate({B, C}, Ko)
+      .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+  const ConcreteNest &Nest = S.nest();
+  EXPECT_EQ(loopVars(Nest), (std::vector<IndexVar>{Io, Jo, Ko, Ii, Ji, Ki}));
+  EXPECT_EQ(Nest.distributedPrefix(), 2);
+  // Communicate tags landed on the right loops.
+  EXPECT_EQ(Nest.Loops[1].Communicate.size(), 1u);
+  EXPECT_EQ(Nest.Loops[1].Communicate[0], A);
+  EXPECT_EQ(Nest.Loops[2].Communicate.size(), 2u);
+  EXPECT_EQ(Nest.Leaf, LeafKernel::GeMM);
+}
+
+TEST_F(MatmulFixture, CannonScheduleFig9) {
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{3, 3})
+      .divide(K, Ko, Ki, 3)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .rotate(Ko, {Io, Jo}, Kos)
+      .communicate(A, Jo)
+      .communicate({B, C}, Kos);
+  const ConcreteNest &Nest = S.nest();
+  EXPECT_EQ(loopVars(Nest), (std::vector<IndexVar>{Io, Jo, Kos, Ii, Ji, Ki}));
+  // ko is recovered from kos + io + jo mod 3.
+  std::map<IndexVar, Coord> Vals = {{Kos, 1}, {Io, 2}, {Jo, 2}};
+  EXPECT_EQ(Nest.Prov.recoverValue(Ko, Vals), (1 + 2 + 2) % 3);
+}
+
+TEST_F(MatmulFixture, NestPrinting) {
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{2, 2})
+      .communicate(A, Jo);
+  std::string Str = S.nest().str();
+  EXPECT_NE(Str.find("forall io s.t. distribute"), std::string::npos);
+  EXPECT_NE(Str.find("forall jo s.t. distribute, communicate(A)"),
+            std::string::npos);
+  EXPECT_NE(Str.find("A(i,j) += B(i,k) * C(k,j)"), std::string::npos);
+  EXPECT_NE(Str.find("divide(i, io, ii, 2)"), std::string::npos);
+}
+
+TEST_F(MatmulFixture, DistributedPrefixViolationIsFatal) {
+  Schedule S(Stmt);
+  S.distribute({J}); // j distributed under sequential i.
+  EXPECT_DEATH(S.nest().distributedPrefix(), "contiguous outermost");
+}
+
+TEST_F(MatmulFixture, CommunicateUnknownTensorIsFatal) {
+  Schedule S(Stmt);
+  TensorVar Other("Z", {2, 2});
+  EXPECT_DEATH(S.communicate(Other, I), "does not appear");
+}
+
+TEST_F(MatmulFixture, CommunicateTwiceIsFatal) {
+  Schedule S(Stmt);
+  S.communicate(B, I);
+  EXPECT_DEATH(S.communicate(B, J), "already communicated");
+}
+
+TEST_F(MatmulFixture, SubstituteRequiresInnermostLoops) {
+  Schedule S(Stmt);
+  EXPECT_DEATH(S.substitute({I, J}, LeafKernel::GeMM), "innermost");
+  Schedule S2(Stmt);
+  S2.substitute({J, K}, LeafKernel::GeMM); // j, k are innermost, in order.
+  EXPECT_EQ(S2.nest().Leaf, LeafKernel::GeMM);
+}
+
+TEST_F(MatmulFixture, ParallelizeTagsLoop) {
+  Schedule S(Stmt);
+  S.parallelize(I);
+  EXPECT_TRUE(S.nest().Loops[0].Parallelized);
+}
+
+TEST_F(MatmulFixture, JohnsonScheduleDistributesAllThree) {
+  // Fig. 9 row 4: distribute {i,j,k} over a processor cube.
+  Schedule S(Stmt);
+  IndexVar Ko2("ko"), Ki2("ki");
+  S.distribute({I, J, K}, {Io, Jo, Ko2}, {Ii, Ji, Ki2},
+               std::vector<int>{2, 2, 2})
+      .communicate({A, B, C}, Ko2);
+  EXPECT_EQ(S.nest().distributedPrefix(), 3);
+  EXPECT_EQ(S.nest().Loops[2].Communicate.size(), 3u);
+}

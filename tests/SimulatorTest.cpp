@@ -1,0 +1,173 @@
+//===- tests/SimulatorTest.cpp - Cost model unit tests ---------*- C++ -*-===//
+
+#include "algorithms/Matmul.h"
+#include "runtime/Executor.h"
+#include "runtime/Simulator.h"
+#include "support/Util.h"
+
+#include <gtest/gtest.h>
+
+using namespace distal;
+using namespace distal::algorithms;
+
+namespace {
+
+Trace simpleTrace(double Flops, int64_t CommBytes, bool SameNode) {
+  Trace T;
+  T.NumProcs = 2;
+  Phase Ph;
+  Ph.addWork(0, Flops, 0);
+  if (CommBytes > 0) {
+    Message M{1, 0, CommBytes, SameNode, false, "x"};
+    Ph.Messages.push_back(M);
+  }
+  T.Phases.push_back(Ph);
+  T.PeakMemBytes[0] = 0;
+  return T;
+}
+
+} // namespace
+
+TEST(Simulator, PureComputeTime) {
+  MachineSpec S = MachineSpec::testSpec(); // 1 GFLOP/s.
+  Trace T = simpleTrace(2e9, 0, false);
+  SimResult R = simulate(T, Machine::grid({2}), S);
+  EXPECT_NEAR(R.Seconds, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(R.TotalFlops, 2e9);
+}
+
+TEST(Simulator, CommunicationAddsWhenNotOverlapped) {
+  MachineSpec S = MachineSpec::testSpec(); // 1 GB/s links, overlap 0.
+  Trace T = simpleTrace(1e9, 500000000, false);
+  SimResult R = simulate(T, Machine::grid({2}), S);
+  EXPECT_NEAR(R.Seconds, 1.5, 1e-6);
+}
+
+TEST(Simulator, FullOverlapHidesCommunication) {
+  MachineSpec S = MachineSpec::testSpec();
+  S.OverlapFactor = 1.0;
+  Trace T = simpleTrace(1e9, 500000000, false);
+  SimResult R = simulate(T, Machine::grid({2}), S);
+  EXPECT_NEAR(R.Seconds, 1.0, 1e-6); // Fully hidden under compute.
+}
+
+TEST(Simulator, MemoryBoundLeavesUseBandwidth) {
+  MachineSpec S = MachineSpec::testSpec(); // 1 GB/s memory.
+  Trace T;
+  T.NumProcs = 1;
+  Phase Ph;
+  Ph.addWork(0, 1.0, 2000000000); // Tiny flops, 2 GB touched.
+  T.Phases.push_back(Ph);
+  SimResult R = simulate(T, Machine::grid({1}), S);
+  EXPECT_NEAR(R.Seconds, 2.0, 1e-6);
+}
+
+TEST(Simulator, OutOfMemoryIsReported) {
+  MachineSpec S = MachineSpec::testSpec(); // 1 GB capacity.
+  Trace T = simpleTrace(1e9, 0, false);
+  T.PeakMemBytes[0] = 2000000000;
+  SimResult R = simulate(T, Machine::grid({2}), S);
+  EXPECT_TRUE(R.OutOfMemory);
+  EXPECT_EQ(R.gflopsPerNode(1), 0);
+}
+
+TEST(Simulator, IntraNodeLinksCanBeFaster) {
+  MachineSpec S = MachineSpec::testSpec();
+  S.IntraNodeBandwidth = 10e9;
+  S.OverlapFactor = 0;
+  Trace TIntra = simpleTrace(0, 1000000000, true);
+  Trace TInter = simpleTrace(0, 1000000000, false);
+  Machine M = Machine::gridWithNodeSize({2}, ProcessorKind::GPU, 2);
+  double Intra = simulate(TIntra, M, S).Seconds;
+  double Inter = simulate(TInter, M, S).Seconds;
+  EXPECT_LT(Intra, Inter);
+}
+
+TEST(Simulator, BroadcastTreeBeatsSerialSends) {
+  // One source sending the same payload to 8 receivers should cost far
+  // less than 8 serial sends.
+  MachineSpec S = MachineSpec::testSpec();
+  Trace T;
+  T.NumProcs = 9;
+  Phase Ph;
+  for (int64_t D = 1; D <= 8; ++D) {
+    Message M{0, D, 100000000, false, false, "B"};
+    Ph.Messages.push_back(M);
+  }
+  T.Phases.push_back(Ph);
+  SimResult R = simulate(T, Machine::grid({9}), S);
+  double Serial = 8 * 0.1;
+  EXPECT_LT(R.Seconds, Serial);
+  EXPECT_GT(R.Seconds, 0.1); // But more than one send.
+}
+
+TEST(Simulator, ReductionTreeScalesLogarithmically) {
+  MachineSpec S = MachineSpec::testSpec();
+  auto ReduceTime = [&](int64_t Sources) {
+    Trace T;
+    T.NumProcs = Sources + 1;
+    Phase Ph;
+    for (int64_t Src = 1; Src <= Sources; ++Src) {
+      Message M{Src, 0, 100000000, false, true, "A"};
+      Ph.Messages.push_back(M);
+    }
+    T.Phases.push_back(Ph);
+    return simulate(T, Machine::grid({static_cast<int>(Sources + 1)}), S)
+        .Seconds;
+  };
+  // Doubling the fan-in must not double the time.
+  EXPECT_LT(ReduceTime(16), 2 * ReduceTime(8));
+  EXPECT_LT(ReduceTime(16), 16 * 0.1);
+}
+
+TEST(Simulator, NicSharingLimitsNodeTraffic) {
+  MachineSpec S = MachineSpec::testSpec();
+  S.InterNodeBandwidth = 100e9; // Links fast; the NIC (1 GB/s) is the cap.
+  S.NodeNicBandwidth = 1e9;
+  Trace T;
+  T.NumProcs = 4;
+  Phase Ph;
+  // Both processors of node 0 receive 1 GB from node 1.
+  Message M1{2, 0, 1000000000, false, false, "B"};
+  Message M2{3, 1, 1000000000, false, false, "C"};
+  Ph.Messages.push_back(M1);
+  Ph.Messages.push_back(M2);
+  T.Phases.push_back(Ph);
+  Machine M = Machine::gridWithNodeSize({4}, ProcessorKind::GPU, 2);
+  SimResult R = simulate(T, M, S);
+  EXPECT_GE(R.Seconds, 2.0); // 2 GB through a shared 1 GB/s NIC.
+}
+
+TEST(Simulator, WeakScalingShapesCpu) {
+  // Coarse shape check on the real benchmark path: at 64 CPU nodes SUMMA
+  // should retain most of its single-node throughput (the paper's CPU
+  // curves are nearly flat).
+  auto GflopsPerNode = [&](int64_t Nodes) {
+    MatmulOptions Opts;
+    Opts.N = static_cast<Coord>(2048 * sqrtFloor(Nodes));
+    Opts.Procs = Nodes * 2;
+    Opts.ProcsPerNode = 2;
+    MatmulProblem Prob = buildMatmul(MatmulAlgo::Summa, Opts);
+    Executor Exec(Prob.P);
+    Trace T = Exec.simulate();
+    return simulate(T, Prob.P.M, MachineSpec::lassenCPU())
+        .gflopsPerNode(Nodes);
+  };
+  double One = GflopsPerNode(1);
+  double SixtyFour = GflopsPerNode(64);
+  EXPECT_GT(One, 300);          // Within reach of the ~700 GFLOP/s peak.
+  EXPECT_GT(SixtyFour, One * 0.6); // Weak scaling holds.
+}
+
+TEST(Simulator, ThreeDBeatsTwoDOnCommunicationVolume) {
+  // Johnson's algorithm moves asymptotically less data than SUMMA at the
+  // same processor count (§4.1).
+  MatmulOptions Opts;
+  Opts.N = 512;
+  Opts.Procs = 64;
+  Trace TSumma =
+      Executor(buildMatmul(MatmulAlgo::Summa, Opts).P).simulate();
+  Trace TJohnson =
+      Executor(buildMatmul(MatmulAlgo::Johnson, Opts).P).simulate();
+  EXPECT_LT(TJohnson.totalCommBytes(), TSumma.totalCommBytes());
+}
