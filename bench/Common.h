@@ -11,6 +11,7 @@
 #ifndef DISTAL_BENCH_COMMON_H
 #define DISTAL_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -31,18 +32,19 @@ inline const std::vector<int64_t> &nodeCounts() {
   return Counts;
 }
 
-/// Weak-scaled square-matrix dimension: memory per node constant.
+/// Weak-scaled square-matrix dimension: memory per node constant. Rounds to
+/// a multiple of 16 for tidy tiles but never below one tile, so tiny N0
+/// values can't degenerate to a 0-dimension benchmark.
 inline Coord weakScaleN(Coord N0, int64_t Nodes) {
-  // n grows with sqrt(nodes); round to a multiple of 16 for tidy tiles.
   double N = static_cast<double>(N0) * std::sqrt(static_cast<double>(Nodes));
-  return (static_cast<Coord>(N) / 16) * 16;
+  return std::max<Coord>(16, (static_cast<Coord>(N) / 16) * 16);
 }
 
-/// Weak-scaled cubic 3-tensor dimension.
+/// Weak-scaled cubic 3-tensor dimension, clamped to one 8-element tile.
 inline Coord weakScaleCube(Coord D0, int64_t Nodes) {
   double D = static_cast<double>(D0) *
              std::cbrt(static_cast<double>(Nodes));
-  return (static_cast<Coord>(D) / 8) * 8;
+  return std::max<Coord>(8, (static_cast<Coord>(D) / 8) * 8);
 }
 
 struct SeriesPoint {

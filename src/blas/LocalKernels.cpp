@@ -3,20 +3,137 @@
 #include "blas/LocalKernels.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "support/ThreadPool.h"
 
 namespace distal {
 namespace blas {
 
-static constexpr int64_t BlockM = 64, BlockN = 64, BlockK = 64;
+namespace {
+
+constexpr int64_t MR = 4, NR = 32;
+constexpr int64_t BlockK = 256, BlockN = 1024;
+/// Below this many multiply-adds, packing (and parallel fan-out) costs
+/// more than it buys; fall through to the unpacked blocked loop.
+constexpr int64_t PackFlopCutoff = 1 << 16;
+constexpr int64_t ParallelFlopCutoff = 1 << 20;
+
+/// MR x NR register-resident micro-kernel over packed panels: Ap holds an
+/// MR-wide column-major A panel (Ap[k*MR + i]), Bp an NR-wide row-major B
+/// panel (Bp[k*NR + j]). The compile-time strides are what lets the
+/// vectorizer keep the MR x NR accumulator block in registers (4 rows x 4
+/// zmm on AVX-512) across the K loop.
+inline void microKernel(double *__restrict__ C, const double *__restrict__ Ap,
+                        const double *__restrict__ Bp, int64_t K,
+                        int64_t LdC) {
+  double Acc[MR][NR] = {};
+  for (int64_t KK = 0; KK < K; ++KK) {
+    const double *__restrict__ BRow = Bp + KK * NR;
+    for (int I = 0; I < MR; ++I) {
+      double AVal = Ap[KK * MR + I];
+      for (int J = 0; J < NR; ++J)
+        Acc[I][J] += AVal * BRow[J];
+    }
+  }
+  for (int I = 0; I < MR; ++I)
+    for (int J = 0; J < NR; ++J)
+      C[I * LdC + J] += Acc[I][J];
+}
+
+/// Unpacked fallback for fringes narrower than the micro-kernel.
+inline void edgeKernel(double *C, const double *A, const double *B, int64_t M,
+                       int64_t N, int64_t K, int64_t LdC, int64_t LdA,
+                       int64_t LdB) {
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t KK = 0; KK < K; ++KK) {
+      double AVal = A[I * LdA + KK];
+      const double *BRow = B + KK * LdB;
+      double *CRow = C + I * LdC;
+      for (int64_t J = 0; J < N; ++J)
+        CRow[J] += AVal * BRow[J];
+    }
+}
+
+/// Rows [MLo, MHi) of one (K-block, N-block) step: pack each MR row panel
+/// of A on the worker's stack and stream the packed B panels through it.
+/// Workers own disjoint C rows and the per-element accumulation order
+/// (ascending K within ascending K blocks) is independent of the split, so
+/// parallel runs are bitwise-identical to sequential ones.
+void gemmRowsPacked(double *C, const double *A, const double *Bp,
+                    const double *BEdge, int64_t MLo, int64_t MHi, int64_t N,
+                    int64_t KLen, int64_t LdC, int64_t LdA, int64_t LdB) {
+  double Ap[MR * BlockK];
+  int64_t FullN = N - N % NR;
+  int64_t I = MLo;
+  for (; I + MR <= MHi; I += MR) {
+    for (int64_t KK = 0; KK < KLen; ++KK)
+      for (int64_t R = 0; R < MR; ++R)
+        Ap[KK * MR + R] = A[(I + R) * LdA + KK];
+    for (int64_t J = 0; J + NR <= N; J += NR)
+      microKernel(C + I * LdC + J, Ap, Bp + J * KLen, KLen, LdC);
+    if (FullN < N)
+      edgeKernel(C + I * LdC + FullN, A + I * LdA, BEdge + FullN, MR,
+                 N - FullN, KLen, LdC, LdA, LdB);
+  }
+  if (I < MHi)
+    edgeKernel(C + I * LdC, A + I * LdA, BEdge, MHi - I, N, KLen, LdC, LdA,
+               LdB);
+}
+
+} // namespace
 
 void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
           int64_t K, int64_t LdC, int64_t LdA, int64_t LdB) {
-  for (int64_t I0 = 0; I0 < M; I0 += BlockM)
-    for (int64_t K0 = 0; K0 < K; K0 += BlockK)
-      for (int64_t J0 = 0; J0 < N; J0 += BlockN) {
-        int64_t IMax = std::min(I0 + BlockM, M);
-        int64_t KMax = std::min(K0 + BlockK, K);
-        int64_t JMax = std::min(J0 + BlockN, N);
+  if (M <= 0 || N <= 0 || K <= 0)
+    return;
+  if (M * N * K < PackFlopCutoff || M < MR) {
+    gemmBlockedReference(C, A, B, M, N, K, LdC, LdA, LdB);
+    return;
+  }
+  // Only touch (and thus lazily construct) the global pool when this call
+  // can actually fan out over it.
+  bool Parallel = M * N * K >= ParallelFlopCutoff && !ThreadPool::inWorker();
+  ThreadPool *Pool = Parallel ? &ThreadPool::global() : nullptr;
+  if (Pool && Pool->numThreads() == 1)
+    Parallel = false;
+  std::vector<double> Bp(
+      static_cast<size_t>(std::min(BlockN, N) * std::min(BlockK, K)));
+  for (int64_t J0 = 0; J0 < N; J0 += BlockN) {
+    int64_t NLen = std::min(BlockN, N - J0);
+    for (int64_t K0 = 0; K0 < K; K0 += BlockK) {
+      int64_t KLen = std::min(BlockK, K - K0);
+      const double *BBlock = B + K0 * LdB + J0;
+      for (int64_t J = 0; J + NR <= NLen; J += NR)
+        for (int64_t KK = 0; KK < KLen; ++KK)
+          for (int64_t R = 0; R < NR; ++R)
+            Bp[J * KLen + KK * NR + R] = BBlock[KK * LdB + J + R];
+      double *CBlock = C + J0;
+      const double *ABlock = A + K0;
+      if (!Parallel) {
+        gemmRowsPacked(CBlock, ABlock, Bp.data(), BBlock, 0, M, NLen, KLen,
+                       LdC, LdA, LdB);
+        continue;
+      }
+      int64_t Panels = (M + MR - 1) / MR;
+      Pool->parallelForChunks(Panels, [&](int64_t Lo, int64_t Hi) {
+        gemmRowsPacked(CBlock, ABlock, Bp.data(), BBlock, Lo * MR,
+                       std::min(Hi * MR, M), NLen, KLen, LdC, LdA, LdB);
+      });
+    }
+  }
+}
+
+void gemmBlockedReference(double *C, const double *A, const double *B,
+                          int64_t M, int64_t N, int64_t K, int64_t LdC,
+                          int64_t LdA, int64_t LdB) {
+  constexpr int64_t Bm = 64, Bn = 64, Bk = 64;
+  for (int64_t I0 = 0; I0 < M; I0 += Bm)
+    for (int64_t K0 = 0; K0 < K; K0 += Bk)
+      for (int64_t J0 = 0; J0 < N; J0 += Bn) {
+        int64_t IMax = std::min(I0 + Bm, M);
+        int64_t KMax = std::min(K0 + Bk, K);
+        int64_t JMax = std::min(J0 + Bn, N);
         for (int64_t I = I0; I < IMax; ++I)
           for (int64_t KK = K0; KK < KMax; ++KK) {
             double AVal = A[I * LdA + KK];
@@ -28,11 +145,43 @@ void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
       }
 }
 
+void gemmGeneral(double *C, const double *A, const double *B, int64_t M,
+                 int64_t N, int64_t K, int64_t CsM, int64_t CsN, int64_t AsM,
+                 int64_t AsK, int64_t BsK, int64_t BsN) {
+  if (M <= 0 || N <= 0 || K <= 0)
+    return;
+  if (CsN == 1 && AsK == 1 && BsN == 1) {
+    gemm(C, A, B, M, N, K, CsM, AsM, BsK);
+    return;
+  }
+  if (CsM == 1 && AsM == 1 && BsK == 1) {
+    // Column-major view: compute C^T += B^T * A^T with the blocked kernel.
+    gemm(C, B, A, N, M, K, CsN, BsN, AsK);
+    return;
+  }
+  if (BsN != 1 && AsK == 1) {
+    // B transposed: dot-product form keeps A's K loop dense.
+    for (int64_t I = 0; I < M; ++I)
+      for (int64_t J = 0; J < N; ++J)
+        C[I * CsM + J * CsN] +=
+            dotStrided(A + I * AsM, 1, B + J * BsN, BsK, K);
+    return;
+  }
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t KK = 0; KK < K; ++KK) {
+      double AVal = A[I * AsM + KK * AsK];
+      const double *BRow = B + KK * BsK;
+      double *CRow = C + I * CsM;
+      for (int64_t J = 0; J < N; ++J)
+        CRow[J * CsN] += AVal * BRow[J * BsN];
+    }
+}
+
 void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
           int64_t LdA) {
   for (int64_t I = 0; I < M; ++I) {
+    const double *__restrict__ ARow = A + I * LdA;
     double Sum = 0;
-    const double *ARow = A + I * LdA;
     for (int64_t KK = 0; KK < K; ++KK)
       Sum += ARow[KK] * X[KK];
     Y[I] += Sum;
@@ -46,9 +195,36 @@ double dot(const double *A, const double *B, int64_t N) {
   return Sum;
 }
 
+double dotStrided(const double *A, int64_t SA, const double *B, int64_t SB,
+                  int64_t N) {
+  if (SA == 1 && SB == 1)
+    return dot(A, B, N);
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += A[I * SA] * B[I * SB];
+  return Sum;
+}
+
+double sumStrided(const double *A, int64_t SA, int64_t N) {
+  double Sum = 0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += A[I * SA];
+  return Sum;
+}
+
 void axpy(double *Y, const double *X, double Alpha, int64_t N) {
   for (int64_t I = 0; I < N; ++I)
     Y[I] += Alpha * X[I];
+}
+
+void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
+                 double Alpha, int64_t N) {
+  if (SY == 1 && SX == 1) {
+    axpy(Y, X, Alpha, N);
+    return;
+  }
+  for (int64_t I = 0; I < N; ++I)
+    Y[I * SY] += Alpha * X[I * SX];
 }
 
 } // namespace blas

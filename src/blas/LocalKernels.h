@@ -2,9 +2,10 @@
 ///
 /// \file
 /// Single-processor dense kernels substituted at schedule leaves (Fig. 2
-/// line 40 uses CuBLAS::GeMM; we provide a blocked CPU GEMM with the same
-/// row-major strided interface). These set the single-node roofline; the
-/// distribution machinery above them is what DISTAL contributes.
+/// line 40 uses CuBLAS::GeMM; we provide a register-blocked CPU GEMM with
+/// the same row-major strided interface, parallelized over the support
+/// ThreadPool). These set the single-node roofline; the distribution
+/// machinery above them is what DISTAL contributes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,9 +18,26 @@ namespace distal {
 namespace blas {
 
 /// C[m,n] += A[m,k] * B[k,n] with row strides LdC/LdA/LdB (row-major,
-/// unit column stride). Blocked for cache locality.
+/// unit column stride). Packs A/B panels and runs a register-blocked 4x32
+/// micro-kernel; row panels fan out over the global ThreadPool when the
+/// problem is large enough. Bitwise-deterministic at every thread count.
 void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
           int64_t K, int64_t LdC, int64_t LdA, int64_t LdB);
+
+/// The seed's original cache-blocked (but not register-blocked, not
+/// parallel) GEMM, kept as the kernel of the Interpreted executor strategy
+/// so benchmarks measure the engine against a faithful seed configuration.
+void gemmBlockedReference(double *C, const double *A, const double *B,
+                          int64_t M, int64_t N, int64_t K, int64_t LdC,
+                          int64_t LdA, int64_t LdB);
+
+/// Fully strided GEMM: C[m*CsM + n*CsN] += A[m*AsM + k*AsK] *
+/// B[k*BsK + n*BsN]. Dispatches to the blocked kernel when every innermost
+/// stride is 1; otherwise picks a loop order that keeps the innermost loop
+/// as dense as possible (handles transposed operand layouts).
+void gemmGeneral(double *C, const double *A, const double *B, int64_t M,
+                 int64_t N, int64_t K, int64_t CsM, int64_t CsN, int64_t AsM,
+                 int64_t AsK, int64_t BsK, int64_t BsN);
 
 /// y[m] += A[m,k] * x[k].
 void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
@@ -28,8 +46,19 @@ void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
 /// Dot product of two contiguous vectors.
 double dot(const double *A, const double *B, int64_t N);
 
+/// Dot product with arbitrary element strides.
+double dotStrided(const double *A, int64_t SA, const double *B, int64_t SB,
+                  int64_t N);
+
+/// Sum of a strided vector.
+double sumStrided(const double *A, int64_t SA, int64_t N);
+
 /// y[i] += alpha * x[i].
 void axpy(double *Y, const double *X, double Alpha, int64_t N);
+
+/// y[i*SY] += alpha * x[i*SX].
+void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
+                 double Alpha, int64_t N);
 
 } // namespace blas
 } // namespace distal

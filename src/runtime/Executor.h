@@ -19,6 +19,7 @@
 #define DISTAL_RUNTIME_EXECUTOR_H
 
 #include <map>
+#include <memory>
 
 #include "lower/Plan.h"
 #include "runtime/Ledger.h"
@@ -27,9 +28,38 @@
 
 namespace distal {
 
+class ThreadPool;
+
+/// How leaf kernels execute.
+enum class LeafStrategy {
+  /// Compile the statement once per task into a flat postfix tape with
+  /// affine offset functions, route matching leaves to blas:: kernels, and
+  /// hoist guards out of the innermost loop (the default).
+  Compiled,
+  /// The seed interpreter: rebuild the affine structure every step and walk
+  /// the expression tree through recursive std::functions at every point.
+  /// Kept as a reference for benchmarks and differential tests.
+  Interpreted,
+};
+
 class Executor {
 public:
   explicit Executor(const Plan &P, const Mapper &Map = defaultMapper());
+  ~Executor();
+
+  /// Number of threads for the execution engine. 0 (default) uses the
+  /// process-wide default (DISTAL_NUM_THREADS or hardware concurrency);
+  /// 1 forces the fully sequential walk. Traces and output data are
+  /// bitwise-identical at every thread count.
+  ///
+  /// The engine never uses more than N threads. A custom N (other than the
+  /// process default) parallelizes across tasks only: the BLAS kernels can
+  /// fan out solely over the process-global pool, so a plan whose launch
+  /// domain has a single task then runs its leaves sequentially rather
+  /// than recruit a pool of the wrong size.
+  void setNumThreads(int N) { NumThreads = N; }
+
+  void setLeafStrategy(LeafStrategy S) { Strategy = S; }
 
   /// Runs the plan on real data. \p Regions must contain every tensor of
   /// the statement; the output region is zeroed first. Returns the trace.
@@ -46,11 +76,14 @@ public:
 
 private:
   Trace runImpl(const std::map<TensorVar, Region *> *Regions);
-  void runLeaf(const std::map<IndexVar, Coord> &FixedVals,
-               std::map<TensorVar, Instance *> &Insts);
 
   const Plan &P;
   const Mapper &Map;
+  int NumThreads = 0;
+  LeafStrategy Strategy = LeafStrategy::Compiled;
+  /// Pool owned when the requested thread count differs from the global
+  /// pool's; cached across run() calls.
+  std::unique_ptr<ThreadPool> OwnPool;
 };
 
 /// Sequential reference executor: runs \p Stmt directly over dense arrays

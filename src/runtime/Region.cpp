@@ -3,6 +3,7 @@
 #include "runtime/Region.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/Error.h"
 
@@ -14,6 +15,76 @@ static std::vector<Coord> rowMajorStrides(const std::vector<Coord> &Extents) {
     Strides[I] = Strides[I + 1] * Extents[I + 1];
   return Strides;
 }
+
+namespace {
+
+/// Decomposition of the points of a rectangle into contiguous innermost
+/// runs, contiguous on *both* sides of a region<->instance copy: the run
+/// spans the trailing dimensions the rectangle covers fully (plus the
+/// innermost partial one), so both the row-major region offsets and the
+/// row-major instance offsets advance by 1 within a run.
+struct RunDecomposition {
+  int64_t NumRuns = 0;
+  int64_t RunLen = 0;
+  int OuterDims = 0; ///< Dims iterated by the odometer, [0, OuterDims).
+};
+
+RunDecomposition decomposeRuns(const Rect &R,
+                               const std::vector<Coord> &Shape) {
+  RunDecomposition D;
+  if (R.isEmpty() && R.dim() > 0)
+    return D;
+  int Dim = R.dim();
+  if (Dim == 0) { // Scalar region: one run of one element.
+    D.NumRuns = 1;
+    D.RunLen = 1;
+    return D;
+  }
+  // Cut: smallest dim index such that every deeper dim is fully covered.
+  int Cut = Dim - 1;
+  while (Cut > 0 && R.lo()[Cut] == 0 && R.hi()[Cut] == Shape[Cut])
+    --Cut;
+  D.OuterDims = Cut;
+  D.RunLen = 1;
+  for (int I = Cut; I < Dim; ++I)
+    D.RunLen *= R.hi()[I] - R.lo()[I];
+  D.NumRuns = 1;
+  for (int I = 0; I < Cut; ++I)
+    D.NumRuns *= R.hi()[I] - R.lo()[I];
+  return D;
+}
+
+/// Invokes Fn(RegionOff, InstOff, RunLen) for every contiguous run of \p R.
+/// \p RegStrides are the row-major strides of the full region whose shape is
+/// \p Shape; instance offsets are row-major over the rectangle extents.
+template <typename Fn>
+void forEachRun(const Rect &R, const std::vector<Coord> &Shape,
+                const std::vector<Coord> &RegStrides, const Fn &Body) {
+  RunDecomposition D = decomposeRuns(R, Shape);
+  if (D.NumRuns == 0)
+    return;
+  int Dim = R.dim();
+  int64_t RegBase = 0;
+  for (int I = 0; I < Dim; ++I)
+    RegBase += R.lo()[I] * RegStrides[I];
+  // Odometer over the outer dims, maintaining the region offset
+  // incrementally; the instance side is contiguous across runs.
+  std::vector<Coord> Idx(D.OuterDims, 0);
+  int64_t RegOff = RegBase, InstOff = 0;
+  for (int64_t Run = 0; Run < D.NumRuns; ++Run) {
+    Body(RegOff, InstOff, D.RunLen);
+    InstOff += D.RunLen;
+    for (int I = D.OuterDims - 1; I >= 0; --I) {
+      RegOff += RegStrides[I];
+      if (++Idx[I] < R.hi()[I] - R.lo()[I])
+        break;
+      RegOff -= (R.hi()[I] - R.lo()[I]) * RegStrides[I];
+      Idx[I] = 0;
+    }
+  }
+}
+
+} // namespace
 
 Instance::Instance(Rect R) : Bounds(std::move(R)) {
   std::vector<Coord> Extents(Bounds.dim());
@@ -38,7 +109,10 @@ int64_t Instance::stride(int D) const {
   return Strides[D];
 }
 
-void Instance::zero() { std::fill(Data.begin(), Data.end(), 0.0); }
+void Instance::zero() {
+  if (!Data.empty())
+    std::memset(Data.data(), 0, Data.size() * sizeof(double));
+}
 
 Region::Region(TensorVar Var, Format Fmt, Machine M)
     : Var(std::move(Var)), Fmt(std::move(Fmt)), M(std::move(M)) {
@@ -79,21 +153,94 @@ void Region::fillRandom(uint64_t Seed) {
   }
 }
 
-void Region::zero() { std::fill(Data.begin(), Data.end(), 0.0); }
+void Region::zero() {
+  if (!Data.empty())
+    std::memset(Data.data(), 0, Data.size() * sizeof(double));
+}
 
 Instance Region::gather(const Rect &R) const {
-  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R),
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
+                "gather rectangle outside region bounds");
+  Instance I(R);
+  double *Dst = I.data();
+  const double *Src = Data.data();
+  forEachRun(R, shape(), Strides,
+             [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
+               std::memcpy(Dst + InstOff, Src + RegOff,
+                           static_cast<size_t>(Len) * sizeof(double));
+             });
+  return I;
+}
+
+void Region::reduceBack(const Instance &I) {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
+                    I.rect().isEmpty(),
+                "instance rectangle outside region bounds");
+  double *Dst = Data.data();
+  const double *Src = I.data();
+  forEachRun(I.rect(), shape(), Strides,
+             [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
+               double *__restrict__ D = Dst + RegOff;
+               const double *__restrict__ S = Src + InstOff;
+               for (int64_t E = 0; E < Len; ++E)
+                 D[E] += S[E];
+             });
+}
+
+void Region::reduceBackRows(const Instance &I, Coord RowLo, Coord RowHi) {
+  const Rect &R = I.rect();
+  if (R.dim() == 0) { // Scalar: assigned to stripe containing row 0.
+    if (RowLo <= 0 && 0 < RowHi)
+      reduceBack(I);
+    return;
+  }
+  Coord Lo = std::max(R.lo()[0], RowLo), Hi = std::min(R.hi()[0], RowHi);
+  if (Lo >= Hi)
+    return;
+  std::vector<Coord> ClampLo = R.lo().coords(), ClampHi = R.hi().coords();
+  ClampLo[0] = Lo;
+  ClampHi[0] = Hi;
+  Rect Clamped{Point(ClampLo), Point(ClampHi)};
+  double *Dst = Data.data();
+  const double *Src = I.data();
+  // Instance offsets must be relative to the *original* rect, so shift by
+  // the rows we skipped.
+  int64_t InstShift = (Lo - R.lo()[0]) * I.stride(0);
+  forEachRun(Clamped, shape(), Strides,
+             [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
+               double *__restrict__ D = Dst + RegOff;
+               const double *__restrict__ S = Src + InstShift + InstOff;
+               for (int64_t E = 0; E < Len; ++E)
+                 D[E] += S[E];
+             });
+}
+
+void Region::writeBack(const Instance &I) {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
+                    I.rect().isEmpty(),
+                "instance rectangle outside region bounds");
+  double *Dst = Data.data();
+  const double *Src = I.data();
+  forEachRun(I.rect(), shape(), Strides,
+             [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
+               std::memcpy(Dst + RegOff, Src + InstOff,
+                           static_cast<size_t>(Len) * sizeof(double));
+             });
+}
+
+Instance Region::gatherPointwise(const Rect &R) const {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
                 "gather rectangle outside region bounds");
   Instance I(R);
   R.forEachPoint([&](const Point &P) { I.at(P) = at(P); });
   return I;
 }
 
-void Region::reduceBack(const Instance &I) {
+void Region::reduceBackPointwise(const Instance &I) {
   I.rect().forEachPoint([&](const Point &P) { at(P) += I.at(P); });
 }
 
-void Region::writeBack(const Instance &I) {
+void Region::writeBackPointwise(const Instance &I) {
   I.rect().forEachPoint([&](const Point &P) { at(P) = I.at(P); });
 }
 

@@ -77,11 +77,24 @@ public:
   void zero();
 
   /// Copies the rectangle \p R out of the region into a fresh instance.
+  /// Contiguous innermost runs move with memcpy.
   Instance gather(const Rect &R) const;
   /// Accumulates (+=) an instance's contents back into the region.
   void reduceBack(const Instance &I);
+  /// Accumulates only the rows (dim-0 coordinates) of \p I that fall in
+  /// [RowLo, RowHi). Lets the executor stripe a writeback across threads
+  /// while applying instances in deterministic task order within a stripe;
+  /// a 0-dim (scalar) instance belongs to the stripe containing row 0.
+  void reduceBackRows(const Instance &I, Coord RowLo, Coord RowHi);
   /// Overwrites the region contents covered by the instance.
   void writeBack(const Instance &I);
+
+  /// Reference implementations of the three copies above, walking every
+  /// point individually (the seed behaviour). Kept for differential
+  /// property tests and for benchmarking the strided fast paths.
+  Instance gatherPointwise(const Rect &R) const;
+  void reduceBackPointwise(const Instance &I);
+  void writeBackPointwise(const Instance &I);
 
   /// The rectangle owned by processor \p Proc under the home distribution.
   Rect ownedRect(const Point &Proc) const;

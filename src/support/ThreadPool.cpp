@@ -1,0 +1,135 @@
+//===- support/ThreadPool.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace distal;
+
+static thread_local bool IsPoolWorker = false;
+
+bool ThreadPool::inWorker() { return IsPoolWorker; }
+
+ThreadPool::InlineScope::InlineScope() : Prev(IsPoolWorker) {
+  IsPoolWorker = true;
+}
+
+ThreadPool::InlineScope::~InlineScope() { IsPoolWorker = Prev; }
+
+ThreadPool::ThreadPool(int NumThreads)
+    : NumThreads(std::max(1, NumThreads)) {
+  for (int I = 1; I < this->NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  IsPoolWorker = true;
+  int64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mtx);
+      JobReady.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      ++ActiveWorkers;
+    }
+    runJob();
+    {
+      std::lock_guard<std::mutex> Lock(Mtx);
+      --ActiveWorkers;
+    }
+    JobDone.notify_all();
+  }
+}
+
+void ThreadPool::runJob() {
+  for (;;) {
+    int64_t Lo = NextIndex.fetch_add(Cur.Chunk, std::memory_order_relaxed);
+    if (Lo >= Cur.N)
+      return;
+    (*Cur.Fn)(Lo, std::min(Lo + Cur.Chunk, Cur.N));
+  }
+}
+
+void ThreadPool::parallelForChunks(
+    int64_t N, const std::function<void(int64_t, int64_t)> &Fn) {
+  if (N <= 0)
+    return;
+  // Inline when there is no parallelism to exploit or when called from a
+  // worker (nested fan-out would deadlock waiting on our own pool). The
+  // caller is flagged as a worker for the duration either way, so anything
+  // reached from inside a parallelFor region — even a degenerate one-item
+  // fan-out — keeps its nested parallelism inline instead of recruiting
+  // some other pool behind the configured thread count's back.
+  if (NumThreads == 1 || N == 1 || IsPoolWorker) {
+    bool Prev = IsPoolWorker;
+    IsPoolWorker = true;
+    Fn(0, N);
+    IsPoolWorker = Prev;
+    return;
+  }
+  // One fan-out at a time; concurrent top-level callers queue up here.
+  std::lock_guard<std::mutex> CallerLock(CallerMtx);
+  {
+    std::unique_lock<std::mutex> Lock(Mtx);
+    // Drain stragglers: a worker may wake late for the *previous* job
+    // (after its caller already returned) and read the job slot; never
+    // rewrite it underneath such a reader.
+    JobDone.wait(Lock, [&] { return ActiveWorkers == 0; });
+    Cur.N = N;
+    // Over-decompose 4x for load balance, but never below one index.
+    Cur.Chunk = std::max<int64_t>(1, N / (4 * NumThreads));
+    Cur.Fn = &Fn;
+    NextIndex.store(0, std::memory_order_relaxed);
+    ++Generation;
+  }
+  JobReady.notify_all();
+  // The caller participates, flagged as a pool worker so that nested
+  // parallelism reached from inside the fanned-out region (e.g. a parallel
+  // BLAS kernel in a leaf) runs inline instead of re-entering this pool —
+  // re-entry would self-deadlock on CallerMtx.
+  IsPoolWorker = true;
+  runJob();
+  IsPoolWorker = false;
+  std::unique_lock<std::mutex> Lock(Mtx);
+  JobDone.wait(Lock, [&] {
+    return ActiveWorkers == 0 && NextIndex.load() >= Cur.N;
+  });
+}
+
+void ThreadPool::parallelFor(int64_t N,
+                             const std::function<void(int64_t)> &Fn) {
+  parallelForChunks(N, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t I = Lo; I < Hi; ++I)
+      Fn(I);
+  });
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(defaultExecutorThreads());
+  return Pool;
+}
+
+int distal::defaultExecutorThreads() {
+  if (const char *Env = std::getenv("DISTAL_NUM_THREADS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return N;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : static_cast<int>(HW);
+}

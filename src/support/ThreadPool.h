@@ -1,0 +1,100 @@
+//===- support/ThreadPool.h - Shared-memory worker pool --------*- C++ -*-===//
+///
+/// \file
+/// A persistent worker pool used by the Execute backend to run independent
+/// per-task work (gathers, leaf kernels, writeback stripes) and by the BLAS
+/// kernels to split outer blocks. The pool is *structured*: parallelFor
+/// blocks until every index has run, so callers never observe concurrency —
+/// they only observe that independent iterations overlapped. Calls made from
+/// inside a worker run inline (no nested fan-out), which makes it safe for a
+/// parallel executor task to call a parallel BLAS kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_THREADPOOL_H
+#define DISTAL_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace distal {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (including the caller, so
+  /// NumThreads == 1 spawns no threads and runs everything inline).
+  explicit ThreadPool(int NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int numThreads() const { return NumThreads; }
+
+  /// Runs Fn(I) for every I in [0, N), distributing indices across the pool
+  /// in contiguous chunks. Blocks until all iterations complete. Iterations
+  /// must be independent; any deterministic merging is the caller's job.
+  void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn);
+
+  /// Chunked variant: Fn(Lo, Hi) over a partition of [0, N). Lower overhead
+  /// when per-index work is small.
+  void parallelForChunks(int64_t N,
+                         const std::function<void(int64_t, int64_t)> &Fn);
+
+  /// The process-wide pool. Size comes from DISTAL_NUM_THREADS when set,
+  /// else std::thread::hardware_concurrency().
+  static ThreadPool &global();
+
+  /// True when the calling thread is a pool worker (parallelFor from such a
+  /// thread runs inline).
+  static bool inWorker();
+
+  /// RAII guard marking the current thread inline-only: any parallelFor
+  /// issued from it (on any pool) runs serially for the guard's lifetime.
+  /// The executor's 1-thread mode uses this so nested BLAS kernels cannot
+  /// fan out and a "sequential" run really is sequential.
+  class InlineScope {
+  public:
+    InlineScope();
+    ~InlineScope();
+    InlineScope(const InlineScope &) = delete;
+    InlineScope &operator=(const InlineScope &) = delete;
+
+  private:
+    bool Prev;
+  };
+
+private:
+  struct Job {
+    int64_t N = 0;
+    int64_t Chunk = 1;
+    const std::function<void(int64_t, int64_t)> *Fn = nullptr;
+  };
+
+  void workerLoop();
+  void runJob();
+
+  int NumThreads;
+  std::vector<std::thread> Workers;
+  std::mutex CallerMtx;
+  std::mutex Mtx;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  Job Cur;
+  std::atomic<int64_t> NextIndex{0};
+  int64_t Generation = 0;
+  int ActiveWorkers = 0;
+  bool ShuttingDown = false;
+};
+
+/// Number of threads the Execute backend should use by default.
+int defaultExecutorThreads();
+
+} // namespace distal
+
+#endif // DISTAL_SUPPORT_THREADPOOL_H
