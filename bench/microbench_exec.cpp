@@ -5,19 +5,28 @@
 // (LeafStrategy::Interpreted + pointwise region copies), and writes the
 // results as JSON so the speedups are tracked PR over PR:
 //
-//   * leaf_mttkrp   — the general-affine leaf path (MTTKRP: 3-access
-//                     product, strided-dot innermost loop) on the Execute
-//                     backend: compiled tape vs the seed tree interpreter.
-//   * gather        — Region::gather strided runs vs per-point reference,
-//                     for a contiguous and a strided rectangle.
-//   * e2e_gemm      — fig15a-style Cannon GEMM end to end on the Execute
-//                     backend: seed configuration vs compiled at 1 thread
-//                     and at --threads (default 8).
-//   * gemm_kernel   — raw blas::gemm GFLOP/s (register-blocked kernel).
+//   * leaf_mttkrp      — the general-affine leaf path (MTTKRP: 3-access
+//                        product, strided-dot innermost loop) on the Execute
+//                        backend: compiled tape vs the seed tree interpreter.
+//   * gather           — Region::gather strided runs vs per-point reference,
+//                        for a contiguous and a strided rectangle.
+//   * e2e_gemm         — fig15a-style Cannon GEMM end to end on the Execute
+//                        backend: seed configuration vs compiled at 1 thread
+//                        and at --threads (default 8).
+//   * nested_gemm_1task — single-task Cannon GEMM: setNumThreads(N) hands
+//                        every thread to the leaf as nested sub-range jobs
+//                        on the ExecContext pool (the configuration PR 1
+//                        could not parallelize at all), vs 1 thread.
+//   * gemm_kernel      — raw blas::gemm GFLOP/s (register-blocked kernel).
 //
 // Usage: microbench_exec [--check] [--threads=N] [--out=FILE]
+//                        [--baseline=FILE] [--gate=FRACTION]
 //   --check runs small shapes, verifies every fast path against its
 //   reference within 1e-9, and exits non-zero on mismatch (CI smoke mode).
+//   --baseline compares the machine-independent speedup ratios of the
+//   single-thread rows (leaf/gather/gemm) against a previously committed
+//   BENCH_exec.json and exits non-zero when any drops by more than the
+//   --gate fraction (default 0.25): the CI bench regression gate.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +34,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +72,10 @@ struct Result {
   double SeedMs = 0;
   double FastMs = 0;
   std::string Detail;
+  /// Rows whose seed/fast ratio is single-threaded on both sides are
+  /// machine-portable and participate in the --baseline regression gate;
+  /// threaded rows vary with the host's core count and do not.
+  bool Gated = false;
 };
 
 std::vector<Result> Results;
@@ -70,8 +84,8 @@ int Threads = 8;
 bool Failed = false;
 
 void record(const std::string &Name, double SeedMs, double FastMs,
-            const std::string &Detail) {
-  Results.push_back({Name, SeedMs, FastMs, Detail});
+            const std::string &Detail, bool Gated = false) {
+  Results.push_back({Name, SeedMs, FastMs, Detail, Gated});
   std::printf("%-24s seed %9.3f ms   fast %9.3f ms   speedup %6.2fx  (%s)\n",
               Name.c_str(), SeedMs, FastMs, FastMs > 0 ? SeedMs / FastMs : 0,
               Detail.c_str());
@@ -148,7 +162,8 @@ void benchLeafMttkrp() {
          std::to_string(Diff));
   record("leaf_mttkrp", SeedMs, FastMs,
          "dim=" + std::to_string(Opts.Dim) +
-             " rank=" + std::to_string(Opts.Rank) + " procs=4, 1 thread");
+             " rank=" + std::to_string(Opts.Rank) + " procs=4, 1 thread",
+         /*Gated=*/true);
 }
 
 void benchGather() {
@@ -180,7 +195,8 @@ void benchGather() {
     record(Name, SeedMs, FastMs,
            std::to_string(static_cast<int>(MB)) + " MB rect, " +
                std::to_string(static_cast<int>(MB / (FastMs / 1000) / 1000)) +
-               " GB/s fast");
+               " GB/s fast",
+           /*Gated=*/true);
   }
 }
 
@@ -203,10 +219,35 @@ void benchE2EGemm() {
   if (maxDiff(*Fast1Out, *FastNOut) != 0)
     fail("e2e_gemm parallel output not bitwise-identical to 1-thread run");
   record("e2e_gemm_1t", SeedMs, Fast1Ms,
-         "cannon n=" + std::to_string(Opts.N) + " procs=4");
+         "cannon n=" + std::to_string(Opts.N) + " procs=4", /*Gated=*/true);
   record("e2e_gemm_" + std::to_string(Threads) + "t", SeedMs, FastNMs,
          "cannon n=" + std::to_string(Opts.N) + " procs=4, " +
              std::to_string(Threads) + " threads");
+}
+
+void benchNestedLeafGemm() {
+  // A single-task plan: the launch domain has one point, so the adaptive
+  // split hands every thread to the leaf GEMM (and its gathers) as nested
+  // sub-range jobs on the ExecContext pool. Seed column = compiled at 1
+  // thread, fast column = compiled at --threads; the speedup is pure leaf
+  // fan-out (PR 1 ran this configuration fully sequentially).
+  MatmulOptions Opts;
+  Opts.N = CheckMode ? 48 : 768;
+  Opts.Procs = 1;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  std::vector<TensorVar> Tensors = {Prob.A, Prob.B, Prob.C};
+  int Reps = CheckMode ? 1 : 3;
+  std::unique_ptr<Region> OneOut, ManyOut;
+  double OneMs =
+      runConfig(Prob.P, Tensors, LeafStrategy::Compiled, 1, Reps, &OneOut);
+  double ManyMs = runConfig(Prob.P, Tensors, LeafStrategy::Compiled, Threads,
+                            Reps, &ManyOut);
+  if (maxDiff(*OneOut, *ManyOut) != 0)
+    fail("nested_gemm_1task parallel-leaf output not bitwise-identical to "
+         "the 1-thread run");
+  record("nested_gemm_1task", OneMs, ManyMs,
+         "cannon n=" + std::to_string(Opts.N) + " procs=1 (single task), " +
+             std::to_string(Threads) + "-way leaf fan-out");
 }
 
 void benchGemmKernel() {
@@ -254,20 +295,91 @@ void writeJson(const std::string &Path) {
     const Result &R = Results[I];
     std::fprintf(F,
                  "    {\"name\": \"%s\", \"seed_ms\": %.4f, \"fast_ms\": "
-                 "%.4f, \"speedup\": %.3f, \"detail\": \"%s\"}%s\n",
+                 "%.4f, \"speedup\": %.3f, \"gated\": %s, \"detail\": "
+                 "\"%s\"}%s\n",
                  R.Name.c_str(), R.SeedMs, R.FastMs,
                  R.FastMs > 0 && R.SeedMs > 0 ? R.SeedMs / R.FastMs : 0.0,
-                 R.Detail.c_str(), I + 1 < Results.size() ? "," : "");
+                 R.Gated ? "true" : "false", R.Detail.c_str(),
+                 I + 1 < Results.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
   std::printf("wrote %s\n", Path.c_str());
 }
 
+/// Reads the per-row speedups out of a previously written BENCH_exec.json.
+/// Parses exactly the format writeJson emits (one result object per line).
+std::map<std::string, double> readBaselineSpeedups(const std::string &Path) {
+  std::map<std::string, double> Speedups;
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    fail("cannot read baseline " + Path);
+    return Speedups;
+  }
+  char Line[512];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    char Name[128];
+    const char *NamePos = std::strstr(Line, "\"name\": \"");
+    const char *SpeedupPos = std::strstr(Line, "\"speedup\": ");
+    if (!NamePos || !SpeedupPos)
+      continue;
+    if (std::sscanf(NamePos, "\"name\": \"%127[^\"]\"", Name) != 1)
+      continue;
+    double Speedup = 0;
+    if (std::sscanf(SpeedupPos, "\"speedup\": %lf", &Speedup) != 1)
+      continue;
+    Speedups[Name] = Speedup;
+  }
+  std::fclose(F);
+  return Speedups;
+}
+
+/// The CI bench regression gate: every gated row's speedup (seed_ms /
+/// fast_ms — a same-machine throughput ratio, so portable across runner
+/// speeds) must stay within \p Gate of the committed baseline's. Threaded
+/// rows are exempt (they scale with the host's core count).
+void gateAgainstBaseline(const std::string &Path, double Gate) {
+  std::map<std::string, double> Baseline = readBaselineSpeedups(Path);
+  if (Baseline.empty()) {
+    // Fail closed: a baseline that parses to nothing (reformatted file,
+    // renamed keys) must not silently wave every regression through.
+    fail("baseline " + Path + " contains no parsable result rows");
+    return;
+  }
+  std::printf("--- baseline gate (%s, max regression %.0f%%) ---\n",
+              Path.c_str(), Gate * 100);
+  for (const Result &R : Results) {
+    if (!R.Gated || R.SeedMs <= 0 || R.FastMs <= 0)
+      continue;
+    auto It = Baseline.find(R.Name);
+    if (It == Baseline.end() || It->second <= 0) {
+      // Fail closed: a gated row the baseline does not cover (renamed or
+      // newly gated benchmark) needs the baseline regenerated, not a
+      // silent skip.
+      fail("gated row '" + R.Name +
+           "' has no usable baseline entry; regenerate " + Path);
+      continue;
+    }
+    double Cur = R.SeedMs / R.FastMs;
+    double Floor = (1.0 - Gate) * It->second;
+    bool Ok = Cur >= Floor;
+    std::printf("%-24s baseline %7.2fx   current %7.2fx   floor %7.2fx  %s\n",
+                R.Name.c_str(), It->second, Cur, Floor,
+                Ok ? "ok" : "REGRESSED");
+    if (!Ok)
+      fail(R.Name + " speedup regressed more than " +
+           std::to_string(static_cast<int>(Gate * 100)) +
+           "% vs baseline: " + std::to_string(Cur) + "x < " +
+           std::to_string(Floor) + "x");
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string OutPath = "BENCH_exec.json";
+  std::string BaselinePath;
+  double Gate = 0.25;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--check")
@@ -276,15 +388,24 @@ int main(int argc, char **argv) {
       Threads = std::max(1, std::atoi(Arg.c_str() + 10));
     else if (Arg.rfind("--out=", 0) == 0)
       OutPath = Arg.substr(6);
+    else if (Arg.rfind("--baseline=", 0) == 0)
+      BaselinePath = Arg.substr(11);
+    else if (Arg.rfind("--gate=", 0) == 0)
+      Gate = std::atof(Arg.c_str() + 7);
     else {
-      std::printf("usage: %s [--check] [--threads=N] [--out=FILE]\n", argv[0]);
+      std::printf("usage: %s [--check] [--threads=N] [--out=FILE] "
+                  "[--baseline=FILE] [--gate=FRACTION]\n",
+                  argv[0]);
       return 2;
     }
   }
   benchLeafMttkrp();
   benchGather();
   benchE2EGemm();
+  benchNestedLeafGemm();
   benchGemmKernel();
+  if (!BaselinePath.empty())
+    gateAgainstBaseline(BaselinePath, Gate);
   writeJson(OutPath);
   return Failed ? 1 : 0;
 }

@@ -18,6 +18,42 @@ constexpr int64_t BlockK = 256, BlockN = 1024;
 /// more than it buys; fall through to the unpacked blocked loop.
 constexpr int64_t PackFlopCutoff = 1 << 16;
 constexpr int64_t ParallelFlopCutoff = 1 << 20;
+/// Reductions accumulate per-chunk partials of this fixed size and combine
+/// them in chunk order. The association depends only on N — never on the
+/// pool or the ways budget — so results are bitwise-identical at every
+/// thread configuration.
+constexpr int64_t ReduceChunk = 1 << 15;
+/// Vector updates shorter than this are not worth a fan-out.
+constexpr int64_t VectorParallelCutoff = 1 << 16;
+
+/// The process-global handle used by the context-free entry points. Only
+/// recruits the global pool from threads outside every pool, and only
+/// touches (and thus lazily constructs) it when the caller already decided
+/// to fan out.
+LeafParallelism processLeaf() {
+  if (ThreadPool::inWorker())
+    return {};
+  ThreadPool &G = ThreadPool::global();
+  return {&G, G.numThreads()};
+}
+
+/// Shared fan-out gate: \p Work units amortize a parallel dispatch of \p N
+/// sub-ranges only past \p Cutoff.
+bool shouldParallelize(const LeafParallelism &LP, int64_t N, int64_t Work,
+                       int64_t Cutoff) {
+  return LP.enabled() && N > 1 && Work >= Cutoff;
+}
+
+/// Runs Body(Lo, Hi) over [0, N): fanned out over \p LP when \p Parallel,
+/// inline otherwise.
+template <typename Fn>
+void runRange(const LeafParallelism &LP, int64_t N, bool Parallel,
+              const Fn &Body) {
+  if (Parallel)
+    LP.Pool->parallelForWays(N, LP.Ways, Body);
+  else
+    Body(0, N);
+}
 
 /// MR x NR register-resident micro-kernel over packed panels: Ap holds an
 /// MR-wide column-major A panel (Ap[k*MR + i]), Bp an NR-wide row-major B
@@ -83,20 +119,17 @@ void gemmRowsPacked(double *C, const double *A, const double *Bp,
 
 } // namespace
 
-void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
-          int64_t K, int64_t LdC, int64_t LdA, int64_t LdB) {
+void gemm(const LeafParallelism &LP, double *C, const double *A,
+          const double *B, int64_t M, int64_t N, int64_t K, int64_t LdC,
+          int64_t LdA, int64_t LdB) {
   if (M <= 0 || N <= 0 || K <= 0)
     return;
   if (M * N * K < PackFlopCutoff || M < MR) {
     gemmBlockedReference(C, A, B, M, N, K, LdC, LdA, LdB);
     return;
   }
-  // Only touch (and thus lazily construct) the global pool when this call
-  // can actually fan out over it.
-  bool Parallel = M * N * K >= ParallelFlopCutoff && !ThreadPool::inWorker();
-  ThreadPool *Pool = Parallel ? &ThreadPool::global() : nullptr;
-  if (Pool && Pool->numThreads() == 1)
-    Parallel = false;
+  int64_t Panels = (M + MR - 1) / MR;
+  bool Parallel = shouldParallelize(LP, Panels, M * N * K, ParallelFlopCutoff);
   std::vector<double> Bp(
       static_cast<size_t>(std::min(BlockN, N) * std::min(BlockK, K)));
   for (int64_t J0 = 0; J0 < N; J0 += BlockN) {
@@ -110,18 +143,20 @@ void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
             Bp[J * KLen + KK * NR + R] = BBlock[KK * LdB + J + R];
       double *CBlock = C + J0;
       const double *ABlock = A + K0;
-      if (!Parallel) {
-        gemmRowsPacked(CBlock, ABlock, Bp.data(), BBlock, 0, M, NLen, KLen,
-                       LdC, LdA, LdB);
-        continue;
-      }
-      int64_t Panels = (M + MR - 1) / MR;
-      Pool->parallelForChunks(Panels, [&](int64_t Lo, int64_t Hi) {
+      // Row panels cover disjoint C rows: any split is bitwise-identical.
+      runRange(LP, Panels, Parallel, [&](int64_t Lo, int64_t Hi) {
         gemmRowsPacked(CBlock, ABlock, Bp.data(), BBlock, Lo * MR,
                        std::min(Hi * MR, M), NLen, KLen, LdC, LdA, LdB);
       });
     }
   }
+}
+
+void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
+          int64_t K, int64_t LdC, int64_t LdA, int64_t LdB) {
+  bool WantParallel = M * N * K >= ParallelFlopCutoff;
+  gemm(WantParallel ? processLeaf() : LeafParallelism{}, C, A, B, M, N, K,
+       LdC, LdA, LdB);
 }
 
 void gemmBlockedReference(double *C, const double *A, const double *B,
@@ -145,36 +180,55 @@ void gemmBlockedReference(double *C, const double *A, const double *B,
       }
 }
 
-void gemmGeneral(double *C, const double *A, const double *B, int64_t M,
-                 int64_t N, int64_t K, int64_t CsM, int64_t CsN, int64_t AsM,
-                 int64_t AsK, int64_t BsK, int64_t BsN) {
+void gemmGeneral(const LeafParallelism &LP, double *C, const double *A,
+                 const double *B, int64_t M, int64_t N, int64_t K,
+                 int64_t CsM, int64_t CsN, int64_t AsM, int64_t AsK,
+                 int64_t BsK, int64_t BsN) {
   if (M <= 0 || N <= 0 || K <= 0)
     return;
   if (CsN == 1 && AsK == 1 && BsN == 1) {
-    gemm(C, A, B, M, N, K, CsM, AsM, BsK);
+    gemm(LP, C, A, B, M, N, K, CsM, AsM, BsK);
     return;
   }
   if (CsM == 1 && AsM == 1 && BsK == 1) {
     // Column-major view: compute C^T += B^T * A^T with the blocked kernel.
-    gemm(C, B, A, N, M, K, CsN, BsN, AsK);
+    gemm(LP, C, B, A, N, M, K, CsN, BsN, AsK);
     return;
   }
   if (BsN != 1 && AsK == 1) {
-    // B transposed: dot-product form keeps A's K loop dense.
-    for (int64_t I = 0; I < M; ++I)
-      for (int64_t J = 0; J < N; ++J)
-        C[I * CsM + J * CsN] +=
-            dotStrided(A + I * AsM, 1, B + J * BsN, BsK, K);
+    // B transposed: dot-product form keeps A's K loop dense. Rows of C are
+    // disjoint, so the row fan-out is bitwise-deterministic. When the row
+    // fan-out is declined (too few rows), the leaf budget goes to the dots
+    // instead — their fixed-chunk association is the same either way.
+    bool RowsParallel = shouldParallelize(LP, M, M * N * K, ParallelFlopCutoff);
+    LeafParallelism DotLP = RowsParallel ? LeafParallelism{} : LP;
+    runRange(LP, M, RowsParallel, [&](int64_t Lo, int64_t Hi) {
+      for (int64_t I = Lo; I < Hi; ++I)
+        for (int64_t J = 0; J < N; ++J)
+          C[I * CsM + J * CsN] +=
+              dotStrided(DotLP, A + I * AsM, 1, B + J * BsN, BsK, K);
+    });
     return;
   }
-  for (int64_t I = 0; I < M; ++I)
-    for (int64_t KK = 0; KK < K; ++KK) {
-      double AVal = A[I * AsM + KK * AsK];
-      const double *BRow = B + KK * BsK;
-      double *CRow = C + I * CsM;
-      for (int64_t J = 0; J < N; ++J)
-        CRow[J * CsN] += AVal * BRow[J * BsN];
-    }
+  runRange(LP, M, shouldParallelize(LP, M, M * N * K, ParallelFlopCutoff),
+           [&](int64_t Lo, int64_t Hi) {
+             for (int64_t I = Lo; I < Hi; ++I)
+               for (int64_t KK = 0; KK < K; ++KK) {
+                 double AVal = A[I * AsM + KK * AsK];
+                 const double *BRow = B + KK * BsK;
+                 double *CRow = C + I * CsM;
+                 for (int64_t J = 0; J < N; ++J)
+                   CRow[J * CsN] += AVal * BRow[J * BsN];
+               }
+           });
+}
+
+void gemmGeneral(double *C, const double *A, const double *B, int64_t M,
+                 int64_t N, int64_t K, int64_t CsM, int64_t CsN, int64_t AsM,
+                 int64_t AsK, int64_t BsK, int64_t BsN) {
+  bool WantParallel = M * N * K >= ParallelFlopCutoff;
+  gemmGeneral(WantParallel ? processLeaf() : LeafParallelism{}, C, A, B, M, N,
+              K, CsM, CsN, AsM, AsK, BsK, BsN);
 }
 
 void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
@@ -188,43 +242,107 @@ void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
   }
 }
 
-double dot(const double *A, const double *B, int64_t N) {
+namespace {
+
+/// Shared skeleton of the strided reductions: per-chunk partials combined
+/// in chunk order. The chunk grid depends only on N, so every (pool, ways)
+/// configuration computes bit-identical sums; a single-chunk N degenerates
+/// to the plain left-to-right loop.
+template <typename ChunkFn>
+double reduceChunked(const LeafParallelism &LP, int64_t N,
+                     const ChunkFn &Chunk) {
+  int64_t NumChunks = (N + ReduceChunk - 1) / ReduceChunk;
+  if (NumChunks <= 1)
+    return Chunk(0, N);
+  std::vector<double> Partials(static_cast<size_t>(NumChunks));
+  runRange(LP, NumChunks, LP.enabled(), [&](int64_t Lo, int64_t Hi) {
+    for (int64_t C = Lo; C < Hi; ++C)
+      Partials[C] =
+          Chunk(C * ReduceChunk, std::min((C + 1) * ReduceChunk, N));
+  });
   double Sum = 0;
-  for (int64_t I = 0; I < N; ++I)
-    Sum += A[I] * B[I];
+  for (double P : Partials)
+    Sum += P;
   return Sum;
+}
+
+} // namespace
+
+double dot(const LeafParallelism &LP, const double *A, const double *B,
+           int64_t N) {
+  return reduceChunked(LP, N, [&](int64_t Lo, int64_t Hi) {
+    double Sum = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      Sum += A[I] * B[I];
+    return Sum;
+  });
+}
+
+double dot(const double *A, const double *B, int64_t N) {
+  return dot(LeafParallelism{}, A, B, N);
+}
+
+double dotStrided(const LeafParallelism &LP, const double *A, int64_t SA,
+                  const double *B, int64_t SB, int64_t N) {
+  if (SA == 1 && SB == 1)
+    return dot(LP, A, B, N);
+  return reduceChunked(LP, N, [&](int64_t Lo, int64_t Hi) {
+    double Sum = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      Sum += A[I * SA] * B[I * SB];
+    return Sum;
+  });
 }
 
 double dotStrided(const double *A, int64_t SA, const double *B, int64_t SB,
                   int64_t N) {
-  if (SA == 1 && SB == 1)
-    return dot(A, B, N);
-  double Sum = 0;
-  for (int64_t I = 0; I < N; ++I)
-    Sum += A[I * SA] * B[I * SB];
-  return Sum;
+  return dotStrided(LeafParallelism{}, A, SA, B, SB, N);
+}
+
+double sumStrided(const LeafParallelism &LP, const double *A, int64_t SA,
+                  int64_t N) {
+  return reduceChunked(LP, N, [&](int64_t Lo, int64_t Hi) {
+    double Sum = 0;
+    for (int64_t I = Lo; I < Hi; ++I)
+      Sum += A[I * SA];
+    return Sum;
+  });
 }
 
 double sumStrided(const double *A, int64_t SA, int64_t N) {
-  double Sum = 0;
-  for (int64_t I = 0; I < N; ++I)
-    Sum += A[I * SA];
-  return Sum;
+  return sumStrided(LeafParallelism{}, A, SA, N);
+}
+
+void axpy(const LeafParallelism &LP, double *Y, const double *X, double Alpha,
+          int64_t N) {
+  // Disjoint output ranges: any split is bitwise-identical.
+  runRange(LP, N, shouldParallelize(LP, N, N, VectorParallelCutoff),
+           [&](int64_t Lo, int64_t Hi) {
+             for (int64_t I = Lo; I < Hi; ++I)
+               Y[I] += Alpha * X[I];
+           });
 }
 
 void axpy(double *Y, const double *X, double Alpha, int64_t N) {
-  for (int64_t I = 0; I < N; ++I)
-    Y[I] += Alpha * X[I];
+  axpy(LeafParallelism{}, Y, X, Alpha, N);
+}
+
+void axpyStrided(const LeafParallelism &LP, double *Y, int64_t SY,
+                 const double *X, int64_t SX, double Alpha, int64_t N) {
+  if (SY == 1 && SX == 1) {
+    axpy(LP, Y, X, Alpha, N);
+    return;
+  }
+  runRange(LP, N, shouldParallelize(LP, N, N, VectorParallelCutoff),
+           [&](int64_t Lo, int64_t Hi) {
+             for (int64_t I = Lo; I < Hi; ++I)
+               Y[I * SY] += Alpha * X[I * SX];
+           });
 }
 
 void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
                  double Alpha, int64_t N) {
-  if (SY == 1 && SX == 1) {
-    axpy(Y, X, Alpha, N);
-    return;
-  }
-  for (int64_t I = 0; I < N; ++I)
-    Y[I * SY] += Alpha * X[I * SX];
+  axpyStrided(LeafParallelism{}, Y, SY, X, SX, Alpha, N);
 }
 
 } // namespace blas

@@ -3,9 +3,20 @@
 /// \file
 /// Single-processor dense kernels substituted at schedule leaves (Fig. 2
 /// line 40 uses CuBLAS::GeMM; we provide a register-blocked CPU GEMM with
-/// the same row-major strided interface, parallelized over the support
-/// ThreadPool). These set the single-node roofline; the distribution
-/// machinery above them is what DISTAL contributes.
+/// the same row-major strided interface). These set the single-node
+/// roofline; the distribution machinery above them is what DISTAL
+/// contributes.
+///
+/// Every kernel has a pool-parameterized form taking a LeafParallelism
+/// handle (the ExecContext's pool plus a ways budget) as its first
+/// argument; fan-out happens as sub-range jobs on that pool, so nested
+/// (task x leaf) parallelism shares one thread set. The handle-free forms
+/// are conveniences for standalone callers: they fan out over the
+/// process-global pool when profitable, and run sequentially when invoked
+/// from inside any pool's worker. All kernels are bitwise-deterministic
+/// for every pool size and ways budget: parallel splits cover disjoint
+/// output ranges, and reductions use a fixed chunk association independent
+/// of the split.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,13 +25,18 @@
 
 #include <cstdint>
 
+#include "support/ExecContext.h"
+
 namespace distal {
 namespace blas {
 
 /// C[m,n] += A[m,k] * B[k,n] with row strides LdC/LdA/LdB (row-major,
 /// unit column stride). Packs A/B panels and runs a register-blocked 4x32
-/// micro-kernel; row panels fan out over the global ThreadPool when the
-/// problem is large enough. Bitwise-deterministic at every thread count.
+/// micro-kernel; row panels fan out over \p LP when the problem is large
+/// enough.
+void gemm(const LeafParallelism &LP, double *C, const double *A,
+          const double *B, int64_t M, int64_t N, int64_t K, int64_t LdC,
+          int64_t LdA, int64_t LdB);
 void gemm(double *C, const double *A, const double *B, int64_t M, int64_t N,
           int64_t K, int64_t LdC, int64_t LdA, int64_t LdB);
 
@@ -35,6 +51,10 @@ void gemmBlockedReference(double *C, const double *A, const double *B,
 /// B[k*BsK + n*BsN]. Dispatches to the blocked kernel when every innermost
 /// stride is 1; otherwise picks a loop order that keeps the innermost loop
 /// as dense as possible (handles transposed operand layouts).
+void gemmGeneral(const LeafParallelism &LP, double *C, const double *A,
+                 const double *B, int64_t M, int64_t N, int64_t K,
+                 int64_t CsM, int64_t CsN, int64_t AsM, int64_t AsK,
+                 int64_t BsK, int64_t BsN);
 void gemmGeneral(double *C, const double *A, const double *B, int64_t M,
                  int64_t N, int64_t K, int64_t CsM, int64_t CsN, int64_t AsM,
                  int64_t AsK, int64_t BsK, int64_t BsN);
@@ -44,19 +64,29 @@ void gemv(double *Y, const double *A, const double *X, int64_t M, int64_t K,
           int64_t LdA);
 
 /// Dot product of two contiguous vectors.
+double dot(const LeafParallelism &LP, const double *A, const double *B,
+           int64_t N);
 double dot(const double *A, const double *B, int64_t N);
 
 /// Dot product with arbitrary element strides.
+double dotStrided(const LeafParallelism &LP, const double *A, int64_t SA,
+                  const double *B, int64_t SB, int64_t N);
 double dotStrided(const double *A, int64_t SA, const double *B, int64_t SB,
                   int64_t N);
 
 /// Sum of a strided vector.
+double sumStrided(const LeafParallelism &LP, const double *A, int64_t SA,
+                  int64_t N);
 double sumStrided(const double *A, int64_t SA, int64_t N);
 
 /// y[i] += alpha * x[i].
+void axpy(const LeafParallelism &LP, double *Y, const double *X, double Alpha,
+          int64_t N);
 void axpy(double *Y, const double *X, double Alpha, int64_t N);
 
 /// y[i*SY] += alpha * x[i*SX].
+void axpyStrided(const LeafParallelism &LP, double *Y, int64_t SY,
+                 const double *X, int64_t SX, double Alpha, int64_t N);
 void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
                  double Alpha, int64_t N);
 

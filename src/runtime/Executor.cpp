@@ -3,10 +3,12 @@
 // The execution engine. One sequential walk of the plan's bulk-synchronous
 // structure computes the trace (messages, flops, memory) exactly as the
 // simulator sees it; the data movement and leaf compute it schedules are
-// fanned out over a thread pool. All trace mutation happens in the
+// fanned out over an ExecContext's pool at two levels — across tasks, and
+// within each leaf as nested sub-range jobs on the same pool, divided by
+// the context's task/leaf split policy. All trace mutation happens in the
 // sequential walk and the writeback merge applies task instances in task
 // order within each output stripe, so traces and output data are
-// bitwise-identical at every thread count.
+// bitwise-identical at every thread count and every task/leaf split.
 //
 // Leaf kernels run through a small compiler instead of an interpreter: the
 // statement's right-hand side becomes a flat postfix tape, every access
@@ -28,6 +30,7 @@
 #include "blas/LocalKernels.h"
 #include "lower/Bounds.h"
 #include "support/Error.h"
+#include "support/ExecContext.h"
 #include "support/ThreadPool.h"
 #include "support/Util.h"
 
@@ -410,7 +413,7 @@ bool prepareStep(LeafEngine &E, const Plan &P,
 /// Out[m,n] += P[m,k] * Q[k,n] under arbitrary (possibly transposed)
 /// affine strides. Fires for any coefficient pattern where each operand
 /// depends on exactly its two roles, not just the canonical layout.
-bool tryGemmLeaf(LeafEngine &E, const Tape &T) {
+bool tryGemmLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
   if (E.NumLeaf != 3 || E.NumAcc != 3 || E.NeedGuard || !T.PureProduct ||
       T.ProductAccs.size() != 2 || T.ProductLit != 1.0)
     return false;
@@ -441,7 +444,8 @@ bool tryGemmLeaf(LeafEngine &E, const Tape &T) {
   } else {
     return false;
   }
-  blas::gemmGeneral(E.AccData[0] + E.AccBase[0], E.AccData[PA] + E.AccBase[PA],
+  blas::gemmGeneral(LP, E.AccData[0] + E.AccBase[0],
+                    E.AccData[PA] + E.AccBase[PA],
                     E.AccData[QA] + E.AccBase[QA], E.LeafExtents[M],
                     E.LeafExtents[N], E.LeafExtents[KVar], OC[M], OC[N],
                     PC[M], PC[KVar], QC[KVar], QC[N]);
@@ -459,8 +463,10 @@ enum class InnerKind {
 
 /// General compiled path: odometer over the outer leaf loops maintaining
 /// running offsets, guard hoisted to a per-row trip count, innermost loop
-/// routed to the best-matching kernel.
-void runGeneralLeaf(LeafEngine &E, const Tape &T) {
+/// routed to the best-matching kernel. \p LP bounds the nested fan-out of
+/// the routed kernels; the reductions among them use a fixed chunk
+/// association, so results are bitwise-identical for every budget.
+void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
   // A leaf with no loops is a single (guarded) point.
   if (E.NumLeaf == 0) {
     for (int V = 0; V < E.NumOrig; ++V)
@@ -531,12 +537,12 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T) {
           Alpha *= Data[A][E.CurOff[A]];
         double Sum;
         if (Varying.size() == 2)
-          Sum = blas::dotStrided(Data[Varying[0]] + E.CurOff[Varying[0]],
+          Sum = blas::dotStrided(LP, Data[Varying[0]] + E.CurOff[Varying[0]],
                                  E.AccCoef[Varying[0]][Inner],
                                  Data[Varying[1]] + E.CurOff[Varying[1]],
                                  E.AccCoef[Varying[1]][Inner], Trips);
         else if (Varying.size() == 1)
-          Sum = blas::sumStrided(Data[Varying[0]] + E.CurOff[Varying[0]],
+          Sum = blas::sumStrided(LP, Data[Varying[0]] + E.CurOff[Varying[0]],
                                  E.AccCoef[Varying[0]][Inner], Trips);
         else
           Sum = static_cast<double>(Trips);
@@ -547,7 +553,7 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T) {
         double Alpha = T.ProductLit;
         for (int A : Invariant)
           Alpha *= Data[A][E.CurOff[A]];
-        blas::axpyStrided(Data[0] + E.CurOff[0], OutIC,
+        blas::axpyStrided(LP, Data[0] + E.CurOff[0], OutIC,
                           Data[Varying[0]] + E.CurOff[Varying[0]],
                           E.AccCoef[Varying[0]][Inner], Alpha, Trips);
         break;
@@ -616,12 +622,13 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T) {
 
 void runCompiledLeaf(LeafEngine &E, const Plan &P,
                      const std::map<IndexVar, Coord> &FixedVals,
-                     std::map<TensorVar, Instance *> &Insts, const Tape &T) {
+                     std::map<TensorVar, Instance *> &Insts, const Tape &T,
+                     const LeafParallelism &LP) {
   if (!prepareStep(E, P, FixedVals, Insts, T))
     return;
-  if (tryGemmLeaf(E, T))
+  if (tryGemmLeaf(E, T, LP))
     return;
-  runGeneralLeaf(E, T);
+  runGeneralLeaf(E, T, LP);
 }
 
 //===----------------------------------------------------------------------===//
@@ -813,36 +820,45 @@ Trace Executor::runImpl(const std::map<TensorVar, Region *> *Regions) {
   Rect Steps = P.stepDomain();
   int64_t NumSteps = Steps.volume();
 
-  // The worker pool for the data side. Trace construction never touches it.
-  int Threads = NumThreads > 0 ? NumThreads : defaultExecutorThreads();
-  ThreadPool *Pool = nullptr;
+  // The execution context for the data side. Trace construction never
+  // touches it.
+  ExecContext *Ctx = ExternalCtx;
+  int Threads = Ctx            ? Ctx->numThreads()
+                : NumThreads > 0 ? NumThreads
+                                 : defaultExecutorThreads();
+  if (!Ctx && Regions && Threads > 1) {
+    if (!OwnCtx || OwnCtx->numThreads() != Threads)
+      OwnCtx = std::make_unique<ExecContext>(Threads);
+    Ctx = OwnCtx.get();
+  }
   // At 1 thread the whole run — including nested BLAS kernels — must stay
   // on this thread.
   std::optional<ThreadPool::InlineScope> InlineGuard;
   if (Regions && Threads == 1)
     InlineGuard.emplace();
-  if (Regions && Threads > 1) {
-    // The global pool is sized defaultExecutorThreads(); only touch it when
-    // that matches, so an explicit setNumThreads(N) never lazily spawns a
-    // full hardware-concurrency fleet it won't use.
-    if (Threads == defaultExecutorThreads())
-      Pool = &ThreadPool::global();
-    else {
-      if (!OwnPool || OwnPool->numThreads() != Threads)
-        OwnPool = std::make_unique<ThreadPool>(Threads);
-      Pool = OwnPool.get();
-    }
-    // A single-task launch has no task-level parallelism to exploit; step
-    // aside so the BLAS kernels fan out over the global pool instead of
-    // being inlined under a one-item task fan-out. With a custom-size
-    // OwnPool the kernels would have to recruit a wrong-size pool, so the
-    // run stays sequential there (see setNumThreads).
-    if (Pool == &ThreadPool::global() && Launch.volume() == 1)
-      Pool = nullptr;
+
+  // Divide the context's threads between task fan-out and leaf fan-out.
+  // Leaf kernels receive the pool plus a ways budget and fan out as
+  // sub-range jobs on the *same* pool, so task- and leaf-level work share
+  // one set of N threads with no oversubscription.
+  ExecContext::Split Split;
+  ThreadPool *Pool = nullptr;
+  LeafParallelism LeafLP;
+  if (Ctx && Regions && Threads > 1) {
+    Split = ForceTaskWays > 0
+                ? ExecContext::Split{ForceTaskWays, ForceLeafWays}
+                : Ctx->splitFor(Launch.volume());
+    if (Split.TaskWays > 1 || Split.LeafWays > 1)
+      Pool = Ctx->pool();
+    if (Pool && Split.LeafWays > 1)
+      LeafLP = {Pool, Split.LeafWays};
   }
   auto parallelTasks = [&](int64_t N, const std::function<void(int64_t)> &Fn) {
-    if (Pool)
-      Pool->parallelFor(N, Fn);
+    if (Pool && Split.TaskWays > 1)
+      Pool->parallelForWays(N, Split.TaskWays, [&](int64_t Lo, int64_t Hi) {
+        for (int64_t I = Lo; I < Hi; ++I)
+          Fn(I);
+      });
     else
       for (int64_t I = 0; I < N; ++I)
         Fn(I);
@@ -883,7 +899,7 @@ Trace Executor::runImpl(const std::map<TensorVar, Region *> *Regions) {
   Tape RhsTape = compileTape(Stmt.rhs());
 
   auto gatherFrom = [&](const Region *R, const Rect &Rect) {
-    return Strategy == LeafStrategy::Compiled ? R->gather(Rect)
+    return Strategy == LeafStrategy::Compiled ? R->gather(Rect, LeafLP)
                                               : R->gatherPointwise(Rect);
   };
 
@@ -1071,7 +1087,8 @@ Trace Executor::runImpl(const std::map<TensorVar, Region *> *Regions) {
         TS.PendingGathers.clear();
         if (TS.RunLeafThisStep) {
           if (Strategy == LeafStrategy::Compiled)
-            runCompiledLeaf(TS.Leaf, P, TS.FixedVals, TS.Insts, RhsTape);
+            runCompiledLeaf(TS.Leaf, P, TS.FixedVals, TS.Insts, RhsTape,
+                            LeafLP);
           else
             runInterpretedLeaf(P, TS.FixedVals, TS.Insts);
         }

@@ -28,7 +28,7 @@
 
 namespace distal {
 
-class ThreadPool;
+class ExecContext;
 
 /// How leaf kernels execute.
 enum class LeafStrategy {
@@ -50,14 +50,36 @@ public:
   /// Number of threads for the execution engine. 0 (default) uses the
   /// process-wide default (DISTAL_NUM_THREADS or hardware concurrency);
   /// 1 forces the fully sequential walk. Traces and output data are
-  /// bitwise-identical at every thread count.
+  /// bitwise-identical at every thread count and every task/leaf split.
   ///
-  /// The engine never uses more than N threads. A custom N (other than the
-  /// process default) parallelizes across tasks only: the BLAS kernels can
-  /// fan out solely over the process-global pool, so a plan whose launch
-  /// domain has a single task then runs its leaves sequentially rather
-  /// than recruit a pool of the wrong size.
-  void setNumThreads(int N) { NumThreads = N; }
+  /// The engine never uses more than N threads, for any N: its ExecContext
+  /// owns one pool, threaded explicitly through the plan walk, the Region
+  /// copies, and the blas:: leaf kernels, and the context's split policy
+  /// divides the N threads between task-level and leaf-level fan-out. A
+  /// single-task plan hands all N threads to its leaf kernels (which run
+  /// as sub-range jobs on the same pool); a plan with at least N tasks
+  /// keeps leaves sequential; intermediate launch domains split
+  /// proportionally. Nested fan-outs never oversubscribe.
+  void setNumThreads(int N) {
+    NumThreads = N;
+    ForceTaskWays = ForceLeafWays = 0;
+  }
+
+  /// Pins the task/leaf division instead of the adaptive policy: the
+  /// engine fans tasks out at most \p TaskWays wide and hands each leaf a
+  /// \p LeafWays budget, over one pool of TaskWays * LeafWays threads.
+  /// Results are bitwise-identical for every split; tests sweep this.
+  void setThreadSplit(int TaskWays, int LeafWays) {
+    NumThreads = TaskWays * LeafWays;
+    ForceTaskWays = TaskWays;
+    ForceLeafWays = LeafWays;
+  }
+
+  /// Runs over \p Ctx instead of an internally owned context (pool sharing
+  /// across executors). Overrides setNumThreads; the split policy still
+  /// applies per launch domain. Pass nullptr to return to internal
+  /// ownership. The context must outlive the executor's runs.
+  void setExecContext(ExecContext *Ctx) { ExternalCtx = Ctx; }
 
   void setLeafStrategy(LeafStrategy S) { Strategy = S; }
 
@@ -80,10 +102,13 @@ private:
   const Plan &P;
   const Mapper &Map;
   int NumThreads = 0;
+  int ForceTaskWays = 0, ForceLeafWays = 0;
   LeafStrategy Strategy = LeafStrategy::Compiled;
-  /// Pool owned when the requested thread count differs from the global
-  /// pool's; cached across run() calls.
-  std::unique_ptr<ThreadPool> OwnPool;
+  ExecContext *ExternalCtx = nullptr;
+  /// Context owned when none is supplied externally; cached across run()
+  /// calls (contexts whose size matches the process default share the
+  /// global pool, other sizes own one).
+  std::unique_ptr<ExecContext> OwnCtx;
 };
 
 /// Sequential reference executor: runs \p Stmt directly over dense arrays

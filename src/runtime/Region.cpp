@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 using namespace distal;
 
@@ -54,24 +55,34 @@ RunDecomposition decomposeRuns(const Rect &R,
   return D;
 }
 
-/// Invokes Fn(RegionOff, InstOff, RunLen) for every contiguous run of \p R.
-/// \p RegStrides are the row-major strides of the full region whose shape is
-/// \p Shape; instance offsets are row-major over the rectangle extents.
+/// Invokes Fn(RegionOff, InstOff, RunLen) for runs [RunLo, RunHi) of \p R
+/// under decomposition \p D. \p RegStrides are the row-major strides of the
+/// full region whose shape is \p Shape; instance offsets are row-major over
+/// the rectangle extents. Restartable at any run index so large copies can
+/// fan out over disjoint run ranges.
 template <typename Fn>
-void forEachRun(const Rect &R, const std::vector<Coord> &Shape,
-                const std::vector<Coord> &RegStrides, const Fn &Body) {
-  RunDecomposition D = decomposeRuns(R, Shape);
-  if (D.NumRuns == 0)
+void forEachRunRange(const Rect &R, const std::vector<Coord> &Shape,
+                     const std::vector<Coord> &RegStrides,
+                     const RunDecomposition &D, int64_t RunLo, int64_t RunHi,
+                     const Fn &Body) {
+  if (RunLo >= RunHi)
     return;
   int Dim = R.dim();
-  int64_t RegBase = 0;
+  int64_t RegOff = 0;
   for (int I = 0; I < Dim; ++I)
-    RegBase += R.lo()[I] * RegStrides[I];
-  // Odometer over the outer dims, maintaining the region offset
+    RegOff += R.lo()[I] * RegStrides[I];
+  // Seed the outer-dim odometer at RunLo, then maintain the region offset
   // incrementally; the instance side is contiguous across runs.
   std::vector<Coord> Idx(D.OuterDims, 0);
-  int64_t RegOff = RegBase, InstOff = 0;
-  for (int64_t Run = 0; Run < D.NumRuns; ++Run) {
+  int64_t Rem = RunLo;
+  for (int I = D.OuterDims - 1; I >= 0; --I) {
+    Coord Extent = R.hi()[I] - R.lo()[I];
+    Idx[I] = Rem % Extent;
+    Rem /= Extent;
+    RegOff += Idx[I] * RegStrides[I];
+  }
+  int64_t InstOff = RunLo * D.RunLen;
+  for (int64_t Run = RunLo; Run < RunHi; ++Run) {
     Body(RegOff, InstOff, D.RunLen);
     InstOff += D.RunLen;
     for (int I = D.OuterDims - 1; I >= 0; --I) {
@@ -83,6 +94,17 @@ void forEachRun(const Rect &R, const std::vector<Coord> &Shape,
     }
   }
 }
+
+/// Invokes Fn(RegionOff, InstOff, RunLen) for every contiguous run of \p R.
+template <typename Fn>
+void forEachRun(const Rect &R, const std::vector<Coord> &Shape,
+                const std::vector<Coord> &RegStrides, const Fn &Body) {
+  RunDecomposition D = decomposeRuns(R, Shape);
+  forEachRunRange(R, Shape, RegStrides, D, 0, D.NumRuns, Body);
+}
+
+/// Copies below this many elements are not worth a fan-out.
+constexpr int64_t CopyParallelCutoff = 1 << 17;
 
 } // namespace
 
@@ -158,17 +180,39 @@ void Region::zero() {
     std::memset(Data.data(), 0, Data.size() * sizeof(double));
 }
 
-Instance Region::gather(const Rect &R) const {
+Instance Region::gather(const Rect &R) const { return gather(R, {}); }
+
+Instance Region::gather(const Rect &R, const LeafParallelism &LP) const {
   DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
                 "gather rectangle outside region bounds");
   Instance I(R);
   double *Dst = I.data();
   const double *Src = Data.data();
-  forEachRun(R, shape(), Strides,
-             [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
-               std::memcpy(Dst + InstOff, Src + RegOff,
-                           static_cast<size_t>(Len) * sizeof(double));
-             });
+  RunDecomposition D = decomposeRuns(R, shape());
+  auto CopyRun = [&](int64_t RegOff, int64_t InstOff, int64_t Len) {
+    std::memcpy(Dst + InstOff, Src + RegOff,
+                static_cast<size_t>(Len) * sizeof(double));
+  };
+  if (!LP.enabled() || D.NumRuns * D.RunLen < CopyParallelCutoff) {
+    forEachRunRange(R, shape(), Strides, D, 0, D.NumRuns, CopyRun);
+    return I;
+  }
+  if (D.NumRuns == 1) {
+    // Fully contiguous rectangle: split the single memcpy into sub-ranges.
+    int64_t RegBase = 0;
+    for (int Dim = 0; Dim < R.dim(); ++Dim)
+      RegBase += R.lo()[Dim] * Strides[Dim];
+    LP.Pool->parallelForWays(D.RunLen, LP.Ways, [&](int64_t Lo, int64_t Hi) {
+      std::memcpy(Dst + Lo, Src + RegBase + Lo,
+                  static_cast<size_t>(Hi - Lo) * sizeof(double));
+    });
+    return I;
+  }
+  // Runs target disjoint instance ranges: any run split copies the same
+  // bytes, just on different threads.
+  LP.Pool->parallelForWays(D.NumRuns, LP.Ways, [&](int64_t Lo, int64_t Hi) {
+    forEachRunRange(R, shape(), Strides, D, Lo, Hi, CopyRun);
+  });
   return I;
 }
 

@@ -20,6 +20,7 @@
 #include "format/Format.h"
 #include "ir/IndexNotation.h"
 #include "machine/Machine.h"
+#include "support/ExecContext.h"
 
 namespace distal {
 
@@ -77,8 +78,12 @@ public:
   void zero();
 
   /// Copies the rectangle \p R out of the region into a fresh instance.
-  /// Contiguous innermost runs move with memcpy.
+  /// Contiguous innermost runs move with memcpy. The \p LP overload fans
+  /// large copies out over the execution context's pool (splitting runs, or
+  /// the single memcpy of a fully contiguous rectangle, into sub-ranges);
+  /// the copied bytes are identical for every pool size and ways budget.
   Instance gather(const Rect &R) const;
+  Instance gather(const Rect &R, const LeafParallelism &LP) const;
   /// Accumulates (+=) an instance's contents back into the region.
   void reduceBack(const Instance &I);
   /// Accumulates only the rows (dim-0 coordinates) of \p I that fall in

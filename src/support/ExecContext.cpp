@@ -1,0 +1,34 @@
+//===- support/ExecContext.cpp --------------------------------*- C++ -*-===//
+
+#include "support/ExecContext.h"
+
+#include "support/ThreadPool.h"
+
+using namespace distal;
+
+ExecContext::ExecContext(int NumThreads)
+    : NumThreads(NumThreads > 0 ? NumThreads : defaultExecutorThreads()) {
+  if (this->NumThreads <= 1)
+    return;
+  if (this->NumThreads == defaultExecutorThreads()) {
+    Resolved = &ThreadPool::global();
+  } else {
+    Owned = std::make_unique<ThreadPool>(this->NumThreads);
+    Resolved = Owned.get();
+  }
+}
+
+ExecContext::~ExecContext() = default;
+
+ExecContext::Split ExecContext::splitFor(int64_t NumTasks) const {
+  Split S;
+  if (NumThreads <= 1 || NumTasks <= 0)
+    return S;
+  if (NumTasks >= NumThreads) {
+    S.TaskWays = NumThreads;
+    return S; // Leaves stay sequential: task fan-out saturates the pool.
+  }
+  S.TaskWays = static_cast<int>(NumTasks);
+  S.LeafWays = NumThreads / S.TaskWays;
+  return S;
+}

@@ -1,0 +1,79 @@
+//===- support/ExecContext.h - Execution resources + split policy -*- C++ -*-===//
+///
+/// \file
+/// An ExecContext owns the thread pool for one engine invocation and the
+/// policy dividing its threads between task-level and leaf-level fan-out.
+/// It is threaded *explicitly* through every layer that runs parallel work
+/// — Executor plan walk, Region gather/writeback, the compiled leaf tape,
+/// and the blas:: kernels — so nothing below the Executor ever reaches for
+/// a process-global pool of the wrong size. Leaf layers receive a
+/// LeafParallelism handle: the context's pool plus a ways budget, with
+/// nested fan-outs executing as sub-range jobs on the same pool (see
+/// ThreadPool), so a (task x leaf) split never exceeds numThreads() live
+/// threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_EXECCONTEXT_H
+#define DISTAL_SUPPORT_EXECCONTEXT_H
+
+#include <cstdint>
+#include <memory>
+
+namespace distal {
+
+class ThreadPool;
+
+/// Bounded leaf-level parallelism handle passed down to Region copies and
+/// blas:: kernels: which pool to fan sub-ranges over and how many ways to
+/// split. A default-constructed handle (no pool / 1 way) means sequential.
+/// Kernels must keep results bitwise-identical for every Ways value — they
+/// either split only disjoint output ranges or use a split-invariant fixed
+/// chunking for reductions.
+struct LeafParallelism {
+  ThreadPool *Pool = nullptr;
+  int Ways = 1;
+  bool enabled() const { return Pool != nullptr && Ways > 1; }
+};
+
+class ExecContext {
+public:
+  /// \p NumThreads == 0 uses the process default (DISTAL_NUM_THREADS or
+  /// hardware concurrency). A context whose size matches the process
+  /// default shares the process-global pool; other sizes own a pool, so an
+  /// explicit setNumThreads(N) never lazily spawns a full
+  /// hardware-concurrency fleet it won't use.
+  explicit ExecContext(int NumThreads = 0);
+  ~ExecContext();
+
+  ExecContext(const ExecContext &) = delete;
+  ExecContext &operator=(const ExecContext &) = delete;
+
+  int numThreads() const { return NumThreads; }
+
+  /// The context's pool, resolved at construction (safe to share across
+  /// threads); null when the context is sequential (1 thread).
+  ThreadPool *pool() const { return Resolved; }
+
+  /// Division of numThreads() between task fan-out and leaf fan-out.
+  struct Split {
+    int TaskWays = 1;
+    int LeafWays = 1;
+  };
+
+  /// Adaptive split for a launch domain of \p NumTasks tasks: a single-task
+  /// plan gives every thread to its leaf; a plan with at least numThreads()
+  /// tasks keeps leaves sequential (task fan-out already saturates the
+  /// pool); in between, leaves get the threads the task level cannot use.
+  /// Executor::setThreadSplit pins the division instead of this policy.
+  Split splitFor(int64_t NumTasks) const;
+
+private:
+  int NumThreads;
+  ThreadPool *Resolved = nullptr;
+  std::unique_ptr<ThreadPool> Owned;
+};
+
+} // namespace distal
+
+#endif // DISTAL_SUPPORT_EXECCONTEXT_H

@@ -5,17 +5,25 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/Error.h"
+
 using namespace distal;
 
-static thread_local bool IsPoolWorker = false;
+/// The pool this thread is currently working for: set for spawned workers
+/// for their whole life, and for any thread while it executes chunks of a
+/// pool's job. Null on threads outside every pool.
+static thread_local ThreadPool *CurrentPool = nullptr;
+/// Count of chunk frames on this thread's stack (nested fan-outs re-enter
+/// runOneChunk); only the outermost frame counts toward Live.
+static thread_local int ChunkDepth = 0;
+/// Set by InlineScope: every fan-out runs serially on this thread.
+static thread_local bool InlineOnly = false;
 
-bool ThreadPool::inWorker() { return IsPoolWorker; }
+bool ThreadPool::inWorker() { return CurrentPool != nullptr; }
 
-ThreadPool::InlineScope::InlineScope() : Prev(IsPoolWorker) {
-  IsPoolWorker = true;
-}
+ThreadPool::InlineScope::InlineScope() : Prev(InlineOnly) { InlineOnly = true; }
 
-ThreadPool::InlineScope::~InlineScope() { IsPoolWorker = Prev; }
+ThreadPool::InlineScope::~InlineScope() { InlineOnly = Prev; }
 
 ThreadPool::ThreadPool(int NumThreads)
     : NumThreads(std::max(1, NumThreads)) {
@@ -28,87 +36,137 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> Lock(Mtx);
     ShuttingDown = true;
   }
-  JobReady.notify_all();
+  WorkAvailable.notify_all();
   for (std::thread &W : Workers)
     W.join();
 }
 
-void ThreadPool::workerLoop() {
-  IsPoolWorker = true;
-  int64_t SeenGeneration = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> Lock(Mtx);
-      JobReady.wait(Lock, [&] {
-        return ShuttingDown || Generation != SeenGeneration;
-      });
-      if (ShuttingDown)
-        return;
-      SeenGeneration = Generation;
-      ++ActiveWorkers;
-    }
-    runJob();
-    {
-      std::lock_guard<std::mutex> Lock(Mtx);
-      --ActiveWorkers;
-    }
+int ThreadPool::liveWorkerHighWater() const {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  return LiveHighWater;
+}
+
+void ThreadPool::resetLiveWorkerHighWater() {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  LiveHighWater = Live;
+}
+
+void ThreadPool::runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock) {
+  int64_t Lo = J.Next;
+  int64_t Hi = std::min(Lo + J.Chunk, J.N);
+  J.Next = Hi;
+  // Only the outermost chunk frame of a thread counts: a nested fan-out
+  // re-uses the thread already accounted for by its enclosing chunk.
+  bool Outermost = ChunkDepth == 0;
+  if (Outermost) {
+    ++Live;
+    LiveHighWater = std::max(LiveHighWater, Live);
+    DISTAL_ASSERT(Live <= NumThreads,
+                  "thread pool exceeded its configured worker count");
+  }
+  ++ChunkDepth;
+  Lock.unlock();
+  (*J.Fn)(Lo, Hi);
+  Lock.lock();
+  --ChunkDepth;
+  if (Outermost)
+    --Live;
+  if (--J.Remaining == 0)
     JobDone.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  CurrentPool = this;
+  std::unique_lock<std::mutex> Lock(Mtx);
+  for (;;) {
+    Job *Claimable = nullptr;
+    for (Job *J : Jobs)
+      if (J->Next < J->N) {
+        Claimable = J;
+        break;
+      }
+    if (Claimable) {
+      runOneChunk(*Claimable, Lock);
+      continue;
+    }
+    if (ShuttingDown)
+      return;
+    WorkAvailable.wait(Lock);
   }
 }
 
-void ThreadPool::runJob() {
-  for (;;) {
-    int64_t Lo = NextIndex.fetch_add(Cur.Chunk, std::memory_order_relaxed);
-    if (Lo >= Cur.N)
-      return;
-    (*Cur.Fn)(Lo, std::min(Lo + Cur.Chunk, Cur.N));
+bool ThreadPool::mustInline(int64_t N) const {
+  // Inline when there is no parallelism to exploit, when the thread is
+  // pinned serial (InlineScope), or when the caller is a worker of a
+  // *different* pool — fanning out there would stack two pools' workers on
+  // top of each other. Same-pool nesting does fan out: it shares this
+  // pool's threads through the job list.
+  return NumThreads == 1 || N == 1 || InlineOnly ||
+         (CurrentPool != nullptr && CurrentPool != this);
+}
+
+void ThreadPool::submitAndRun(Job &J) {
+  bool TopLevel = CurrentPool != this;
+  // Serialize top-level fan-outs: each external caller adds one live thread
+  // while it participates, so admitting one at a time keeps the pool at
+  // exactly NumThreads live workers. Nested submitters are already inside a
+  // counted chunk and must not (and need not) queue.
+  std::unique_lock<std::mutex> CallerLock(CallerMtx, std::defer_lock);
+  if (TopLevel)
+    CallerLock.lock();
+  ThreadPool *PrevPool = CurrentPool;
+  CurrentPool = this;
+  {
+    std::unique_lock<std::mutex> Lock(Mtx);
+    Jobs.push_back(&J);
+    WorkAvailable.notify_all();
+    // Participate in our own job; idle workers (and only they) help.
+    while (J.Next < J.N)
+      runOneChunk(J, Lock);
+    // Wait out chunks claimed by other threads. They always finish: a
+    // claimed chunk is being executed by a live thread, and any job that
+    // execution submits drains the same way (induction on nesting depth),
+    // so this wait cannot deadlock.
+    JobDone.wait(Lock, [&] { return J.Remaining == 0; });
+    Jobs.erase(std::find(Jobs.begin(), Jobs.end(), &J));
   }
+  CurrentPool = PrevPool;
 }
 
 void ThreadPool::parallelForChunks(
     int64_t N, const std::function<void(int64_t, int64_t)> &Fn) {
   if (N <= 0)
     return;
-  // Inline when there is no parallelism to exploit or when called from a
-  // worker (nested fan-out would deadlock waiting on our own pool). The
-  // caller is flagged as a worker for the duration either way, so anything
-  // reached from inside a parallelFor region — even a degenerate one-item
-  // fan-out — keeps its nested parallelism inline instead of recruiting
-  // some other pool behind the configured thread count's back.
-  if (NumThreads == 1 || N == 1 || IsPoolWorker) {
-    bool Prev = IsPoolWorker;
-    IsPoolWorker = true;
+  if (mustInline(N)) {
     Fn(0, N);
-    IsPoolWorker = Prev;
     return;
   }
-  // One fan-out at a time; concurrent top-level callers queue up here.
-  std::lock_guard<std::mutex> CallerLock(CallerMtx);
-  {
-    std::unique_lock<std::mutex> Lock(Mtx);
-    // Drain stragglers: a worker may wake late for the *previous* job
-    // (after its caller already returned) and read the job slot; never
-    // rewrite it underneath such a reader.
-    JobDone.wait(Lock, [&] { return ActiveWorkers == 0; });
-    Cur.N = N;
-    // Over-decompose 4x for load balance, but never below one index.
-    Cur.Chunk = std::max<int64_t>(1, N / (4 * NumThreads));
-    Cur.Fn = &Fn;
-    NextIndex.store(0, std::memory_order_relaxed);
-    ++Generation;
+  Job J;
+  J.N = N;
+  // Over-decompose 4x for load balance, but never below one index.
+  J.Chunk = std::max<int64_t>(1, N / (4 * NumThreads));
+  J.Remaining = (N + J.Chunk - 1) / J.Chunk;
+  J.Fn = &Fn;
+  submitAndRun(J);
+}
+
+void ThreadPool::parallelForWays(
+    int64_t N, int Ways, const std::function<void(int64_t, int64_t)> &Fn) {
+  if (N <= 0)
+    return;
+  int64_t W = std::min<int64_t>(std::max(Ways, 1), N);
+  if (W <= 1 || mustInline(N)) {
+    Fn(0, N);
+    return;
   }
-  JobReady.notify_all();
-  // The caller participates, flagged as a pool worker so that nested
-  // parallelism reached from inside the fanned-out region (e.g. a parallel
-  // BLAS kernel in a leaf) runs inline instead of re-entering this pool —
-  // re-entry would self-deadlock on CallerMtx.
-  IsPoolWorker = true;
-  runJob();
-  IsPoolWorker = false;
-  std::unique_lock<std::mutex> Lock(Mtx);
-  JobDone.wait(Lock, [&] {
-    return ActiveWorkers == 0 && NextIndex.load() >= Cur.N;
-  });
+  Job J;
+  J.N = N;
+  // 2x over-decomposition within the allotted ways: enough slack for idle
+  // helpers without shredding a bounded leaf budget into tiny chunks.
+  J.Chunk = std::max<int64_t>(1, (N + 2 * W - 1) / (2 * W));
+  J.Remaining = (N + J.Chunk - 1) / J.Chunk;
+  J.Fn = &Fn;
+  submitAndRun(J);
 }
 
 void ThreadPool::parallelFor(int64_t N,

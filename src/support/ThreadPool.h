@@ -1,20 +1,25 @@
-//===- support/ThreadPool.h - Shared-memory worker pool --------*- C++ -*-===//
+//===- support/ThreadPool.h - Nested-capable worker pool -------*- C++ -*-===//
 ///
 /// \file
 /// A persistent worker pool used by the Execute backend to run independent
 /// per-task work (gathers, leaf kernels, writeback stripes) and by the BLAS
 /// kernels to split outer blocks. The pool is *structured*: parallelFor
 /// blocks until every index has run, so callers never observe concurrency —
-/// they only observe that independent iterations overlapped. Calls made from
-/// inside a worker run inline (no nested fan-out), which makes it safe for a
-/// parallel executor task to call a parallel BLAS kernel.
+/// they only observe that independent iterations overlapped.
+///
+/// The pool supports *nested* fan-out on itself: a worker executing a chunk
+/// may submit a sub-range job (a parallel leaf kernel inside a parallel
+/// task), which is pushed onto the same pool's job list. The submitting
+/// thread participates in its own sub-job and any idle worker may help, so
+/// two-level (task x leaf) parallelism shares one set of N threads and never
+/// oversubscribes. Calls on a pool from a *different* pool's worker run
+/// inline — cross-pool recruitment is structurally impossible.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DISTAL_SUPPORT_THREADPOOL_H
 #define DISTAL_SUPPORT_THREADPOOL_H
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -46,13 +51,31 @@ public:
   void parallelForChunks(int64_t N,
                          const std::function<void(int64_t, int64_t)> &Fn);
 
+  /// Bounded fan-out: partitions [0, N) into sub-ranges sized for at most
+  /// \p Ways concurrent executors (with mild over-decomposition for load
+  /// balance) and runs them as pool jobs. Ways <= 1 runs inline. This is
+  /// the nested-parallelism entry point: the executor's split policy hands
+  /// leaf kernels a Ways budget instead of a thread subset, and the shared
+  /// job list keeps total live threads bounded by numThreads() no matter
+  /// how task- and leaf-level jobs interleave.
+  void parallelForWays(int64_t N, int Ways,
+                       const std::function<void(int64_t, int64_t)> &Fn);
+
   /// The process-wide pool. Size comes from DISTAL_NUM_THREADS when set,
   /// else std::thread::hardware_concurrency().
   static ThreadPool &global();
 
-  /// True when the calling thread is a pool worker (parallelFor from such a
-  /// thread runs inline).
+  /// True when the calling thread is a worker of any pool (used by the
+  /// context-free BLAS entry points to avoid recruiting a second pool from
+  /// inside a fan-out).
   static bool inWorker();
+
+  /// High-water mark of threads concurrently executing chunks of this
+  /// pool's jobs, nested fan-outs included. Never exceeds numThreads()
+  /// (asserted on every chunk claim); exposed so tests can property-check
+  /// the bound under nested task+leaf fan-out.
+  int liveWorkerHighWater() const;
+  void resetLiveWorkerHighWater();
 
   /// RAII guard marking the current thread inline-only: any parallelFor
   /// issued from it (on any pool) runs serially for the guard's lifetime.
@@ -70,25 +93,37 @@ public:
   };
 
 private:
+  /// One active fan-out. Lives on the submitting frame's stack; registered
+  /// in Jobs until every chunk has finished. All fields are guarded by Mtx.
   struct Job {
     int64_t N = 0;
     int64_t Chunk = 1;
+    int64_t Next = 0;      ///< First unclaimed index.
+    int64_t Remaining = 0; ///< Chunks claimed or unclaimed but not finished.
     const std::function<void(int64_t, int64_t)> *Fn = nullptr;
   };
 
+  /// True when a parallelFor of \p N items must run inline on the caller.
+  bool mustInline(int64_t N) const;
+  /// Registers \p J, participates until no chunk is unclaimed, then waits
+  /// for straggler chunks claimed by other threads.
+  void submitAndRun(Job &J);
+  /// Claims and runs one chunk of \p J. Mtx held on entry and exit.
+  void runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock);
   void workerLoop();
-  void runJob();
 
   int NumThreads;
   std::vector<std::thread> Workers;
+  /// Serializes *top-level* (non-nested) fan-outs so concurrent external
+  /// callers queue instead of stacking extra live threads onto the pool.
+  /// Nested submissions never take it (self-deadlock otherwise).
   std::mutex CallerMtx;
-  std::mutex Mtx;
-  std::condition_variable JobReady;
+  mutable std::mutex Mtx;
+  std::condition_variable WorkAvailable;
   std::condition_variable JobDone;
-  Job Cur;
-  std::atomic<int64_t> NextIndex{0};
-  int64_t Generation = 0;
-  int ActiveWorkers = 0;
+  std::vector<Job *> Jobs;
+  int Live = 0; ///< Threads currently inside a chunk of this pool.
+  int LiveHighWater = 0;
   bool ShuttingDown = false;
 };
 

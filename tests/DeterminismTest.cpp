@@ -2,10 +2,12 @@
 //
 // The parallel execution engine must be observationally identical to the
 // sequential walk: traces (messages, work, peak memory) and output data are
-// required to be *bitwise* equal at every thread count. Runs a rotated
-// Cannon plan (systolic relays, GEMM leaves) and an MTTKRP plan (general
-// affine leaves, reduction writeback) at 1 and 8 threads and diffs
-// everything.
+// required to be *bitwise* equal at every thread count AND at every
+// task/leaf thread split of the ExecContext. Runs a rotated Cannon plan
+// (systolic relays, GEMM leaves), an MTTKRP plan (general affine leaves,
+// reduction writeback), and a single-task plan (all threads handed to the
+// leaf as nested sub-range jobs), diffing everything across the
+// (task-ways x leaf-ways) grid.
 //
 //===----------------------------------------------------------------------===//
 
@@ -55,9 +57,11 @@ struct RunResult {
   std::vector<double> OutData;
 };
 
+/// TaskWays == 0 runs with setNumThreads(Threads) (adaptive split);
+/// otherwise the split is pinned to TaskWays x LeafWays.
 template <typename Problem>
 RunResult runAt(const Problem &Prob, const std::vector<TensorVar> &Tensors,
-                int Threads) {
+                int Threads, int TaskWays = 0, int LeafWays = 0) {
   std::map<TensorVar, Region *> Regions;
   std::vector<std::unique_ptr<Region>> Storage;
   for (size_t I = 0; I < Tensors.size(); ++I) {
@@ -69,7 +73,10 @@ RunResult runAt(const Problem &Prob, const std::vector<TensorVar> &Tensors,
     Regions[T] = Storage.back().get();
   }
   Executor Exec(Prob.P);
-  Exec.setNumThreads(Threads);
+  if (TaskWays > 0)
+    Exec.setThreadSplit(TaskWays, LeafWays);
+  else
+    Exec.setNumThreads(Threads);
   RunResult R;
   R.T = Exec.run(Regions);
   const TensorVar &Out = Tensors[0];
@@ -78,16 +85,36 @@ RunResult runAt(const Problem &Prob, const std::vector<TensorVar> &Tensors,
   return R;
 }
 
+void expectSameData(const RunResult &Seq, const RunResult &Par) {
+  ASSERT_EQ(Seq.OutData.size(), Par.OutData.size());
+  for (size_t I = 0; I < Seq.OutData.size(); ++I)
+    // Bitwise, not approximate: the parallel engine must not reassociate.
+    ASSERT_EQ(Seq.OutData[I], Par.OutData[I]) << "element " << I;
+}
+
 template <typename Problem>
 void expectDeterministic(const Problem &Prob,
                          const std::vector<TensorVar> &Tensors) {
   RunResult Seq = runAt(Prob, Tensors, 1);
   RunResult Par = runAt(Prob, Tensors, 8);
   expectTracesIdentical(Seq.T, Par.T);
-  ASSERT_EQ(Seq.OutData.size(), Par.OutData.size());
-  for (size_t I = 0; I < Seq.OutData.size(); ++I)
-    // Bitwise, not approximate: the parallel engine must not reassociate.
-    ASSERT_EQ(Seq.OutData[I], Par.OutData[I]) << "element " << I;
+  expectSameData(Seq, Par);
+}
+
+/// Sweeps the pinned (task-ways x leaf-ways) grid against the sequential
+/// run: every nested configuration must match bitwise.
+template <typename Problem>
+void expectDeterministicAcrossSplits(const Problem &Prob,
+                                     const std::vector<TensorVar> &Tensors) {
+  RunResult Seq = runAt(Prob, Tensors, 1);
+  for (int TaskWays : {1, 2, 8})
+    for (int LeafWays : {1, 4}) {
+      SCOPED_TRACE("task ways " + std::to_string(TaskWays) + ", leaf ways " +
+                   std::to_string(LeafWays));
+      RunResult R = runAt(Prob, Tensors, 0, TaskWays, LeafWays);
+      expectTracesIdentical(Seq.T, R.T);
+      expectSameData(Seq, R);
+    }
 }
 
 } // namespace
@@ -125,4 +152,47 @@ TEST(Determinism, JohnsonReductionWriteback) {
   Opts.Procs = 8;
   MatmulProblem Prob = buildMatmul(MatmulAlgo::Johnson, Opts);
   expectDeterministic(Prob, {Prob.A, Prob.B, Prob.C});
+}
+
+TEST(Determinism, SingleTaskLeafFanout) {
+  // One task, eight threads: the adaptive split hands every thread to the
+  // leaf GEMM as nested sub-range jobs. Parallel leaves must be bitwise
+  // equal to the sequential run (the PR 1 engine could not reach this
+  // configuration at all — leaves ran sequentially). N = 128 puts the leaf
+  // (128^3 multiply-adds) above blas::gemm's parallel cutoff so the
+  // fan-out really happens.
+  MatmulOptions Opts;
+  Opts.N = 128;
+  Opts.Procs = 1;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  expectDeterministic(Prob, {Prob.A, Prob.B, Prob.C});
+}
+
+TEST(Determinism, NestedSplitsCannon) {
+  // N = 224 on a 2x2 grid gives 112^3 multiply-adds per leaf step — above
+  // the GEMM parallel cutoff, so LeafWays > 1 configurations run real
+  // nested sub-range jobs under the task fan-out instead of degenerating
+  // to sequential leaves.
+  MatmulOptions Opts;
+  Opts.N = 224;
+  Opts.Procs = 4;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  expectDeterministicAcrossSplits(Prob, {Prob.A, Prob.B, Prob.C});
+}
+
+TEST(Determinism, NestedSplitsCannonUnevenTiles) {
+  MatmulOptions Opts;
+  Opts.N = 19; // Guarded edge tiles exercise the hoisted-guard path.
+  Opts.Procs = 4;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  expectDeterministicAcrossSplits(Prob, {Prob.A, Prob.B, Prob.C});
+}
+
+TEST(Determinism, NestedSplitsMttkrp) {
+  HigherOrderOptions Opts;
+  Opts.Dim = 16;
+  Opts.Rank = 8;
+  Opts.Procs = 4;
+  HigherOrderProblem Prob = buildHigherOrder(HigherOrderKernel::MTTKRP, Opts);
+  expectDeterministicAcrossSplits(Prob, Prob.Tensors);
 }
