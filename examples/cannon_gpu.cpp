@@ -51,7 +51,7 @@ int main() {
       .communicate(A, Iio)
       .communicate({B, C}, Kos);
 
-  Trace T = A.evaluate(M);
+  Trace T = A.evaluateWithTrace(M);
   std::printf("%s\n", T.summary().c_str());
   SimResult R = simulate(T, M, MachineSpec::lassenGPU());
   std::printf("simulated time on lassen-gpu model: %.3g ms\n",

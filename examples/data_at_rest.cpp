@@ -46,7 +46,7 @@ int main() {
         .communicate(A, Io)
         .communicate(B, Io)
         .communicate(C, Jo); // Stream column panels of C.
-    Trace T = A.evaluate(M);
+    Trace T = A.evaluateWithTrace(M);
     std::printf("compute-follows-data:    B at rest, comm = %6lld bytes "
                 "(%lld messages)\n",
                 static_cast<long long>(T.totalCommBytes()),
@@ -97,7 +97,7 @@ int main() {
         .communicate(A, Jo)
         .communicate({B, C}, Ko)
         .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
-    Trace T = A.evaluate(M2);
+    Trace T = A.evaluateWithTrace(M2);
     std::printf("redistribute-then-tile:  reshuffle %6lld + kernel %6lld "
                 "= %6lld bytes\n",
                 static_cast<long long>(Reshuffle),

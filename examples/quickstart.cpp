@@ -53,9 +53,9 @@ int main() {
       // Use the optimized local kernel for the leaf loops.
       .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
 
-  std::printf("Generated program:\n%s\n", emitCpp(A.compile(M)).c_str());
+  std::printf("Generated program:\n%s\n", emitCpp(A.lower(M)).c_str());
 
-  Trace T = A.evaluate(M);
+  Trace T = A.evaluateWithTrace(M);
   std::printf("%s\n", T.summary().c_str());
 
   // Verify against a sequential reference.

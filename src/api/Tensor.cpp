@@ -6,7 +6,7 @@
 #include <mutex>
 
 #include "lower/Lower.h"
-#include "runtime/Executor.h"
+#include "runtime/PlanCache.h"
 #include "support/Error.h"
 
 using namespace distal;
@@ -66,12 +66,16 @@ Tensor::~Tensor() {
 
 void Tensor::defineComputation(Assignment Stmt) {
   Sched = std::make_unique<Schedule>(std::move(Stmt));
+  MemoKey.clear();
 }
 
 Schedule &Tensor::schedule() {
   if (!Sched)
     reportFatalError("tensor '" + Var.name() +
                      "' has no computation to schedule");
+  // Any scheduling access may mutate the nest; the next compile must
+  // re-derive the cache key.
+  MemoKey.clear();
   return *Sched;
 }
 
@@ -91,7 +95,24 @@ void Tensor::fill(std::function<double(const Point &)> Fn) {
     Reg->fill(PendingFill);
 }
 
-Region &Tensor::materialize(const Machine &M) {
+Region &Tensor::materialize(const Machine &M, bool PreserveData) {
+  // The backing Region persists across repeated evaluations (the
+  // steady-state path never reallocates output storage). A machine change
+  // rebuilds it for the new home distribution, carrying the element
+  // values over when asked — data computed by a previous evaluate() (not
+  // just pending fills) must survive for tensors read as operands, e.g.
+  // one produced on machine A and consumed on machine B. Callers pass
+  // PreserveData = false for a pure output, whose contents are about to
+  // be zeroed anyway.
+  if (Reg && Reg->machine().str() != M.str()) {
+    std::unique_ptr<Region> Old = std::move(Reg);
+    Reg = std::make_unique<Region>(Var, Fmt, M);
+    if (PreserveData)
+      Rect::forExtents(Var.shape()).forEachPoint(
+          [&](const Point &P) { Reg->at(P) = Old->at(P); });
+    else if (PendingFill)
+      Reg->fill(PendingFill);
+  }
   if (!Reg) {
     Reg = std::make_unique<Region>(Var, Fmt, M);
     if (PendingFill)
@@ -100,29 +121,68 @@ Region &Tensor::materialize(const Machine &M) {
   return *Reg;
 }
 
-Plan Tensor::compile(const Machine &M) {
+Plan Tensor::lower(const Machine &M) {
   if (!Sched)
     reportFatalError("tensor '" + Var.name() + "' has no computation");
   std::map<TensorVar, Format> Formats;
   for (const TensorVar &T : Sched->nest().Stmt.tensors())
     Formats.emplace(T, lookup(T).format());
-  return lower(Sched->nest(), M, std::move(Formats));
+  return distal::lower(Sched->nest(), M, std::move(Formats));
 }
 
-Trace Tensor::evaluate(const Machine &M) {
-  Plan P = compile(M);
+std::shared_ptr<CompiledPlan> Tensor::compile(const Machine &M) {
+  // Steady state: the memoized key skips lowering and fingerprinting but
+  // still goes through the PlanCache, so explicit invalidation (or LRU
+  // eviction) always forces a true recompile below.
+  if (!MemoKey.empty() && MemoMachine == M.str())
+    if (std::shared_ptr<CompiledPlan> Cached =
+            PlanCache::global().find(MemoKey))
+      return Cached;
+  Plan P = lower(M);
+  std::string Key = PlanCache::keyFor(P, LeafStrategy::Compiled);
+  MemoMachine = M.str();
+  MemoKey = Key;
+  if (std::shared_ptr<CompiledPlan> Cached = PlanCache::global().find(Key))
+    return Cached;
+  auto CP = std::make_shared<CompiledPlan>(std::move(P));
+  PlanCache::global().put(Key, CP);
+  return CP;
+}
+
+std::string Tensor::planKey(const Machine &M) {
+  return PlanCache::keyFor(lower(M), LeafStrategy::Compiled);
+}
+
+Trace Tensor::runCompiled(CompiledPlan &CP, const Machine &M,
+                          TraceMode Mode) {
+  const Assignment &Stmt = CP.plan().Nest.Stmt;
+  const TensorVar &Out = Stmt.lhs().tensor();
+  bool OutIsRead = false;
+  for (const Access &A : Stmt.rhsAccesses())
+    OutIsRead |= A.tensor() == Out;
   std::map<TensorVar, Region *> Regions;
-  for (const TensorVar &T : P.Nest.Stmt.tensors())
-    Regions[T] = &lookup(T).materialize(M);
-  Executor Exec(P);
-  return Exec.run(Regions);
+  for (const TensorVar &T : Stmt.tensors())
+    Regions[T] =
+        &lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+  ExecOptions Opts;
+  Opts.Mode = Mode;
+  return CP.execute(Regions, Opts);
 }
 
-Trace Tensor::simulateOn(const Machine &M) {
-  Plan P = compile(M);
-  Executor Exec(P);
-  return Exec.simulate();
+void Tensor::evaluate(const Machine &M) {
+  runCompiled(*compile(M), M, TraceMode::Off);
 }
+
+Trace Tensor::evaluateWithTrace(const Machine &M) {
+  return runCompiled(*compile(M), M, TraceMode::Full);
+}
+
+Trace Tensor::evaluateUncached(const Machine &M) {
+  CompiledPlan CP(lower(M));
+  return runCompiled(CP, M, TraceMode::Full);
+}
+
+Trace Tensor::simulateOn(const Machine &M) { return compile(M)->trace(); }
 
 double Tensor::at(const Point &P) const {
   if (!Reg)

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "lower/Plan.h"
+#include "runtime/CompiledPlan.h"
 #include "runtime/Ledger.h"
 #include "runtime/Region.h"
 #include "schedule/Schedule.h"
@@ -96,29 +97,66 @@ public:
   void fillRandom(uint64_t Seed);
   void fill(std::function<double(const Point &)> Fn);
 
-  /// Compiles the scheduled computation for machine \p M.
-  Plan compile(const Machine &M);
+  /// Lowers the scheduled computation to a Plan for machine \p M (the
+  /// pre-compile program; see compile() for the executable artifact).
+  Plan lower(const Machine &M);
 
-  /// Compiles and runs on real data; operand tensors' fills are applied.
-  /// Returns the execution trace.
-  Trace evaluate(const Machine &M);
+  /// Compiles the scheduled computation for machine \p M into a persistent
+  /// CompiledPlan artifact, consulting the process-wide PlanCache: the
+  /// first call per (statement, schedule, formats, machine) pays the full
+  /// analysis, later calls return the cached artifact. The artifact (and
+  /// its reusable instance buffers) is shared between the cache and the
+  /// caller. Steady-state calls also skip re-lowering and re-fingerprinting:
+  /// the cache key is memoized per machine and dropped whenever the
+  /// computation is redefined or schedule() is accessed (mutating a held
+  /// Schedule reference without going through schedule() is not tracked).
+  /// PlanCache invalidation is still honoured — the memoized key is only a
+  /// shortcut to the lookup, never to the artifact.
+  std::shared_ptr<CompiledPlan> compile(const Machine &M);
 
-  /// Walks the compiled plan without data (for cost studies).
+  /// Compiles (or cache-hits) and runs on real data; operand tensors'
+  /// fills are applied. The steady-state path: repeated calls reuse the
+  /// cached artifact, its instance buffers, and this tensor's backing
+  /// Region, and skip trace accounting entirely (TraceMode::Off).
+  void evaluate(const Machine &M);
+
+  /// Like evaluate(), returning the execution trace (precomputed at
+  /// compile time; this copies the cached skeleton).
+  Trace evaluateWithTrace(const Machine &M);
+
+  /// Escape hatch: compiles a fresh artifact, bypassing the PlanCache in
+  /// both directions (no lookup, no insertion). Results are
+  /// bitwise-identical to the cached path.
+  Trace evaluateUncached(const Machine &M);
+
+  /// The trace of the compiled plan without touching data (for cost
+  /// studies). Uses the same cached artifact as evaluate().
   Trace simulateOn(const Machine &M);
+
+  /// The PlanCache key evaluate()/compile() use for machine \p M (for
+  /// explicit invalidation via PlanCache::global().invalidate).
+  std::string planKey(const Machine &M);
 
   /// Element access after evaluate().
   double at(const Point &P) const;
-  /// The region backing this tensor after evaluate(), if any.
+  /// The region backing this tensor after evaluate(), if any. Owned by the
+  /// tensor and reused across evaluations on the same machine; evaluating
+  /// on a different machine rebuilds it (re-applying any pending fill).
   Region *region() const { return Reg.get(); }
 
 private:
-  Region &materialize(const Machine &M);
+  Region &materialize(const Machine &M, bool PreserveData = true);
+  Trace runCompiled(CompiledPlan &CP, const Machine &M, TraceMode Mode);
 
   TensorVar Var;
   Format Fmt;
   std::unique_ptr<Schedule> Sched;
   std::unique_ptr<Region> Reg;
   std::function<double(const Point &)> PendingFill;
+  /// Steady-state shortcut past lowering + fingerprinting: the PlanCache
+  /// key last computed, valid for MemoMachine while the schedule is
+  /// untouched (cleared by defineComputation and schedule()).
+  std::string MemoMachine, MemoKey;
 };
 
 } // namespace distal

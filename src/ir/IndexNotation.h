@@ -63,6 +63,12 @@ public:
   bool operator!=(const TensorVar &O) const { return !(*this == O); }
   bool operator<(const TensorVar &O) const { return Content < O.Content; }
 
+  /// Opaque identity token (stable for the variable's lifetime; distinct
+  /// live tensors never share one). Used by plan fingerprinting so a cached
+  /// compilation can never be confused with a recreated tensor of the same
+  /// name and shape.
+  const void *identity() const { return Content.get(); }
+
 private:
   struct Payload {
     std::string Name;

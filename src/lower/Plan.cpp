@@ -3,6 +3,7 @@
 #include "lower/Plan.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <sstream>
 
@@ -88,6 +89,91 @@ int64_t Plan::distReductionFactor() const {
       Factor *= Nest.Prov.extent(V);
   }
   return Factor;
+}
+
+std::string Plan::fingerprint() const {
+  std::ostringstream OS;
+  // Index variables are renamed canonically by order of first appearance
+  // (loops first, then the statement), so structurally identical plans
+  // built from fresh IndexVar objects fingerprint equal.
+  std::map<int, int> Canon;
+  auto canon = [&](const IndexVar &V) {
+    auto [It, New] = Canon.emplace(V.id(), static_cast<int>(Canon.size()));
+    (void)New;
+    return "v" + std::to_string(It->second);
+  };
+  std::vector<TensorVar> Tensors = Nest.Stmt.tensors();
+  std::map<TensorVar, int> TIdx;
+  for (size_t I = 0; I < Tensors.size(); ++I)
+    TIdx[Tensors[I]] = static_cast<int>(I);
+  auto tensorTok = [&](const TensorVar &T) {
+    return "t" + std::to_string(TIdx.at(T));
+  };
+
+  // Machine::str() omits flat node grouping, but compilation bakes
+  // node-dependent SameNode flags and relay choices into the artifact, so
+  // the node count must key too.
+  OS << "machine=" << M.str() << ";nodes=" << M.numNodes()
+     << ";dist=" << NumDist << ";leafbegin=" << LeafBegin
+     << ";leafkernel=" << (Nest.Leaf == LeafKernel::GeMM ? "gemm" : "generic");
+
+  OS << ";loops=[";
+  for (const LoopSpec &L : Nest.Loops) {
+    OS << canon(L.Var) << ":" << Nest.Prov.extent(L.Var);
+    if (L.Distributed)
+      OS << ":dist";
+    if (L.Parallelized)
+      OS << ":par";
+    for (const TensorVar &T : L.Communicate)
+      OS << ":comm(" << tensorTok(T) << ")";
+    OS << ";";
+  }
+  OS << "]";
+
+  std::function<void(const Expr &)> Emit = [&](const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Access: {
+      OS << tensorTok(E.access().tensor()) << "(";
+      for (const IndexVar &V : E.access().indices())
+        OS << canon(V) << ",";
+      OS << ")";
+      return;
+    }
+    case ExprKind::Literal:
+      // Hexfloat: the default 6-digit precision would collide literals
+      // differing beyond it, serving an artifact with the wrong constant.
+      OS << std::hexfloat << E.literal() << std::defaultfloat;
+      return;
+    case ExprKind::Add:
+    case ExprKind::Mul:
+      OS << "(";
+      Emit(E.lhs());
+      OS << (E.kind() == ExprKind::Add ? "+" : "*");
+      Emit(E.rhs());
+      OS << ")";
+      return;
+    }
+  };
+  OS << ";stmt=" << tensorTok(Nest.Stmt.lhs().tensor()) << "(";
+  for (const IndexVar &V : Nest.Stmt.lhs().indices())
+    OS << canon(V) << ",";
+  OS << ")=";
+  Emit(Nest.Stmt.rhs());
+
+  // Derivation structure. The relation strings use display names; the
+  // canonical mapping recorded above pins which variable each display name
+  // refers to in this plan, and extents pin the scheduling factors.
+  OS << ";prov={" << Nest.Prov.str() << "}";
+
+  OS << ";tensors=[";
+  for (const TensorVar &T : Tensors) {
+    OS << T.name() << "@" << T.identity() << ":shape(";
+    for (Coord D : T.shape())
+      OS << D << ",";
+    OS << "):" << formatOf(T).str() << ";";
+  }
+  OS << "]";
+  return OS.str();
 }
 
 std::string Plan::str() const {

@@ -58,6 +58,16 @@ public:
   /// (1 when the launch is owner-computes).
   int64_t distReductionFactor() const;
 
+  /// A stable cache key for the compiled form of this plan: a canonical
+  /// serialization of everything compilation depends on — machine, loop
+  /// structure and tags (with index variables renamed by first
+  /// appearance, so textually identical schedules built from fresh
+  /// IndexVars key equal), statement, per-variable extents, provenance
+  /// relations, and per-tensor name/shape/format/identity. Execute-time
+  /// knobs (threads, trace mode) do not participate. Two plans with equal
+  /// fingerprints compile to interchangeable artifacts.
+  std::string fingerprint() const;
+
   std::string str() const;
 };
 

@@ -1,0 +1,187 @@
+//===- runtime/CompiledPlan.cpp -------------------------------*- C++ -*-===//
+//
+// The execute phase: a thin walk over the compiled program that only moves
+// data and runs kernels. Gathers replay the recorded rectangles into reused
+// Instance buffers, leaves run through the persistent per-task engines, and
+// the writeback merge applies task instances in task order within each
+// output stripe — so output data is bitwise-identical at every thread count
+// and task/leaf split, and across repeated executions. Nothing here touches
+// the trace: it was fully computed at compile time (PlanAnalysis).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompiledPlan.h"
+
+#include <functional>
+#include <optional>
+
+#include "runtime/PlanAnalysis.h"
+#include "support/Error.h"
+#include "support/ExecContext.h"
+#include "support/ThreadPool.h"
+
+using namespace distal;
+
+CompiledPlan::CompiledPlan(Plan Pl, const Mapper &Map, LeafStrategy Strategy)
+    : P(std::move(Pl)), Strategy(Strategy),
+      RhsTape(leaf::compileTape(P.Nest.Stmt.rhs())) {
+  PlanAnalysisResult R = analyzePlan(P, Map);
+  Skeleton = std::move(R.Skeleton);
+  Tasks = std::move(R.Tasks);
+  StepVals = std::move(R.StepVals);
+}
+
+CompiledPlan::~CompiledPlan() = default;
+
+void CompiledPlan::ensureExecState() {
+  if (!Execs.empty() || Tasks.empty())
+    return;
+  Execs.resize(Tasks.size());
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    const CompiledTask &CT = Tasks[I];
+    TaskExec &TE = Execs[I];
+    TE.FixedVals = CT.DistVals;
+    // Size every instance buffer once, at the maximum rectangle volume the
+    // compiled program will ever bind it to, so steady-state executions
+    // never reallocate.
+    std::map<TensorVar, int64_t> MaxVol;
+    for (const CompiledGather &G : CT.LaunchGathers)
+      MaxVol[G.Tensor] = std::max(MaxVol[G.Tensor], G.R.volume());
+    for (const auto &Step : CT.StepGathers)
+      for (const CompiledGather &G : Step)
+        MaxVol[G.Tensor] = std::max(MaxVol[G.Tensor], G.R.volume());
+    for (const auto &[TV, Vol] : MaxVol)
+      TE.OwnedInsts[TV].reserve(Vol);
+  }
+}
+
+Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
+                            const ExecOptions &Opts) {
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  const TensorVar &Out = P.Nest.Stmt.lhs().tensor();
+  for (const TensorVar &TV : P.Nest.Stmt.tensors())
+    if (!Regions.count(TV))
+      reportFatalError("no region provided for tensor '" + TV.name() + "'");
+  Regions.at(Out)->zero();
+
+  // Resolve the execution context and the task/leaf thread split.
+  ExecContext *Ctx = Opts.Ctx;
+  int Threads = Ctx                   ? Ctx->numThreads()
+                : Opts.NumThreads > 0 ? Opts.NumThreads
+                                      : defaultExecutorThreads();
+  if (!Ctx && Threads > 1) {
+    if (!OwnCtx || OwnCtx->numThreads() != Threads)
+      OwnCtx = std::make_unique<ExecContext>(Threads);
+    Ctx = OwnCtx.get();
+  }
+  // At 1 thread the whole run — including nested BLAS kernels — must stay
+  // on this thread.
+  std::optional<ThreadPool::InlineScope> InlineGuard;
+  if (Threads == 1)
+    InlineGuard.emplace();
+
+  // Divide the context's threads between task fan-out and leaf fan-out.
+  // Leaf kernels receive the pool plus a ways budget and fan out as
+  // sub-range jobs on the *same* pool, so task- and leaf-level work share
+  // one set of N threads with no oversubscription.
+  ExecContext::Split Split;
+  ThreadPool *Pool = nullptr;
+  LeafParallelism LeafLP;
+  int64_t NumTasks = static_cast<int64_t>(Tasks.size());
+  if (Ctx && Threads > 1) {
+    Split = Opts.ForceTaskWays > 0
+                ? ExecContext::Split{Opts.ForceTaskWays, Opts.ForceLeafWays}
+                : Ctx->splitFor(NumTasks);
+    if (Split.TaskWays > 1 || Split.LeafWays > 1)
+      Pool = Ctx->pool();
+    if (Pool && Split.LeafWays > 1)
+      LeafLP = {Pool, Split.LeafWays};
+  }
+  auto parallelTasks = [&](const std::function<void(int64_t)> &Fn) {
+    if (Pool && Split.TaskWays > 1)
+      Pool->parallelForWays(NumTasks, Split.TaskWays,
+                            [&](int64_t Lo, int64_t Hi) {
+                              for (int64_t I = Lo; I < Hi; ++I)
+                                Fn(I);
+                            });
+    else
+      for (int64_t I = 0; I < NumTasks; ++I)
+        Fn(I);
+  };
+
+  ensureExecState();
+  auto gatherInto = [&](Instance &I, const Region *R) {
+    if (Strategy == LeafStrategy::Compiled)
+      R->gatherInto(I, LeafLP);
+    else
+      R->gatherIntoPointwise(I);
+  };
+
+  // Launch phase: task-level instances (private accumulator for the
+  // output, fetched copies for the inputs). Tasks only read shared
+  // regions, so they are independent.
+  parallelTasks([&](int64_t I) {
+    const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
+    TaskExec &TE = Execs[static_cast<size_t>(I)];
+    for (const CompiledGather &G : CT.LaunchGathers) {
+      Instance &Inst = TE.OwnedInsts[G.Tensor];
+      Inst.reset(G.R);
+      if (G.IsOutput)
+        Inst.zero();
+      else
+        gatherInto(Inst, Regions.at(G.Tensor));
+      TE.Insts[G.Tensor] = &Inst;
+    }
+  });
+
+  // Steps: per-task fetches and leaf kernels, replayed from the compiled
+  // program (rectangles, residency dedup, and leaf activation were all
+  // decided at compile time).
+  for (size_t S = 0; S < StepVals.size(); ++S) {
+    parallelTasks([&](int64_t I) {
+      const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
+      TaskExec &TE = Execs[static_cast<size_t>(I)];
+      for (const auto &[V, C] : StepVals[S])
+        TE.FixedVals[V] = C;
+      for (const CompiledGather &G : CT.StepGathers[S]) {
+        Instance &Inst = TE.OwnedInsts[G.Tensor];
+        Inst.reset(G.R);
+        gatherInto(Inst, Regions.at(G.Tensor));
+        TE.Insts[G.Tensor] = &Inst;
+      }
+      if (CT.RunLeaf[S]) {
+        if (Strategy == LeafStrategy::Compiled)
+          leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
+                                LeafLP);
+        else
+          leaf::runInterpretedLeaf(P, TE.FixedVals, TE.Insts);
+      }
+    });
+  }
+
+  // Writeback / reduction of every task's output instance to its owners.
+  Region *OutR = Regions.at(Out);
+  if (Strategy != LeafStrategy::Compiled) {
+    for (TaskExec &TE : Execs)
+      OutR->reduceBackPointwise(TE.OwnedInsts.at(Out));
+  } else if (!Pool || Out.order() == 0) {
+    for (TaskExec &TE : Execs)
+      OutR->reduceBack(TE.OwnedInsts.at(Out));
+  } else {
+    // Stripe the merge over output rows. Within a stripe every element
+    // still accumulates the tasks in task order, so the result is
+    // bitwise-identical to the sequential merge.
+    Coord Rows = OutR->shape()[0];
+    Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
+      for (TaskExec &TE : Execs)
+        OutR->reduceBackRows(TE.OwnedInsts.at(Out), RowLo, RowHi);
+    });
+  }
+
+  if (Opts.Mode == TraceMode::Off) {
+    Trace Empty;
+    Empty.NumProcs = Skeleton.NumProcs;
+    return Empty;
+  }
+  return Skeleton;
+}

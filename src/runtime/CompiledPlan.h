@@ -1,0 +1,164 @@
+//===- runtime/CompiledPlan.h - Compile-once execution artifact -*- C++ -*-===//
+///
+/// \file
+/// The compile/execute split of the execution engine. Compiling a Plan runs
+/// every data-independent analysis exactly once — task placement (Mapper
+/// results), per-task and per-step bounds and gather rectangles, the
+/// bulk-synchronous communication skeleton (phase structure, per-message
+/// metadata, systolic relay decisions), per-processor work and peak-memory
+/// accounting, and the compiled leaf tape — and persists the result as a
+/// CompiledPlan. Executing the artifact is then a thin walk that only moves
+/// data and runs kernels: gathers replay the recorded rectangles into
+/// Instance buffers sized at compile time and reused across executions, and
+/// the trace is (optionally) the precomputed skeleton, never re-derived.
+///
+/// This mirrors the paper's separation between compiling a scheduled tensor
+/// statement for a machine and repeatedly executing it: iterative workloads
+/// (power iteration, solver loops, repeated GEMM) pay analysis cost once
+/// and steady-state cost thereafter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_COMPILEDPLAN_H
+#define DISTAL_RUNTIME_COMPILEDPLAN_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lower/Plan.h"
+#include "runtime/LeafCompiler.h"
+#include "runtime/Ledger.h"
+#include "runtime/Mapper.h"
+#include "runtime/Region.h"
+
+namespace distal {
+
+class ExecContext;
+
+/// How leaf kernels execute.
+enum class LeafStrategy {
+  /// Compile the statement once per task into a flat postfix tape with
+  /// affine offset functions, route matching leaves to blas:: kernels, and
+  /// hoist guards out of the innermost loop (the default).
+  Compiled,
+  /// The seed interpreter: rebuild the affine structure every step and walk
+  /// the expression tree through recursive std::functions at every point.
+  /// Kept as a reference for benchmarks and differential tests.
+  Interpreted,
+};
+
+/// Whether an execution reports the trace. The trace itself is computed
+/// once at compile time; Full copies the skeleton out of the artifact, Off
+/// skips even the copy — the steady-state fast path for callers that
+/// discard it.
+enum class TraceMode { Full, Off };
+
+/// Execute-time knobs (threading and trace reporting). None of these
+/// affect compilation, so one artifact serves every configuration; traces
+/// and output data are bitwise-identical across all of them.
+struct ExecOptions {
+  /// Runs over this context instead of one owned by the artifact (pool
+  /// sharing across plans). Must outlive the execution.
+  ExecContext *Ctx = nullptr;
+  /// Threads when \p Ctx is null. 0 uses the process default
+  /// (DISTAL_NUM_THREADS or hardware concurrency); 1 forces the fully
+  /// sequential walk.
+  int NumThreads = 0;
+  /// Pins the task/leaf thread division instead of the adaptive policy
+  /// (0 = adaptive).
+  int ForceTaskWays = 0, ForceLeafWays = 0;
+  TraceMode Mode = TraceMode::Full;
+};
+
+/// One data movement a task performs in a phase of the compiled program.
+struct CompiledGather {
+  TensorVar Tensor;
+  Rect R;
+  /// Launch phase only: the task's private reduction accumulator — zeroed,
+  /// not fetched.
+  bool IsOutput = false;
+};
+
+/// Per-task compile-time state: placement plus the gather program. Step
+/// gathers already have the residency dedup applied (a rectangle resident
+/// from an inner sequential iteration is not re-fetched), exactly mirroring
+/// the message skeleton.
+struct CompiledTask {
+  Point TP, ProcPt;
+  int64_t ProcId = 0;
+  /// Values of the distributed loop variables at this task point.
+  std::map<IndexVar, Coord> DistVals;
+  Rect OutRect;
+  std::vector<CompiledGather> LaunchGathers;
+  std::vector<std::vector<CompiledGather>> StepGathers; ///< [step]
+  std::vector<uint8_t> RunLeaf; ///< [step] leaf has iterations to run.
+};
+
+/// The persistent compile-once / execute-many artifact.
+///
+/// Thread safety: execute() serializes internally (the reusable instance
+/// buffers and leaf engines are artifact state); concurrent executions of
+/// one artifact are safe but run one at a time. The artifact owns its Plan
+/// copy, so it remains valid after the schedule or lowering inputs change —
+/// staleness is managed by the PlanCache key, not by the artifact.
+class CompiledPlan {
+public:
+  /// Compiles \p P for repeated execution: runs the full data-independent
+  /// analysis under \p Map and records the execution program.
+  explicit CompiledPlan(Plan P, const Mapper &Map = defaultMapper(),
+                        LeafStrategy Strategy = LeafStrategy::Compiled);
+  ~CompiledPlan();
+
+  CompiledPlan(const CompiledPlan &) = delete;
+  CompiledPlan &operator=(const CompiledPlan &) = delete;
+
+  const Plan &plan() const { return P; }
+  LeafStrategy strategy() const { return Strategy; }
+
+  /// The precomputed execution trace (messages, work, peak memory) — what
+  /// Executor::simulate returns, identical to what every execution
+  /// observes.
+  const Trace &trace() const { return Skeleton; }
+
+  /// Executes the compiled program over \p Regions, which must contain
+  /// every tensor of the statement; the output region is zeroed first.
+  /// Returns the trace skeleton (TraceMode::Full) or an empty trace
+  /// (TraceMode::Off). Output data is bitwise-identical for every thread
+  /// count and task/leaf split, and to a freshly compiled artifact's.
+  Trace execute(const std::map<TensorVar, Region *> &Regions,
+                const ExecOptions &Opts = {});
+
+private:
+  /// Reusable per-task execution state: instance buffers sized at compile
+  /// time (max rectangle volume over all phases) and the leaf engine whose
+  /// affine structure persists across steps and executions.
+  struct TaskExec {
+    std::map<IndexVar, Coord> FixedVals;
+    std::map<TensorVar, Instance> OwnedInsts;
+    std::map<TensorVar, Instance *> Insts;
+    leaf::LeafEngine Leaf;
+  };
+
+  void ensureExecState();
+
+  Plan P;
+  LeafStrategy Strategy;
+  Trace Skeleton;
+  leaf::Tape RhsTape;
+  std::vector<CompiledTask> Tasks;
+  /// Per step: the step-loop variable values every task fixes for that
+  /// step (same across tasks; tasks keep private FixedVals maps).
+  std::vector<std::vector<std::pair<IndexVar, Coord>>> StepVals;
+
+  std::mutex ExecMutex;
+  std::vector<TaskExec> Execs; ///< Lazily built on first execute, reused.
+  /// Context owned when none is supplied; rebuilt only when the requested
+  /// thread count changes.
+  std::unique_ptr<ExecContext> OwnCtx;
+};
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_COMPILEDPLAN_H

@@ -1,38 +1,20 @@
 //===- runtime/Executor.cpp -----------------------------------*- C++ -*-===//
 //
-// The execution engine. One sequential walk of the plan's bulk-synchronous
-// structure computes the trace (messages, flops, memory) exactly as the
-// simulator sees it; the data movement and leaf compute it schedules are
-// fanned out over an ExecContext's pool at two levels — across tasks, and
-// within each leaf as nested sub-range jobs on the same pool, divided by
-// the context's task/leaf split policy. All trace mutation happens in the
-// sequential walk and the writeback merge applies task instances in task
-// order within each output stripe, so traces and output data are
-// bitwise-identical at every thread count and every task/leaf split.
-//
-// Leaf kernels run through a small compiler instead of an interpreter: the
-// statement's right-hand side becomes a flat postfix tape, every access
-// offset becomes an affine function of the leaf loop variables (cached per
-// task across steps), guards are hoisted out of the innermost loop, and
-// recognisable loop structures route to blas:: kernels (GEMM for
-// matrix-multiply leaves; strided dot / axpy / sum for contraction and
-// elementwise innermost loops).
+// The thin façade over the compile/execute split. Compilation (the
+// sequential analysis walk producing the trace skeleton and the gather
+// program) lives in PlanAnalysis.cpp, the persistent artifact and its
+// steady-state walk in CompiledPlan.cpp, and the leaf-kernel compiler in
+// LeafCompiler.cpp. An Executor memoizes one artifact per (plan, mapper,
+// leaf strategy) and forwards its threading knobs per run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Executor.h"
 
-#include <algorithm>
-#include <cstdlib>
-#include <memory>
-#include <optional>
+#include <functional>
 
-#include "blas/LocalKernels.h"
-#include "lower/Bounds.h"
+#include "runtime/PlanAnalysis.h"
 #include "support/Error.h"
-#include "support/ExecContext.h"
-#include "support/ThreadPool.h"
-#include "support/Util.h"
 
 using namespace distal;
 
@@ -40,1101 +22,29 @@ Executor::Executor(const Plan &P, const Mapper &Map) : P(P), Map(Map) {}
 
 Executor::~Executor() = default;
 
-static int countMuls(const Expr &E) {
-  switch (E.kind()) {
-  case ExprKind::Access:
-  case ExprKind::Literal:
-    return 0;
-  case ExprKind::Add:
-  case ExprKind::Mul:
-    return (E.kind() == ExprKind::Mul ? 1 : 0) + countMuls(E.lhs()) +
-           countMuls(E.rhs());
-  }
-  unreachable("unknown expr kind");
+CompiledPlan &Executor::compiled() {
+  if (!CP || CP->strategy() != Strategy)
+    CP = std::make_unique<CompiledPlan>(P, Map, Strategy);
+  return *CP;
 }
 
-/// Bounding box of the rectangles accessed by every access of \p T.
-static Rect tensorRect(const TensorVar &T, const Assignment &Stmt,
-                       const ProvenanceGraph &Prov,
-                       const std::map<IndexVar, Interval> &Known) {
-  Rect Result = Rect::empty(T.order());
-  bool First = true;
-  for (const Access &A : Stmt.accesses()) {
-    if (A.tensor() != T)
-      continue;
-    Rect R = accessRect(A, Prov, Known);
-    if (First) {
-      Result = R;
-      First = false;
-      continue;
-    }
-    std::vector<Coord> Lo(T.order()), Hi(T.order());
-    for (int D = 0; D < T.order(); ++D) {
-      Lo[D] = std::min(Result.lo()[D], R.lo()[D]);
-      Hi[D] = std::max(Result.hi()[D], R.hi()[D]);
-    }
-    Result = Rect(Point(std::move(Lo)), Point(std::move(Hi)));
-  }
-  DISTAL_ASSERT(!First, "tensor does not appear in the statement");
-  return Result;
+Trace Executor::run(const std::map<TensorVar, Region *> &Regions,
+                    TraceMode Mode) {
+  ExecOptions Opts;
+  Opts.Ctx = ExternalCtx;
+  Opts.NumThreads = NumThreads;
+  Opts.ForceTaskWays = ForceTaskWays;
+  Opts.ForceLeafWays = ForceLeafWays;
+  Opts.Mode = Mode;
+  return compiled().execute(Regions, Opts);
 }
+
+Trace Executor::simulate() { return compiled().trace(); }
 
 std::vector<Message> Executor::gatherMessages(const TensorVar &T,
                                               const Rect &R,
                                               const Point &DstProc) const {
-  std::vector<Message> Msgs;
-  if (R.isEmpty())
-    return Msgs;
-  const TensorDistribution &D = P.formatOf(T).distribution();
-  const Machine &M = P.M;
-  const std::vector<Coord> &Shape = T.shape();
-  int64_t Dst = M.linearize(DstProc);
-  int64_t DstNode = M.nodeOf(DstProc);
-
-  // Recursively enumerate owner tiles overlapping R. Each machine level
-  // partitions the piece selected by the previous level, so the recursion
-  // carries the current piece rectangle.
-  std::vector<Coord> Owner(M.dim());
-  std::function<void(int, int, int, Rect)> Recurse =
-      [&](int Level, int DimInLevel, int FlatDim, Rect Piece) {
-        if (Level == D.numLevels()) {
-          Rect Overlap = R.intersect(Piece);
-          if (Overlap.isEmpty())
-            return;
-          Message Msg;
-          Msg.Src = M.linearize(Point(Owner));
-          Msg.Dst = Dst;
-          Msg.Bytes = Overlap.volume() * 8;
-          Msg.SameNode = M.nodeOf(Point(Owner)) == DstNode;
-          Msg.Tensor = T.name();
-          Msgs.push_back(Msg);
-          return;
-        }
-        const DistributionLevel &L = D.level(Level);
-        const MachineLevel &ML = M.level(Level);
-        if (DimInLevel == ML.dim()) {
-          Recurse(Level + 1, 0, FlatDim, Piece);
-          return;
-        }
-        const MachineDimName &N = L.MachineDims[DimInLevel];
-        switch (N.Kind) {
-        case MachineDimName::Fixed:
-          Owner[FlatDim] = N.Value;
-          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
-          return;
-        case MachineDimName::Broadcast:
-          // Fetch from the replica sharing the destination's coordinate
-          // (Legion's mapper picks the nearest valid instance).
-          Owner[FlatDim] = DstProc[FlatDim];
-          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
-          return;
-        case MachineDimName::Name: {
-          int TD = L.tensorDimNamed(N.Id);
-          Coord PLo = std::max(R.lo()[TD], Piece.lo()[TD]);
-          Coord PHi = std::min(R.hi()[TD], Piece.hi()[TD]);
-          if (PLo >= PHi)
-            return;
-          Coord C0 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
-                                    ML.Dims[DimInLevel], PLo);
-          Coord C1 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
-                                    ML.Dims[DimInLevel], PHi - 1);
-          for (Coord C = C0; C <= C1; ++C) {
-            Rect Block = blockedPiece1D(Piece.lo()[TD], Piece.hi()[TD],
-                                        ML.Dims[DimInLevel], C);
-            std::vector<Coord> Lo(Piece.lo().coords()),
-                Hi(Piece.hi().coords());
-            Lo[TD] = Block.lo()[0];
-            Hi[TD] = Block.hi()[0];
-            Owner[FlatDim] = C;
-            Recurse(Level, DimInLevel + 1, FlatDim + 1,
-                    Rect(Point(Lo), Point(Hi)));
-          }
-          return;
-        }
-        }
-      };
-  Recurse(0, 0, 0, Rect::forExtents(Shape));
-  return Msgs;
-}
-
-//===----------------------------------------------------------------------===//
-// Compiled leaf engine
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// One postfix instruction of the compiled right-hand side.
-enum class TapeOp : uint8_t { PushAcc, PushLit, Add, Mul };
-struct TapeIns {
-  TapeOp Op = TapeOp::PushLit;
-  int Acc = 0;
-  double Lit = 0;
-};
-
-/// The statement's right-hand side compiled to a flat postfix tape, plus
-/// the product decomposition used to pick innermost-loop kernels.
-struct Tape {
-  std::vector<TapeIns> Ins;
-  int MaxDepth = 0;
-  /// True when the expression is a pure product of accesses and literals
-  /// (no additions), i.e. rhs == ProductLit * prod(Accesses[ProductAccs]).
-  bool PureProduct = true;
-  double ProductLit = 1.0;
-  std::vector<int> ProductAccs; ///< Access ids in left-to-right order.
-};
-
-void compileTapeRec(const Expr &E, int &Cursor, int Depth, Tape &T) {
-  T.MaxDepth = std::max(T.MaxDepth, Depth + 1);
-  switch (E.kind()) {
-  case ExprKind::Access:
-    T.Ins.push_back({TapeOp::PushAcc, Cursor, 0});
-    T.ProductAccs.push_back(Cursor);
-    ++Cursor;
-    return;
-  case ExprKind::Literal:
-    T.Ins.push_back({TapeOp::PushLit, 0, E.literal()});
-    T.ProductLit *= E.literal();
-    return;
-  case ExprKind::Add:
-  case ExprKind::Mul:
-    compileTapeRec(E.lhs(), Cursor, Depth, T);
-    compileTapeRec(E.rhs(), Cursor, Depth + 1, T);
-    T.Ins.push_back({E.kind() == ExprKind::Add ? TapeOp::Add : TapeOp::Mul});
-    if (E.kind() == ExprKind::Add)
-      T.PureProduct = false;
-    return;
-  }
-  unreachable("unknown expr kind");
-}
-
-Tape compileTape(const Expr &Rhs) {
-  Tape T;
-  int Cursor = 1; // Access 0 is the output.
-  compileTapeRec(Rhs, Cursor, 0, T);
-  return T;
-}
-
-/// Evaluates the tape at the current access offsets. \p Stack must hold at
-/// least Tape::MaxDepth doubles.
-inline double evalTape(const std::vector<TapeIns> &Ins,
-                       double *const *Data, const int64_t *Off,
-                       double *Stack) {
-  int SP = 0;
-  for (const TapeIns &I : Ins) {
-    switch (I.Op) {
-    case TapeOp::PushAcc:
-      Stack[SP++] = Data[I.Acc][Off[I.Acc]];
-      break;
-    case TapeOp::PushLit:
-      Stack[SP++] = I.Lit;
-      break;
-    case TapeOp::Add:
-      Stack[SP - 2] += Stack[SP - 1];
-      --SP;
-      break;
-    case TapeOp::Mul:
-      Stack[SP - 2] *= Stack[SP - 1];
-      --SP;
-      break;
-    }
-  }
-  return Stack[0];
-}
-
-/// Per-task leaf state. The affine structure (loop extents and per-leaf-var
-/// coefficients of every original variable) is compiled on first use and
-/// cached across steps — only the bases and instance bindings change per
-/// step, verified cheaply at the far corner of the leaf domain.
-struct LeafEngine {
-  bool Ready = false;
-  int NumLeaf = 0, NumOrig = 0, NumAcc = 0;
-  std::vector<IndexVar> LeafV, OrigV;
-  std::vector<Access> Accesses; ///< LHS first.
-  std::map<IndexVar, int> OrigIdx;
-  std::vector<Coord> LeafExtents;
-  std::vector<Coord> VarExtent;
-  std::vector<std::vector<Coord>> VarCoef; ///< [orig][leaf], cached.
-
-  // Per-step state.
-  std::vector<Coord> VarBase;
-  std::vector<std::vector<int64_t>> AccCoef; ///< [acc][leaf], elements.
-  std::vector<int64_t> AccBase;
-  std::vector<double *> AccData;
-  bool NeedGuard = false;
-
-  // Scratch buffers reused across rows.
-  std::vector<double> Stack;
-  std::vector<int64_t> CurOff, RowOff;
-  std::vector<Coord> CurVal;
-  std::vector<Coord> Odometer;
-};
-
-/// Computes the per-leaf-var coefficients of every original variable by
-/// probing the provenance graph (the expensive part, cached across steps).
-void computeVarCoefs(LeafEngine &E, const ProvenanceGraph &Prov,
-                     const std::map<IndexVar, Coord> &FixedVals) {
-  auto ValuesWith = [&](const std::vector<Coord> &LeafVals) {
-    std::map<IndexVar, Coord> Vals = FixedVals;
-    for (int I = 0; I < E.NumLeaf; ++I)
-      Vals[E.LeafV[I]] = LeafVals[I];
-    return Vals;
-  };
-  std::vector<Coord> Zero(E.NumLeaf, 0), Probe(E.NumLeaf, 0);
-  std::map<IndexVar, Coord> ValsZero = ValuesWith(Zero);
-  for (int V = 0; V < E.NumOrig; ++V) {
-    E.VarBase[V] = Prov.recoverValue(E.OrigV[V], ValsZero);
-    for (int I = 0; I < E.NumLeaf; ++I) {
-      E.VarCoef[V][I] = 0;
-      if (E.LeafExtents[I] <= 1)
-        continue;
-      Probe = Zero;
-      Probe[I] = 1;
-      E.VarCoef[V][I] =
-          Prov.recoverValue(E.OrigV[V], ValuesWith(Probe)) - E.VarBase[V];
-    }
-  }
-}
-
-/// Verifies the cached coefficients at the far corner of the leaf domain
-/// and recomputes NeedGuard. Returns false when the cached structure no
-/// longer predicts the provenance recovery (caller recompiles).
-bool verifyAffineStructure(LeafEngine &E, const ProvenanceGraph &Prov,
-                           const std::map<IndexVar, Coord> &FixedVals) {
-  std::map<IndexVar, Coord> Vals = FixedVals;
-  for (int I = 0; I < E.NumLeaf; ++I)
-    Vals[E.LeafV[I]] = E.LeafExtents[I] - 1;
-  E.NeedGuard = false;
-  for (int V = 0; V < E.NumOrig; ++V) {
-    Coord Predicted = E.VarBase[V];
-    for (int I = 0; I < E.NumLeaf; ++I)
-      Predicted += E.VarCoef[V][I] * (E.LeafExtents[I] - 1);
-    if (Prov.recoverValue(E.OrigV[V], Vals) != Predicted)
-      return false;
-    if (Predicted >= E.VarExtent[V])
-      E.NeedGuard = true;
-  }
-  return true;
-}
-
-/// Binds the engine to this step's fixed values and instances: recovers the
-/// bases, re-derives the per-access offset functions from the instance
-/// strides, and validates the cached affine structure (recompiling it if a
-/// rotation moved underneath us). Returns false when the leaf domain is
-/// empty.
-bool prepareStep(LeafEngine &E, const Plan &P,
-                 const std::map<IndexVar, Coord> &FixedVals,
-                 std::map<TensorVar, Instance *> &Insts, const Tape &T) {
-  const Assignment &Stmt = P.Nest.Stmt;
-  const ProvenanceGraph &Prov = P.Nest.Prov;
-  if (!E.Ready) {
-    E.LeafV = P.leafVars();
-    E.OrigV = Stmt.defaultLoopOrder();
-    E.Accesses = Stmt.accesses();
-    E.NumLeaf = static_cast<int>(E.LeafV.size());
-    E.NumOrig = static_cast<int>(E.OrigV.size());
-    E.NumAcc = static_cast<int>(E.Accesses.size());
-    for (int V = 0; V < E.NumOrig; ++V)
-      E.OrigIdx[E.OrigV[V]] = V;
-    E.LeafExtents.resize(E.NumLeaf);
-    for (int I = 0; I < E.NumLeaf; ++I)
-      E.LeafExtents[I] = Prov.extent(E.LeafV[I]);
-    E.VarExtent.resize(E.NumOrig);
-    for (int V = 0; V < E.NumOrig; ++V)
-      E.VarExtent[V] = Prov.extent(E.OrigV[V]);
-    E.VarBase.resize(E.NumOrig);
-    E.VarCoef.assign(E.NumOrig, std::vector<Coord>(E.NumLeaf, 0));
-    E.AccCoef.assign(E.NumAcc, std::vector<int64_t>(E.NumLeaf, 0));
-    E.AccBase.resize(E.NumAcc);
-    E.AccData.resize(E.NumAcc);
-    E.Stack.resize(std::max(T.MaxDepth, 1));
-    E.CurOff.resize(E.NumAcc);
-    E.RowOff.resize(E.NumAcc);
-    E.CurVal.resize(E.NumOrig);
-    E.Odometer.assign(std::max(E.NumLeaf - 1, 0), 0);
-    computeVarCoefs(E, Prov, FixedVals);
-    if (!verifyAffineStructure(E, Prov, FixedVals))
-      reportFatalError("leaf loops are not affine in the leaf variables; "
-                       "rotate must be applied to sequential step loops only");
-    E.Ready = true;
-  } else {
-    // Bases move every step; the coefficient structure almost never does.
-    auto ValuesWith = [&](Coord LeafVal) {
-      std::map<IndexVar, Coord> Vals = FixedVals;
-      for (int I = 0; I < E.NumLeaf; ++I)
-        Vals[E.LeafV[I]] = LeafVal;
-      return Vals;
-    };
-    std::map<IndexVar, Coord> ValsZero = ValuesWith(0);
-    for (int V = 0; V < E.NumOrig; ++V)
-      E.VarBase[V] = Prov.recoverValue(E.OrigV[V], ValsZero);
-    if (!verifyAffineStructure(E, Prov, FixedVals)) {
-      computeVarCoefs(E, Prov, FixedVals);
-      if (!verifyAffineStructure(E, Prov, FixedVals))
-        reportFatalError(
-            "leaf loops are not affine in the leaf variables; "
-            "rotate must be applied to sequential step loops only");
-    }
-  }
-  for (int I = 0; I < E.NumLeaf; ++I)
-    if (E.LeafExtents[I] == 0)
-      return false;
-
-  // Bind accesses: instance pointers, affine offsets in elements.
-  for (int A = 0; A < E.NumAcc; ++A) {
-    const Access &Acc = E.Accesses[A];
-    auto It = Insts.find(Acc.tensor());
-    DISTAL_ASSERT(It != Insts.end() && It->second,
-                  "leaf run without an instance for an accessed tensor");
-    Instance *Inst = It->second;
-    E.AccData[A] = Inst->data();
-    std::fill(E.AccCoef[A].begin(), E.AccCoef[A].end(), 0);
-    std::vector<Coord> BaseCoords(Acc.tensor().order());
-    for (int D = 0; D < Acc.tensor().order(); ++D) {
-      int V = E.OrigIdx[Acc.indices()[D]];
-      BaseCoords[D] = std::min(E.VarBase[V],
-                               Inst->rect().hi()[D] > 0
-                                   ? Inst->rect().hi()[D] - 1
-                                   : E.VarBase[V]);
-      for (int I = 0; I < E.NumLeaf; ++I)
-        E.AccCoef[A][I] += E.VarCoef[V][I] * Inst->stride(D);
-    }
-    E.AccBase[A] = Inst->offset(Point(BaseCoords));
-    // Adjust the base back if clamping changed coordinates (only possible
-    // in guarded edge tiles whose guarded points are skipped anyway).
-    for (int D = 0; D < Acc.tensor().order(); ++D) {
-      int V = E.OrigIdx[Acc.indices()[D]];
-      E.AccBase[A] += (E.VarBase[V] - BaseCoords[D]) * Inst->stride(D);
-    }
-  }
-  return true;
-}
-
-/// Whole-leaf GEMM recogniser: three leaf loops computing
-/// Out[m,n] += P[m,k] * Q[k,n] under arbitrary (possibly transposed)
-/// affine strides. Fires for any coefficient pattern where each operand
-/// depends on exactly its two roles, not just the canonical layout.
-bool tryGemmLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
-  if (E.NumLeaf != 3 || E.NumAcc != 3 || E.NeedGuard || !T.PureProduct ||
-      T.ProductAccs.size() != 2 || T.ProductLit != 1.0)
-    return false;
-  const auto &OC = E.AccCoef[0];
-  int KVar = -1;
-  for (int V = 0; V < 3; ++V) {
-    if (OC[V] != 0)
-      continue;
-    if (KVar != -1)
-      return false; // Output varies along exactly two leaf vars.
-    KVar = V;
-  }
-  if (KVar == -1)
-    return false;
-  int X = KVar == 0 ? 1 : 0;
-  int Y = KVar == 2 ? 1 : 2;
-  int PA = T.ProductAccs[0], QA = T.ProductAccs[1];
-  const auto &PC = E.AccCoef[PA], &QC = E.AccCoef[QA];
-  if (PC[KVar] == 0 || QC[KVar] == 0)
-    return false;
-  int M = -1, N = -1;
-  if (PC[X] != 0 && PC[Y] == 0 && QC[Y] != 0 && QC[X] == 0) {
-    M = X;
-    N = Y;
-  } else if (PC[Y] != 0 && PC[X] == 0 && QC[X] != 0 && QC[Y] == 0) {
-    M = Y;
-    N = X;
-  } else {
-    return false;
-  }
-  blas::gemmGeneral(LP, E.AccData[0] + E.AccBase[0],
-                    E.AccData[PA] + E.AccBase[PA],
-                    E.AccData[QA] + E.AccBase[QA], E.LeafExtents[M],
-                    E.LeafExtents[N], E.LeafExtents[KVar], OC[M], OC[N],
-                    PC[M], PC[KVar], QC[KVar], QC[N]);
-  return true;
-}
-
-/// How the innermost leaf loop executes.
-enum class InnerKind {
-  TapeLoop,    ///< Evaluate the postfix tape at every point.
-  DotReduce,   ///< Out invariant: alpha * dot/sum over the varying accesses.
-  AxpyUpdate,  ///< Out varies, one varying operand: strided axpy.
-  MulUpdate,   ///< Out varies, two varying operands: elementwise product.
-  ConstUpdate, ///< Out varies, no varying operands: add a constant.
-};
-
-/// General compiled path: odometer over the outer leaf loops maintaining
-/// running offsets, guard hoisted to a per-row trip count, innermost loop
-/// routed to the best-matching kernel. \p LP bounds the nested fan-out of
-/// the routed kernels; the reductions among them use a fixed chunk
-/// association, so results are bitwise-identical for every budget.
-void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
-  // A leaf with no loops is a single (guarded) point.
-  if (E.NumLeaf == 0) {
-    for (int V = 0; V < E.NumOrig; ++V)
-      if (E.VarBase[V] >= E.VarExtent[V])
-        return;
-    E.AccData[0][E.AccBase[0]] +=
-        evalTape(T.Ins, E.AccData.data(), E.AccBase.data(), E.Stack.data());
-    return;
-  }
-
-  int Inner = E.NumLeaf - 1;
-  Coord InnerExtent = E.LeafExtents[Inner];
-  int64_t OutIC = E.AccCoef[0][Inner];
-
-  // Pick the innermost kernel once per step.
-  std::vector<int> Varying, Invariant; // Rhs product accesses.
-  if (T.PureProduct)
-    for (int A : T.ProductAccs)
-      (E.AccCoef[A][Inner] != 0 ? Varying : Invariant).push_back(A);
-  InnerKind Kind = InnerKind::TapeLoop;
-  if (T.PureProduct) {
-    if (OutIC == 0 && Varying.size() <= 2)
-      Kind = InnerKind::DotReduce;
-    else if (OutIC != 0 && Varying.size() == 1)
-      Kind = InnerKind::AxpyUpdate;
-    else if (OutIC != 0 && Varying.size() == 2)
-      Kind = InnerKind::MulUpdate;
-    else if (OutIC != 0 && Varying.empty())
-      Kind = InnerKind::ConstUpdate;
-  }
-  // Negative innermost coefficients make the hoisted guard bound invalid;
-  // fall back to per-point guarding through the tape.
-  bool PerPointGuard = false;
-  if (E.NeedGuard)
-    for (int V = 0; V < E.NumOrig; ++V)
-      if (E.VarCoef[V][Inner] < 0) {
-        PerPointGuard = true;
-        Kind = InnerKind::TapeLoop;
-        break;
-      }
-
-  std::copy(E.AccBase.begin(), E.AccBase.end(), E.CurOff.begin());
-  std::copy(E.VarBase.begin(), E.VarBase.end(), E.CurVal.begin());
-  std::fill(E.Odometer.begin(), E.Odometer.end(), 0);
-
-  double *const *Data = E.AccData.data();
-  for (;;) {
-    // Hoist the guard: the largest prefix of the innermost loop whose
-    // recovered original variables all stay inside their extents.
-    Coord Trips = InnerExtent;
-    if (E.NeedGuard && !PerPointGuard) {
-      for (int V = 0; V < E.NumOrig; ++V) {
-        Coord C = E.VarCoef[V][Inner];
-        if (E.CurVal[V] >= E.VarExtent[V]) {
-          Trips = 0;
-          break;
-        }
-        if (C > 0)
-          Trips = std::min(Trips, (E.VarExtent[V] - E.CurVal[V] + C - 1) / C);
-      }
-    }
-
-    if (Trips > 0)
-      switch (Kind) {
-      case InnerKind::DotReduce: {
-        double Alpha = T.ProductLit;
-        for (int A : Invariant)
-          Alpha *= Data[A][E.CurOff[A]];
-        double Sum;
-        if (Varying.size() == 2)
-          Sum = blas::dotStrided(LP, Data[Varying[0]] + E.CurOff[Varying[0]],
-                                 E.AccCoef[Varying[0]][Inner],
-                                 Data[Varying[1]] + E.CurOff[Varying[1]],
-                                 E.AccCoef[Varying[1]][Inner], Trips);
-        else if (Varying.size() == 1)
-          Sum = blas::sumStrided(LP, Data[Varying[0]] + E.CurOff[Varying[0]],
-                                 E.AccCoef[Varying[0]][Inner], Trips);
-        else
-          Sum = static_cast<double>(Trips);
-        Data[0][E.CurOff[0]] += Alpha * Sum;
-        break;
-      }
-      case InnerKind::AxpyUpdate: {
-        double Alpha = T.ProductLit;
-        for (int A : Invariant)
-          Alpha *= Data[A][E.CurOff[A]];
-        blas::axpyStrided(LP, Data[0] + E.CurOff[0], OutIC,
-                          Data[Varying[0]] + E.CurOff[Varying[0]],
-                          E.AccCoef[Varying[0]][Inner], Alpha, Trips);
-        break;
-      }
-      case InnerKind::MulUpdate: {
-        double Alpha = T.ProductLit;
-        for (int A : Invariant)
-          Alpha *= Data[A][E.CurOff[A]];
-        double *__restrict__ Out = Data[0] + E.CurOff[0];
-        const double *__restrict__ U = Data[Varying[0]] + E.CurOff[Varying[0]];
-        const double *__restrict__ W = Data[Varying[1]] + E.CurOff[Varying[1]];
-        int64_t SU = E.AccCoef[Varying[0]][Inner],
-                SW = E.AccCoef[Varying[1]][Inner];
-        for (Coord I = 0; I < Trips; ++I)
-          Out[I * OutIC] += Alpha * U[I * SU] * W[I * SW];
-        break;
-      }
-      case InnerKind::ConstUpdate: {
-        double Alpha = T.ProductLit;
-        for (int A : Invariant)
-          Alpha *= Data[A][E.CurOff[A]];
-        double *__restrict__ Out = Data[0] + E.CurOff[0];
-        for (Coord I = 0; I < Trips; ++I)
-          Out[I * OutIC] += Alpha;
-        break;
-      }
-      case InnerKind::TapeLoop: {
-        std::copy(E.CurOff.begin(), E.CurOff.end(), E.RowOff.begin());
-        for (Coord I = 0; I < Trips; ++I) {
-          bool Skip = false;
-          if (PerPointGuard)
-            for (int V = 0; V < E.NumOrig; ++V)
-              if (E.CurVal[V] + I * E.VarCoef[V][Inner] >= E.VarExtent[V]) {
-                Skip = true;
-                break;
-              }
-          if (!Skip)
-            Data[0][E.RowOff[0]] +=
-                evalTape(T.Ins, Data, E.RowOff.data(), E.Stack.data());
-          for (int A = 0; A < E.NumAcc; ++A)
-            E.RowOff[A] += E.AccCoef[A][Inner];
-        }
-        break;
-      }
-      }
-
-    // Advance the odometer over the outer leaf loops.
-    int D = Inner - 1;
-    for (; D >= 0; --D) {
-      for (int A = 0; A < E.NumAcc; ++A)
-        E.CurOff[A] += E.AccCoef[A][D];
-      for (int V = 0; V < E.NumOrig; ++V)
-        E.CurVal[V] += E.VarCoef[V][D];
-      if (++E.Odometer[D] < E.LeafExtents[D])
-        break;
-      for (int A = 0; A < E.NumAcc; ++A)
-        E.CurOff[A] -= E.AccCoef[A][D] * E.LeafExtents[D];
-      for (int V = 0; V < E.NumOrig; ++V)
-        E.CurVal[V] -= E.VarCoef[V][D] * E.LeafExtents[D];
-      E.Odometer[D] = 0;
-    }
-    if (D < 0)
-      break;
-  }
-}
-
-void runCompiledLeaf(LeafEngine &E, const Plan &P,
-                     const std::map<IndexVar, Coord> &FixedVals,
-                     std::map<TensorVar, Instance *> &Insts, const Tape &T,
-                     const LeafParallelism &LP) {
-  if (!prepareStep(E, P, FixedVals, Insts, T))
-    return;
-  if (tryGemmLeaf(E, T, LP))
-    return;
-  runGeneralLeaf(E, T, LP);
-}
-
-//===----------------------------------------------------------------------===//
-// Interpreted leaf (the seed implementation, kept for benchmarks and
-// differential tests)
-//===----------------------------------------------------------------------===//
-
-/// Precomputed affine leaf-kernel structure for one task/step context,
-/// rebuilt from scratch on every call.
-struct AffineLeaf {
-  bool Affine = true;
-  bool NeedGuard = false;
-  std::vector<Coord> LeafExtents;
-  std::vector<Coord> VarBase;
-  std::vector<std::vector<Coord>> VarCoef;
-  std::vector<Coord> VarExtent;
-  std::vector<double *> AccData;
-  std::vector<int64_t> AccBase;
-  std::vector<std::vector<int64_t>> AccCoef;
-};
-
-void runInterpretedLeaf(const Plan &P,
-                        const std::map<IndexVar, Coord> &FixedVals,
-                        std::map<TensorVar, Instance *> &Insts) {
-  const Assignment &Stmt = P.Nest.Stmt;
-  const ProvenanceGraph &Prov = P.Nest.Prov;
-  std::vector<IndexVar> LeafV = P.leafVars();
-  std::vector<IndexVar> OrigV = Stmt.defaultLoopOrder();
-  std::vector<Access> Accesses = Stmt.accesses(); // LHS first.
-  int NumLeaf = static_cast<int>(LeafV.size());
-  int NumOrig = static_cast<int>(OrigV.size());
-  int NumAcc = static_cast<int>(Accesses.size());
-
-  AffineLeaf L;
-  L.LeafExtents.resize(NumLeaf);
-  for (int I = 0; I < NumLeaf; ++I)
-    L.LeafExtents[I] = Prov.extent(LeafV[I]);
-
-  auto ValuesWith = [&](const std::vector<Coord> &LeafVals) {
-    std::map<IndexVar, Coord> Vals = FixedVals;
-    for (int I = 0; I < NumLeaf; ++I)
-      Vals[LeafV[I]] = LeafVals[I];
-    return Vals;
-  };
-  std::vector<Coord> Zero(NumLeaf, 0), Probe(NumLeaf, 0);
-  std::map<IndexVar, Coord> ValsZero = ValuesWith(Zero);
-  L.VarBase.resize(NumOrig);
-  L.VarCoef.assign(NumOrig, std::vector<Coord>(NumLeaf, 0));
-  L.VarExtent.resize(NumOrig);
-  for (int V = 0; V < NumOrig; ++V) {
-    L.VarBase[V] = Prov.recoverValue(OrigV[V], ValsZero);
-    L.VarExtent[V] = Prov.extent(OrigV[V]);
-    for (int I = 0; I < NumLeaf; ++I) {
-      if (L.LeafExtents[I] <= 1)
-        continue;
-      Probe = Zero;
-      Probe[I] = 1;
-      L.VarCoef[V][I] =
-          Prov.recoverValue(OrigV[V], ValuesWith(Probe)) - L.VarBase[V];
-    }
-    for (int I = 0; I < NumLeaf; ++I)
-      Probe[I] = L.LeafExtents[I] - 1;
-    Coord Predicted = L.VarBase[V];
-    for (int I = 0; I < NumLeaf; ++I)
-      Predicted += L.VarCoef[V][I] * Probe[I];
-    if (Prov.recoverValue(OrigV[V], ValuesWith(Probe)) != Predicted)
-      L.Affine = false;
-    if (Predicted >= L.VarExtent[V])
-      L.NeedGuard = true;
-  }
-
-  std::map<IndexVar, int> OrigIdx;
-  for (int V = 0; V < NumOrig; ++V)
-    OrigIdx[OrigV[V]] = V;
-  L.AccData.resize(NumAcc);
-  L.AccBase.assign(NumAcc, 0);
-  L.AccCoef.assign(NumAcc, std::vector<int64_t>(NumLeaf, 0));
-  for (int A = 0; A < NumAcc; ++A) {
-    const Access &Acc = Accesses[A];
-    auto It = Insts.find(Acc.tensor());
-    DISTAL_ASSERT(It != Insts.end() && It->second,
-                  "leaf run without an instance for an accessed tensor");
-    Instance *Inst = It->second;
-    L.AccData[A] = Inst->data();
-    std::vector<Coord> BaseCoords(Acc.tensor().order());
-    for (int D = 0; D < Acc.tensor().order(); ++D) {
-      int V = OrigIdx[Acc.indices()[D]];
-      BaseCoords[D] = std::min(L.VarBase[V],
-                               Inst->rect().hi()[D] > 0
-                                   ? Inst->rect().hi()[D] - 1
-                                   : L.VarBase[V]);
-      for (int I = 0; I < NumLeaf; ++I)
-        L.AccCoef[A][I] += L.VarCoef[V][I] * Inst->stride(D);
-    }
-    L.AccBase[A] = Inst->offset(Point(BaseCoords));
-    for (int D = 0; D < Acc.tensor().order(); ++D) {
-      int V = OrigIdx[Acc.indices()[D]];
-      L.AccBase[A] += (L.VarBase[V] - BaseCoords[D]) * Inst->stride(D);
-    }
-  }
-
-  if (!L.Affine)
-    reportFatalError("leaf loops are not affine in the leaf variables; "
-                     "rotate must be applied to sequential step loops only");
-
-  // Canonical-layout GeMM substitution (the only fast path the seed had).
-  if (P.Nest.Leaf == LeafKernel::GeMM && NumLeaf == 3 && NumAcc == 3 &&
-      !L.NeedGuard) {
-    const auto &OutC = L.AccCoef[0], &AC = L.AccCoef[1], &BC = L.AccCoef[2];
-    bool Canonical = OutC[2] == 0 && OutC[1] == 1 && AC[1] == 0 &&
-                     AC[2] == 1 && BC[0] == 0 && BC[2] >= 1 && BC[1] == 1;
-    if (Canonical) {
-      blas::gemmBlockedReference(
-          L.AccData[0] + L.AccBase[0], L.AccData[1] + L.AccBase[1],
-          L.AccData[2] + L.AccBase[2], L.LeafExtents[0], L.LeafExtents[1],
-          L.LeafExtents[2], OutC[0], AC[0], BC[2]);
-      return;
-    }
-  }
-
-  std::vector<int64_t> CurOff = L.AccBase;
-  std::vector<Coord> CurVal = L.VarBase;
-
-  std::function<double(const Expr &, int &)> Eval = [&](const Expr &E,
-                                                        int &Cursor) {
-    switch (E.kind()) {
-    case ExprKind::Access: {
-      double V = L.AccData[Cursor][CurOff[Cursor]];
-      ++Cursor;
-      return V;
-    }
-    case ExprKind::Literal:
-      return E.literal();
-    case ExprKind::Add: {
-      double LV = Eval(E.lhs(), Cursor);
-      return LV + Eval(E.rhs(), Cursor);
-    }
-    case ExprKind::Mul: {
-      double LV = Eval(E.lhs(), Cursor);
-      return LV * Eval(E.rhs(), Cursor);
-    }
-    }
-    unreachable("unknown expr kind");
-  };
-
-  std::function<void(int)> Loop = [&](int Depth) {
-    if (Depth == NumLeaf) {
-      if (L.NeedGuard)
-        for (int V = 0; V < NumOrig; ++V)
-          if (CurVal[V] >= L.VarExtent[V])
-            return;
-      int Cursor = 1; // Access 0 is the output.
-      L.AccData[0][CurOff[0]] += Eval(Stmt.rhs(), Cursor);
-      return;
-    }
-    for (Coord I = 0; I < L.LeafExtents[Depth]; ++I) {
-      Loop(Depth + 1);
-      for (int A = 0; A < NumAcc; ++A)
-        CurOff[A] += L.AccCoef[A][Depth];
-      for (int V = 0; V < NumOrig; ++V)
-        CurVal[V] += L.VarCoef[V][Depth];
-    }
-    for (int A = 0; A < NumAcc; ++A)
-      CurOff[A] -= L.AccCoef[A][Depth] * L.LeafExtents[Depth];
-    for (int V = 0; V < NumOrig; ++V)
-      CurVal[V] -= L.VarCoef[V][Depth] * L.LeafExtents[Depth];
-  };
-  Loop(0);
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// Plan walk
-//===----------------------------------------------------------------------===//
-
-Trace Executor::run(const std::map<TensorVar, Region *> &Regions) {
-  return runImpl(&Regions);
-}
-
-Trace Executor::simulate() { return runImpl(nullptr); }
-
-Trace Executor::runImpl(const std::map<TensorVar, Region *> *Regions) {
-  const Assignment &Stmt = P.Nest.Stmt;
-  const ProvenanceGraph &Prov = P.Nest.Prov;
-  const TensorVar &Out = Stmt.lhs().tensor();
-
-  Rect Launch = P.launchDomain();
-  Rect Steps = P.stepDomain();
-  int64_t NumSteps = Steps.volume();
-
-  // The execution context for the data side. Trace construction never
-  // touches it.
-  ExecContext *Ctx = ExternalCtx;
-  int Threads = Ctx            ? Ctx->numThreads()
-                : NumThreads > 0 ? NumThreads
-                                 : defaultExecutorThreads();
-  if (!Ctx && Regions && Threads > 1) {
-    if (!OwnCtx || OwnCtx->numThreads() != Threads)
-      OwnCtx = std::make_unique<ExecContext>(Threads);
-    Ctx = OwnCtx.get();
-  }
-  // At 1 thread the whole run — including nested BLAS kernels — must stay
-  // on this thread.
-  std::optional<ThreadPool::InlineScope> InlineGuard;
-  if (Regions && Threads == 1)
-    InlineGuard.emplace();
-
-  // Divide the context's threads between task fan-out and leaf fan-out.
-  // Leaf kernels receive the pool plus a ways budget and fan out as
-  // sub-range jobs on the *same* pool, so task- and leaf-level work share
-  // one set of N threads with no oversubscription.
-  ExecContext::Split Split;
-  ThreadPool *Pool = nullptr;
-  LeafParallelism LeafLP;
-  if (Ctx && Regions && Threads > 1) {
-    Split = ForceTaskWays > 0
-                ? ExecContext::Split{ForceTaskWays, ForceLeafWays}
-                : Ctx->splitFor(Launch.volume());
-    if (Split.TaskWays > 1 || Split.LeafWays > 1)
-      Pool = Ctx->pool();
-    if (Pool && Split.LeafWays > 1)
-      LeafLP = {Pool, Split.LeafWays};
-  }
-  auto parallelTasks = [&](int64_t N, const std::function<void(int64_t)> &Fn) {
-    if (Pool && Split.TaskWays > 1)
-      Pool->parallelForWays(N, Split.TaskWays, [&](int64_t Lo, int64_t Hi) {
-        for (int64_t I = Lo; I < Hi; ++I)
-          Fn(I);
-      });
-    else
-      for (int64_t I = 0; I < N; ++I)
-        Fn(I);
-  };
-
-  Trace T;
-  T.NumProcs = P.M.numProcessors();
-  T.Phases.resize(static_cast<size_t>(NumSteps) + 2);
-  T.Phases.front().Label = "launch";
-  for (int64_t S = 0; S < NumSteps; ++S)
-    T.Phases[static_cast<size_t>(S) + 1].Label = "step " + std::to_string(S);
-  T.Phases.back().Label = "writeback";
-
-  // Baseline resident memory: owned tiles of every region per processor.
-  std::map<int64_t, int64_t> TaskBytes;
-  for (int64_t PId = 0; PId < T.NumProcs; ++PId) {
-    Point Proc = P.M.delinearize(PId);
-    int64_t Owned = 0;
-    for (const TensorVar &TV : Stmt.tensors())
-      Owned +=
-          P.formatOf(TV).distribution().bytesOnProcessor(TV.shape(), P.M, Proc);
-    T.PeakMemBytes[PId] = Owned;
-  }
-
-  if (Regions) {
-    for (const TensorVar &TV : Stmt.tensors())
-      if (!Regions->count(TV))
-        reportFatalError("no region provided for tensor '" + TV.name() + "'");
-    Regions->at(Out)->zero();
-  }
-
-  std::vector<IndexVar> DistV = P.distVars();
-  std::vector<IndexVar> StepV = P.stepVars();
-  std::vector<TensorVar> TaskC = P.taskComms();
-  std::vector<StepComm> StepC = P.stepComms();
-  std::vector<IndexVar> OrigV = Stmt.defaultLoopOrder();
-  double FlopsPerPoint = countMuls(Stmt.rhs()) + 1;
-  Tape RhsTape = compileTape(Stmt.rhs());
-
-  auto gatherFrom = [&](const Region *R, const Rect &Rect) {
-    return Strategy == LeafStrategy::Compiled ? R->gather(Rect, LeafLP)
-                                              : R->gatherPointwise(Rect);
-  };
-
-  // Per-task state, kept across the lock-step sequential loop so that each
-  // step can see where every rectangle was resident in the previous step
-  // (Legion fetches from the nearest valid instance, which is what turns a
-  // rotated schedule into true systolic nearest-neighbour communication).
-  struct TaskState {
-    Point TP, ProcPt;
-    int64_t ProcId = 0;
-    std::map<IndexVar, Interval> Fixed;
-    std::map<IndexVar, Coord> FixedVals;
-    std::map<TensorVar, Instance> OwnedInsts;
-    std::map<TensorVar, Instance *> Insts;
-    std::map<TensorVar, std::vector<Coord>> FetchKeys;
-    Rect OutRect;
-    int64_t TaskInstBytes = 0;
-    int64_t MaxStepBytes = 0;
-    // Data work scheduled by the sequential walk for the parallel pass.
-    std::vector<std::pair<TensorVar, Rect>> PendingGathers;
-    bool RunLeafThisStep = false;
-    LeafEngine Leaf;
-  };
-  std::vector<TaskState> Tasks;
-
-  // Phase 0: task launch and task-level instances. The sequential walk
-  // records the trace and the gather list; the data movement itself fans
-  // out below.
-  Launch.forEachPoint([&](const Point &TP) {
-    TaskState TS;
-    TS.TP = TP;
-    TS.ProcPt = Map.placeTask(TP, Launch, P.M);
-    TS.ProcId = P.M.linearize(TS.ProcPt);
-    for (size_t I = 0; I < DistV.size(); ++I) {
-      TS.Fixed[DistV[I]] = Interval::point(TP[static_cast<int>(I)]);
-      TS.FixedVals[DistV[I]] = TP[static_cast<int>(I)];
-    }
-    for (const TensorVar &TV : TaskC) {
-      Rect R = tensorRect(TV, Stmt, Prov, TS.Fixed);
-      // When the required rectangle is already resident (it lies within
-      // this processor's owned piece), Legion maps the existing instance
-      // instead of allocating a copy.
-      Rect Owned =
-          P.formatOf(TV).distribution().ownedRect(TV.shape(), P.M, TS.ProcPt);
-      if (!Owned.contains(R) || TV == Out)
-        TS.TaskInstBytes += R.volume() * 8;
-      if (TV != Out)
-        for (Message &Msg : gatherMessages(TV, R, TS.ProcPt))
-          T.Phases.front().Messages.push_back(std::move(Msg));
-      if (Regions)
-        TS.PendingGathers.emplace_back(TV, R);
-    }
-    TS.OutRect = tensorRect(Out, Stmt, Prov, TS.Fixed);
-    Tasks.push_back(std::move(TS));
-  });
-  if (Regions) {
-    parallelTasks(static_cast<int64_t>(Tasks.size()), [&](int64_t I) {
-      TaskState &TS = Tasks[static_cast<size_t>(I)];
-      for (auto &[TV, R] : TS.PendingGathers) {
-        if (TV == Out)
-          // Output instances are reduction-privatised, not fetched.
-          TS.OwnedInsts.emplace(TV, Instance(R));
-        else
-          TS.OwnedInsts.emplace(TV, gatherFrom(Regions->at(TV), R));
-        TS.Insts[TV] = &TS.OwnedInsts.at(TV);
-      }
-      TS.PendingGathers.clear();
-    });
-  }
-
-  // Sequential steps, lock-stepped across all tasks. Holders track which
-  // processors have each (tensor, rectangle) resident from the previous
-  // step so fetches can relay from a neighbour instead of the home owner.
-  using RectKey = std::pair<std::vector<Coord>, std::vector<Coord>>;
-  std::map<TensorVar, std::map<RectKey, std::vector<int64_t>>> PrevHolders,
-      CurHolders;
-  auto keyOf = [](const Rect &R) {
-    return RectKey{R.lo().coords(), R.hi().coords()};
-  };
-  int64_t StepIdx = 0;
-  Steps.forEachPoint([&](const Point &SP) {
-    Phase &Ph = T.Phases[static_cast<size_t>(StepIdx) + 1];
-    CurHolders.clear();
-    // Sequential pass: trace, holder tracking, and fetch decisions.
-    for (TaskState &TS : Tasks) {
-      for (size_t I = 0; I < StepV.size(); ++I) {
-        TS.Fixed[StepV[I]] = Interval::point(SP[static_cast<int>(I)]);
-        TS.FixedVals[StepV[I]] = SP[static_cast<int>(I)];
-      }
-      int64_t StepBytes = 0;
-      for (const StepComm &SC : StepC) {
-        // Loops at or above the communicate point are fixed; deeper
-        // sequential loops are free (they rerun over the materialised
-        // data).
-        std::map<IndexVar, Interval> Known;
-        std::vector<Coord> Key;
-        for (size_t I = 0; I < DistV.size(); ++I) {
-          Known[DistV[I]] = TS.Fixed[DistV[I]];
-          Key.push_back(TS.TP[static_cast<int>(I)]);
-        }
-        for (size_t I = 0; I < StepV.size(); ++I) {
-          int LoopIdx = P.NumDist + static_cast<int>(I);
-          if (LoopIdx > SC.LoopIdx)
-            break;
-          Known[StepV[I]] = TS.Fixed[StepV[I]];
-          Key.push_back(SP[static_cast<int>(I)]);
-        }
-        Rect R = tensorRect(SC.Tensor, Stmt, Prov, Known);
-        StepBytes += R.volume() * 8;
-        CurHolders[SC.Tensor][keyOf(R)].push_back(TS.ProcId);
-        auto KeyIt = TS.FetchKeys.find(SC.Tensor);
-        if (KeyIt != TS.FetchKeys.end() && KeyIt->second == Key)
-          continue; // Data already resident from an inner iteration.
-        TS.FetchKeys[SC.Tensor] = Key;
-
-        std::vector<Message> Msgs = gatherMessages(SC.Tensor, R, TS.ProcPt);
-        // Relay: if some processor held exactly this rectangle last step,
-        // fetch from the closest holder when that beats the home owner.
-        auto HIt = PrevHolders.find(SC.Tensor);
-        if (HIt != PrevHolders.end()) {
-          auto RIt = HIt->second.find(keyOf(R));
-          if (RIt != HIt->second.end() && !RIt->second.empty()) {
-            auto distanceTo = [&](int64_t Src) {
-              if (Src == TS.ProcId)
-                return std::pair<int, int64_t>{0, 0};
-              bool SameNode = P.M.nodeOf(P.M.delinearize(Src)) ==
-                              P.M.nodeOf(TS.ProcPt);
-              return std::pair<int, int64_t>{SameNode ? 1 : 2,
-                                             std::abs(Src - TS.ProcId)};
-            };
-            int64_t BestSrc = RIt->second.front();
-            for (int64_t Cand : RIt->second)
-              if (distanceTo(Cand) < distanceTo(BestSrc))
-                BestSrc = Cand;
-            // Fetch locally when this processor owns the data; otherwise
-            // always prefer the pipeline copy: that is what makes rotated
-            // schedules truly systolic (each holder forwards to exactly
-            // one neighbour).
-            bool OwnerIsSelf =
-                Msgs.size() == 1 && Msgs.front().Src == Msgs.front().Dst;
-            if (!OwnerIsSelf) {
-              Message Relay;
-              Relay.Src = BestSrc;
-              Relay.Dst = TS.ProcId;
-              Relay.Bytes = R.volume() * 8;
-              Relay.SameNode = P.M.nodeOf(P.M.delinearize(BestSrc)) ==
-                               P.M.nodeOf(TS.ProcPt);
-              Relay.Tensor = SC.Tensor.name();
-              Msgs = {Relay};
-            }
-          }
-        }
-        for (Message &Msg : Msgs)
-          Ph.Messages.push_back(std::move(Msg));
-        if (Regions)
-          TS.PendingGathers.emplace_back(SC.Tensor, R);
-      }
-      TS.MaxStepBytes = std::max(TS.MaxStepBytes, StepBytes);
-
-      // Leaf work: iteration sub-volume at this context.
-      int64_t Count = iterationCount(OrigV, Prov, TS.Fixed);
-      int64_t LeafBytes = 0;
-      for (const Access &A : Stmt.accesses())
-        LeafBytes += accessRect(A, Prov, TS.Fixed).volume() * 8;
-      Ph.addWork(TS.ProcId, static_cast<double>(Count) * FlopsPerPoint,
-                 LeafBytes);
-
-      // Tasks at the ragged edge of an uneven divide may own no
-      // iterations at all.
-      TS.RunLeafThisStep = Regions && Count > 0;
-    }
-    // Parallel pass: per-task fetches and leaf kernels. Tasks only read
-    // shared regions (the output accumulates in task-private instances),
-    // so they are independent.
-    if (Regions) {
-      parallelTasks(static_cast<int64_t>(Tasks.size()), [&](int64_t I) {
-        TaskState &TS = Tasks[static_cast<size_t>(I)];
-        for (auto &[TV, R] : TS.PendingGathers) {
-          TS.OwnedInsts.erase(TV);
-          auto [It2, Inserted] =
-              TS.OwnedInsts.emplace(TV, gatherFrom(Regions->at(TV), R));
-          (void)Inserted;
-          TS.Insts[TV] = &It2->second;
-        }
-        TS.PendingGathers.clear();
-        if (TS.RunLeafThisStep) {
-          if (Strategy == LeafStrategy::Compiled)
-            runCompiledLeaf(TS.Leaf, P, TS.FixedVals, TS.Insts, RhsTape,
-                            LeafLP);
-          else
-            runInterpretedLeaf(P, TS.FixedVals, TS.Insts);
-        }
-      });
-    }
-    std::swap(PrevHolders, CurHolders);
-    ++StepIdx;
-  });
-
-  // Writeback / reduction of every task's output instance to its owners.
-  for (TaskState &TS : Tasks) {
-    for (Message Msg : gatherMessages(Out, TS.OutRect, TS.ProcPt)) {
-      if (Msg.Src == Msg.Dst)
-        continue;
-      // Data flows from this task to the owner: reverse the direction.
-      std::swap(Msg.Src, Msg.Dst);
-      Msg.Reduction = true;
-      T.Phases.back().Messages.push_back(std::move(Msg));
-    }
-    // Live instances: task-level + double-buffered step instances.
-    TaskBytes[TS.ProcId] = std::max(
-        TaskBytes[TS.ProcId], TS.TaskInstBytes + 2 * TS.MaxStepBytes);
-  }
-  if (Regions) {
-    Region *OutR = Regions->at(Out);
-    if (Strategy != LeafStrategy::Compiled) {
-      for (TaskState &TS : Tasks)
-        OutR->reduceBackPointwise(TS.OwnedInsts.at(Out));
-    } else if (!Pool || Out.order() == 0) {
-      for (TaskState &TS : Tasks)
-        OutR->reduceBack(TS.OwnedInsts.at(Out));
-    } else {
-      // Stripe the merge over output rows. Within a stripe every element
-      // still accumulates the tasks in task order, so the result is
-      // bitwise-identical to the sequential merge.
-      Coord Rows = OutR->shape()[0];
-      Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
-        for (TaskState &TS : Tasks)
-          OutR->reduceBackRows(TS.OwnedInsts.at(Out), RowLo, RowHi);
-      });
-    }
-  }
-
-  for (auto &[ProcId, Bytes] : TaskBytes)
-    T.PeakMemBytes[ProcId] += Bytes;
-  return T;
+  return planGatherMessages(P, T, R, DstProc);
 }
 
 void distal::referenceExecute(const Assignment &Stmt,

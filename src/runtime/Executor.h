@@ -1,15 +1,18 @@
 //===- runtime/Executor.h - Plan execution engine --------------*- C++ -*-===//
 ///
 /// \file
-/// Executes lowered Plans. Two backends share one walk of the plan's
-/// bulk-synchronous structure:
+/// Executes lowered Plans through the compile-once / execute-many split:
+/// the first run (or simulate) compiles the plan into a CompiledPlan
+/// artifact — placement, bounds, gather rectangles, the communication
+/// skeleton, and the leaf tapes, all derived once — and every run is then
+/// a thin walk of that artifact that only moves data and runs kernels.
 ///
 ///  * Execute: real data. Every task computes exclusively on Instances
 ///    gathered from each region per the communication analysis, then
 ///    reduces its output instance back — so an incorrect partition or
 ///    bounds computation produces incorrect numbers, giving the test suite
 ///    real distributed-memory semantics on one process.
-///  * Simulate: no data. The same walk records the trace (messages, flops,
+///  * Simulate: no data. Returns the precomputed trace (messages, flops,
 ///    memory) for the Simulator to price against a MachineSpec, standing in
 ///    for the 256-node Lassen runs of the paper's evaluation.
 ///
@@ -22,6 +25,7 @@
 #include <memory>
 
 #include "lower/Plan.h"
+#include "runtime/CompiledPlan.h"
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
@@ -29,18 +33,6 @@
 namespace distal {
 
 class ExecContext;
-
-/// How leaf kernels execute.
-enum class LeafStrategy {
-  /// Compile the statement once per task into a flat postfix tape with
-  /// affine offset functions, route matching leaves to blas:: kernels, and
-  /// hoist guards out of the innermost loop (the default).
-  Compiled,
-  /// The seed interpreter: rebuild the affine structure every step and walk
-  /// the expression tree through recursive std::functions at every point.
-  /// Kept as a reference for benchmarks and differential tests.
-  Interpreted,
-};
 
 class Executor {
 public:
@@ -81,13 +73,23 @@ public:
   /// ownership. The context must outlive the executor's runs.
   void setExecContext(ExecContext *Ctx) { ExternalCtx = Ctx; }
 
+  /// Changing the strategy after a run recompiles on the next run (the
+  /// artifact bakes the leaf tapes and gather routing).
   void setLeafStrategy(LeafStrategy S) { Strategy = S; }
 
-  /// Runs the plan on real data. \p Regions must contain every tensor of
-  /// the statement; the output region is zeroed first. Returns the trace.
-  Trace run(const std::map<TensorVar, Region *> &Regions);
+  /// The compiled artifact, built on first use and reused by every
+  /// subsequent run()/simulate() of this executor.
+  CompiledPlan &compiled();
 
-  /// Walks the plan without data, returning the trace for simulation.
+  /// Runs the plan on real data. \p Regions must contain every tensor of
+  /// the statement; the output region is zeroed first. The first call
+  /// compiles; later calls are steady-state walks of the artifact.
+  /// TraceMode::Full returns the precomputed trace; TraceMode::Off skips
+  /// even the trace copy and returns an empty trace.
+  Trace run(const std::map<TensorVar, Region *> &Regions,
+            TraceMode Mode = TraceMode::Full);
+
+  /// Returns the trace without touching data (for cost studies).
   Trace simulate();
 
   /// Messages needed to materialise rectangle \p R of tensor \p T in the
@@ -97,18 +99,14 @@ public:
                                       const Point &DstProc) const;
 
 private:
-  Trace runImpl(const std::map<TensorVar, Region *> *Regions);
-
   const Plan &P;
   const Mapper &Map;
   int NumThreads = 0;
   int ForceTaskWays = 0, ForceLeafWays = 0;
   LeafStrategy Strategy = LeafStrategy::Compiled;
   ExecContext *ExternalCtx = nullptr;
-  /// Context owned when none is supplied externally; cached across run()
-  /// calls (contexts whose size matches the process default share the
-  /// global pool, other sizes own one).
-  std::unique_ptr<ExecContext> OwnCtx;
+  /// Compile-once artifact, rebuilt only when the leaf strategy changes.
+  std::unique_ptr<CompiledPlan> CP;
 };
 
 /// Sequential reference executor: runs \p Stmt directly over dense arrays

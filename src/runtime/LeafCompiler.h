@@ -1,0 +1,103 @@
+//===- runtime/LeafCompiler.h - Compiled leaf kernels ----------*- C++ -*-===//
+///
+/// \file
+/// The leaf-kernel compiler of the execution engine (runtime-internal).
+/// The statement's right-hand side compiles once into a flat postfix tape;
+/// every access offset becomes an affine function of the leaf loop
+/// variables whose coefficient structure is cached per task across steps
+/// (and across executions of a CompiledPlan — only the bases and instance
+/// bindings are re-derived per step, validated with one probe at the far
+/// corner of the leaf domain); guards hoist out of the innermost loop; and
+/// recognisable loop structures route to blas:: kernels (GEMM for
+/// matrix-multiply leaves, strided dot / axpy / sum for contraction and
+/// elementwise innermost loops).
+///
+/// The seed per-point expression-tree interpreter survives as
+/// runInterpretedLeaf for differential tests and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_LEAFCOMPILER_H
+#define DISTAL_RUNTIME_LEAFCOMPILER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lower/Plan.h"
+#include "runtime/Region.h"
+#include "support/ExecContext.h"
+
+namespace distal {
+namespace leaf {
+
+/// One postfix instruction of the compiled right-hand side.
+enum class TapeOp : uint8_t { PushAcc, PushLit, Add, Mul };
+struct TapeIns {
+  TapeOp Op = TapeOp::PushLit;
+  int Acc = 0;
+  double Lit = 0;
+};
+
+/// The statement's right-hand side compiled to a flat postfix tape, plus
+/// the product decomposition used to pick innermost-loop kernels.
+struct Tape {
+  std::vector<TapeIns> Ins;
+  int MaxDepth = 0;
+  /// True when the expression is a pure product of accesses and literals
+  /// (no additions), i.e. rhs == ProductLit * prod(Accesses[ProductAccs]).
+  bool PureProduct = true;
+  double ProductLit = 1.0;
+  std::vector<int> ProductAccs; ///< Access ids in left-to-right order.
+};
+
+/// Compiles \p Rhs into a postfix tape (access 0 is the output).
+Tape compileTape(const Expr &Rhs);
+
+/// Per-task leaf state. The affine structure (loop extents and per-leaf-var
+/// coefficients of every original variable) is compiled on first use and
+/// cached across steps — only the bases and instance bindings change per
+/// step, verified cheaply at the far corner of the leaf domain.
+struct LeafEngine {
+  bool Ready = false;
+  int NumLeaf = 0, NumOrig = 0, NumAcc = 0;
+  std::vector<IndexVar> LeafV, OrigV;
+  std::vector<Access> Accesses; ///< LHS first.
+  std::map<IndexVar, int> OrigIdx;
+  std::vector<Coord> LeafExtents;
+  std::vector<Coord> VarExtent;
+  std::vector<std::vector<Coord>> VarCoef; ///< [orig][leaf], cached.
+
+  // Per-step state.
+  std::vector<Coord> VarBase;
+  std::vector<std::vector<int64_t>> AccCoef; ///< [acc][leaf], elements.
+  std::vector<int64_t> AccBase;
+  std::vector<double *> AccData;
+  bool NeedGuard = false;
+
+  // Scratch buffers reused across rows.
+  std::vector<double> Stack;
+  std::vector<int64_t> CurOff, RowOff;
+  std::vector<Coord> CurVal;
+  std::vector<Coord> Odometer;
+};
+
+/// Runs one leaf invocation through the compiled engine: binds this step's
+/// fixed values and instances (compiling/validating the cached affine
+/// structure), then routes to a GEMM, strided-BLAS, or tape loop. \p LP
+/// bounds the nested fan-out of the routed kernels.
+void runCompiledLeaf(LeafEngine &E, const Plan &P,
+                     const std::map<IndexVar, Coord> &FixedVals,
+                     std::map<TensorVar, Instance *> &Insts, const Tape &T,
+                     const LeafParallelism &LP);
+
+/// The seed interpreter: rebuilds the affine structure every step and walks
+/// the expression tree through recursive std::functions at every point.
+void runInterpretedLeaf(const Plan &P,
+                        const std::map<IndexVar, Coord> &FixedVals,
+                        std::map<TensorVar, Instance *> &Insts);
+
+} // namespace leaf
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_LEAFCOMPILER_H

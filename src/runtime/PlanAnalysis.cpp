@@ -1,0 +1,344 @@
+//===- runtime/PlanAnalysis.cpp -------------------------------*- C++ -*-===//
+//
+// The sequential compile-phase walk. All trace mutation happens here, so
+// traces are bitwise-identical at every thread count and task/leaf split of
+// the execute phase — the execute phase never adds to the trace, it replays
+// the gather program this walk records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PlanAnalysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+#include "lower/Bounds.h"
+#include "support/Error.h"
+
+using namespace distal;
+
+static int countMuls(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Access:
+  case ExprKind::Literal:
+    return 0;
+  case ExprKind::Add:
+  case ExprKind::Mul:
+    return (E.kind() == ExprKind::Mul ? 1 : 0) + countMuls(E.lhs()) +
+           countMuls(E.rhs());
+  }
+  unreachable("unknown expr kind");
+}
+
+/// Bounding box of the rectangles accessed by every access of \p T.
+static Rect tensorRect(const TensorVar &T, const Assignment &Stmt,
+                       const ProvenanceGraph &Prov,
+                       const std::map<IndexVar, Interval> &Known) {
+  Rect Result = Rect::empty(T.order());
+  bool First = true;
+  for (const Access &A : Stmt.accesses()) {
+    if (A.tensor() != T)
+      continue;
+    Rect R = accessRect(A, Prov, Known);
+    if (First) {
+      Result = R;
+      First = false;
+      continue;
+    }
+    std::vector<Coord> Lo(T.order()), Hi(T.order());
+    for (int D = 0; D < T.order(); ++D) {
+      Lo[D] = std::min(Result.lo()[D], R.lo()[D]);
+      Hi[D] = std::max(Result.hi()[D], R.hi()[D]);
+    }
+    Result = Rect(Point(std::move(Lo)), Point(std::move(Hi)));
+  }
+  DISTAL_ASSERT(!First, "tensor does not appear in the statement");
+  return Result;
+}
+
+std::vector<Message> distal::planGatherMessages(const Plan &P,
+                                                const TensorVar &T,
+                                                const Rect &R,
+                                                const Point &DstProc) {
+  std::vector<Message> Msgs;
+  if (R.isEmpty())
+    return Msgs;
+  const TensorDistribution &D = P.formatOf(T).distribution();
+  const Machine &M = P.M;
+  const std::vector<Coord> &Shape = T.shape();
+  int64_t Dst = M.linearize(DstProc);
+  int64_t DstNode = M.nodeOf(DstProc);
+
+  // Recursively enumerate owner tiles overlapping R. Each machine level
+  // partitions the piece selected by the previous level, so the recursion
+  // carries the current piece rectangle.
+  std::vector<Coord> Owner(M.dim());
+  std::function<void(int, int, int, Rect)> Recurse =
+      [&](int Level, int DimInLevel, int FlatDim, Rect Piece) {
+        if (Level == D.numLevels()) {
+          Rect Overlap = R.intersect(Piece);
+          if (Overlap.isEmpty())
+            return;
+          Message Msg;
+          Msg.Src = M.linearize(Point(Owner));
+          Msg.Dst = Dst;
+          Msg.Bytes = Overlap.volume() * 8;
+          Msg.SameNode = M.nodeOf(Point(Owner)) == DstNode;
+          Msg.Tensor = T.name();
+          Msgs.push_back(Msg);
+          return;
+        }
+        const DistributionLevel &L = D.level(Level);
+        const MachineLevel &ML = M.level(Level);
+        if (DimInLevel == ML.dim()) {
+          Recurse(Level + 1, 0, FlatDim, Piece);
+          return;
+        }
+        const MachineDimName &N = L.MachineDims[DimInLevel];
+        switch (N.Kind) {
+        case MachineDimName::Fixed:
+          Owner[FlatDim] = N.Value;
+          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
+          return;
+        case MachineDimName::Broadcast:
+          // Fetch from the replica sharing the destination's coordinate
+          // (Legion's mapper picks the nearest valid instance).
+          Owner[FlatDim] = DstProc[FlatDim];
+          Recurse(Level, DimInLevel + 1, FlatDim + 1, Piece);
+          return;
+        case MachineDimName::Name: {
+          int TD = L.tensorDimNamed(N.Id);
+          Coord PLo = std::max(R.lo()[TD], Piece.lo()[TD]);
+          Coord PHi = std::min(R.hi()[TD], Piece.hi()[TD]);
+          if (PLo >= PHi)
+            return;
+          Coord C0 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
+                                    ML.Dims[DimInLevel], PLo);
+          Coord C1 = blockedColor1D(Piece.lo()[TD], Piece.hi()[TD],
+                                    ML.Dims[DimInLevel], PHi - 1);
+          for (Coord C = C0; C <= C1; ++C) {
+            Rect Block = blockedPiece1D(Piece.lo()[TD], Piece.hi()[TD],
+                                        ML.Dims[DimInLevel], C);
+            std::vector<Coord> Lo(Piece.lo().coords()),
+                Hi(Piece.hi().coords());
+            Lo[TD] = Block.lo()[0];
+            Hi[TD] = Block.hi()[0];
+            Owner[FlatDim] = C;
+            Recurse(Level, DimInLevel + 1, FlatDim + 1,
+                    Rect(Point(Lo), Point(Hi)));
+          }
+          return;
+        }
+        }
+      };
+  Recurse(0, 0, 0, Rect::forExtents(Shape));
+  return Msgs;
+}
+
+PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
+  const Assignment &Stmt = P.Nest.Stmt;
+  const ProvenanceGraph &Prov = P.Nest.Prov;
+  const TensorVar &Out = Stmt.lhs().tensor();
+
+  Rect Launch = P.launchDomain();
+  Rect Steps = P.stepDomain();
+  int64_t NumSteps = Steps.volume();
+
+  PlanAnalysisResult Result;
+  Trace &T = Result.Skeleton;
+  T.NumProcs = P.M.numProcessors();
+  T.Phases.resize(static_cast<size_t>(NumSteps) + 2);
+  T.Phases.front().Label = "launch";
+  for (int64_t S = 0; S < NumSteps; ++S)
+    T.Phases[static_cast<size_t>(S) + 1].Label = "step " + std::to_string(S);
+  T.Phases.back().Label = "writeback";
+
+  // Baseline resident memory: owned tiles of every region per processor.
+  std::map<int64_t, int64_t> TaskBytes;
+  for (int64_t PId = 0; PId < T.NumProcs; ++PId) {
+    Point Proc = P.M.delinearize(PId);
+    int64_t Owned = 0;
+    for (const TensorVar &TV : Stmt.tensors())
+      Owned +=
+          P.formatOf(TV).distribution().bytesOnProcessor(TV.shape(), P.M, Proc);
+    T.PeakMemBytes[PId] = Owned;
+  }
+
+  std::vector<IndexVar> DistV = P.distVars();
+  std::vector<IndexVar> StepV = P.stepVars();
+  std::vector<TensorVar> TaskC = P.taskComms();
+  std::vector<StepComm> StepC = P.stepComms();
+  std::vector<IndexVar> OrigV = Stmt.defaultLoopOrder();
+  double FlopsPerPoint = countMuls(Stmt.rhs()) + 1;
+
+  /// Walk-local per-task state; what the execute phase needs lands in the
+  /// recorded CompiledTask.
+  struct TaskState {
+    CompiledTask CT;
+    std::map<IndexVar, Interval> Fixed;
+    std::map<TensorVar, std::vector<Coord>> FetchKeys;
+    int64_t TaskInstBytes = 0;
+    int64_t MaxStepBytes = 0;
+  };
+  std::vector<TaskState> States;
+
+  // Phase 0: task launch and task-level instances.
+  Launch.forEachPoint([&](const Point &TP) {
+    TaskState TS;
+    TS.CT.TP = TP;
+    TS.CT.ProcPt = Map.placeTask(TP, Launch, P.M);
+    TS.CT.ProcId = P.M.linearize(TS.CT.ProcPt);
+    for (size_t I = 0; I < DistV.size(); ++I) {
+      TS.Fixed[DistV[I]] = Interval::point(TP[static_cast<int>(I)]);
+      TS.CT.DistVals[DistV[I]] = TP[static_cast<int>(I)];
+    }
+    for (const TensorVar &TV : TaskC) {
+      Rect R = tensorRect(TV, Stmt, Prov, TS.Fixed);
+      // When the required rectangle is already resident (it lies within
+      // this processor's owned piece), Legion maps the existing instance
+      // instead of allocating a copy.
+      Rect Owned = P.formatOf(TV).distribution().ownedRect(TV.shape(), P.M,
+                                                           TS.CT.ProcPt);
+      if (!Owned.contains(R) || TV == Out)
+        TS.TaskInstBytes += R.volume() * 8;
+      if (TV != Out)
+        for (Message &Msg : planGatherMessages(P, TV, R, TS.CT.ProcPt))
+          T.Phases.front().Messages.push_back(std::move(Msg));
+      TS.CT.LaunchGathers.push_back(CompiledGather{TV, R, TV == Out});
+    }
+    TS.CT.OutRect = tensorRect(Out, Stmt, Prov, TS.Fixed);
+    TS.CT.StepGathers.resize(static_cast<size_t>(NumSteps));
+    TS.CT.RunLeaf.resize(static_cast<size_t>(NumSteps), 0);
+    States.push_back(std::move(TS));
+  });
+
+  // Sequential steps, lock-stepped across all tasks. Holders track which
+  // processors have each (tensor, rectangle) resident from the previous
+  // step so fetches can relay from a neighbour instead of the home owner.
+  using RectKey = std::pair<std::vector<Coord>, std::vector<Coord>>;
+  std::map<TensorVar, std::map<RectKey, std::vector<int64_t>>> PrevHolders,
+      CurHolders;
+  auto keyOf = [](const Rect &R) {
+    return RectKey{R.lo().coords(), R.hi().coords()};
+  };
+  int64_t StepIdx = 0;
+  Steps.forEachPoint([&](const Point &SP) {
+    Phase &Ph = T.Phases[static_cast<size_t>(StepIdx) + 1];
+    CurHolders.clear();
+    std::vector<std::pair<IndexVar, Coord>> Vals;
+    for (size_t I = 0; I < StepV.size(); ++I)
+      Vals.emplace_back(StepV[I], SP[static_cast<int>(I)]);
+    Result.StepVals.push_back(std::move(Vals));
+    for (TaskState &TS : States) {
+      for (size_t I = 0; I < StepV.size(); ++I)
+        TS.Fixed[StepV[I]] = Interval::point(SP[static_cast<int>(I)]);
+      int64_t StepBytes = 0;
+      for (const StepComm &SC : StepC) {
+        // Loops at or above the communicate point are fixed; deeper
+        // sequential loops are free (they rerun over the materialised
+        // data).
+        std::map<IndexVar, Interval> Known;
+        std::vector<Coord> Key;
+        for (size_t I = 0; I < DistV.size(); ++I) {
+          Known[DistV[I]] = TS.Fixed[DistV[I]];
+          Key.push_back(TS.CT.TP[static_cast<int>(I)]);
+        }
+        for (size_t I = 0; I < StepV.size(); ++I) {
+          int LoopIdx = P.NumDist + static_cast<int>(I);
+          if (LoopIdx > SC.LoopIdx)
+            break;
+          Known[StepV[I]] = TS.Fixed[StepV[I]];
+          Key.push_back(SP[static_cast<int>(I)]);
+        }
+        Rect R = tensorRect(SC.Tensor, Stmt, Prov, Known);
+        StepBytes += R.volume() * 8;
+        CurHolders[SC.Tensor][keyOf(R)].push_back(TS.CT.ProcId);
+        auto KeyIt = TS.FetchKeys.find(SC.Tensor);
+        if (KeyIt != TS.FetchKeys.end() && KeyIt->second == Key)
+          continue; // Data already resident from an inner iteration.
+        TS.FetchKeys[SC.Tensor] = Key;
+
+        std::vector<Message> Msgs =
+            planGatherMessages(P, SC.Tensor, R, TS.CT.ProcPt);
+        // Relay: if some processor held exactly this rectangle last step,
+        // fetch from the closest holder when that beats the home owner.
+        auto HIt = PrevHolders.find(SC.Tensor);
+        if (HIt != PrevHolders.end()) {
+          auto RIt = HIt->second.find(keyOf(R));
+          if (RIt != HIt->second.end() && !RIt->second.empty()) {
+            auto distanceTo = [&](int64_t Src) {
+              if (Src == TS.CT.ProcId)
+                return std::pair<int, int64_t>{0, 0};
+              bool SameNode = P.M.nodeOf(P.M.delinearize(Src)) ==
+                              P.M.nodeOf(TS.CT.ProcPt);
+              return std::pair<int, int64_t>{SameNode ? 1 : 2,
+                                             std::abs(Src - TS.CT.ProcId)};
+            };
+            int64_t BestSrc = RIt->second.front();
+            for (int64_t Cand : RIt->second)
+              if (distanceTo(Cand) < distanceTo(BestSrc))
+                BestSrc = Cand;
+            // Fetch locally when this processor owns the data; otherwise
+            // always prefer the pipeline copy: that is what makes rotated
+            // schedules truly systolic (each holder forwards to exactly
+            // one neighbour).
+            bool OwnerIsSelf =
+                Msgs.size() == 1 && Msgs.front().Src == Msgs.front().Dst;
+            if (!OwnerIsSelf) {
+              Message Relay;
+              Relay.Src = BestSrc;
+              Relay.Dst = TS.CT.ProcId;
+              Relay.Bytes = R.volume() * 8;
+              Relay.SameNode = P.M.nodeOf(P.M.delinearize(BestSrc)) ==
+                               P.M.nodeOf(TS.CT.ProcPt);
+              Relay.Tensor = SC.Tensor.name();
+              Msgs = {Relay};
+            }
+          }
+        }
+        for (Message &Msg : Msgs)
+          Ph.Messages.push_back(std::move(Msg));
+        TS.CT.StepGathers[static_cast<size_t>(StepIdx)].push_back(
+            CompiledGather{SC.Tensor, R, false});
+      }
+      TS.MaxStepBytes = std::max(TS.MaxStepBytes, StepBytes);
+
+      // Leaf work: iteration sub-volume at this context.
+      int64_t Count = iterationCount(OrigV, Prov, TS.Fixed);
+      int64_t LeafBytes = 0;
+      for (const Access &A : Stmt.accesses())
+        LeafBytes += accessRect(A, Prov, TS.Fixed).volume() * 8;
+      Ph.addWork(TS.CT.ProcId, static_cast<double>(Count) * FlopsPerPoint,
+                 LeafBytes);
+
+      // Tasks at the ragged edge of an uneven divide may own no
+      // iterations at all.
+      TS.CT.RunLeaf[static_cast<size_t>(StepIdx)] = Count > 0 ? 1 : 0;
+    }
+    std::swap(PrevHolders, CurHolders);
+    ++StepIdx;
+  });
+
+  // Writeback / reduction of every task's output instance to its owners.
+  for (TaskState &TS : States) {
+    for (Message Msg : planGatherMessages(P, Out, TS.CT.OutRect, TS.CT.ProcPt)) {
+      if (Msg.Src == Msg.Dst)
+        continue;
+      // Data flows from this task to the owner: reverse the direction.
+      std::swap(Msg.Src, Msg.Dst);
+      Msg.Reduction = true;
+      T.Phases.back().Messages.push_back(std::move(Msg));
+    }
+    // Live instances: task-level + double-buffered step instances.
+    TaskBytes[TS.CT.ProcId] = std::max(
+        TaskBytes[TS.CT.ProcId], TS.TaskInstBytes + 2 * TS.MaxStepBytes);
+  }
+  for (auto &[ProcId, Bytes] : TaskBytes)
+    T.PeakMemBytes[ProcId] += Bytes;
+
+  Result.Tasks.reserve(States.size());
+  for (TaskState &TS : States)
+    Result.Tasks.push_back(std::move(TS.CT));
+  return Result;
+}

@@ -1,0 +1,39 @@
+//===- runtime/PlanAnalysis.h - Compile-phase plan analysis ----*- C++ -*-===//
+///
+/// \file
+/// The compile phase of the execution engine: one sequential walk of a
+/// Plan's bulk-synchronous structure computes everything data-independent —
+/// the trace skeleton (messages with systolic relay detection, per-proc
+/// work, peak memory) exactly as the Simulator sees it, and the per-task
+/// gather program the execute phase replays. Runs once per CompiledPlan,
+/// never on the steady-state path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_PLANANALYSIS_H
+#define DISTAL_RUNTIME_PLANANALYSIS_H
+
+#include <vector>
+
+#include "runtime/CompiledPlan.h"
+
+namespace distal {
+
+/// Everything the compile phase derives from (Plan, Mapper).
+struct PlanAnalysisResult {
+  Trace Skeleton;
+  std::vector<CompiledTask> Tasks;
+  std::vector<std::vector<std::pair<IndexVar, Coord>>> StepVals;
+};
+
+PlanAnalysisResult analyzePlan(const Plan &P, const Mapper &Map);
+
+/// Messages needed to materialise rectangle \p R of tensor \p T in the
+/// memory of \p DstProc, fetching each piece from the replica nearest the
+/// destination (exposed for testing the communication analysis).
+std::vector<Message> planGatherMessages(const Plan &P, const TensorVar &T,
+                                        const Rect &R, const Point &DstProc);
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_PLANANALYSIS_H

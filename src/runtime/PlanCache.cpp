@@ -1,0 +1,79 @@
+//===- runtime/PlanCache.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/PlanCache.h"
+
+using namespace distal;
+
+PlanCache &PlanCache::global() {
+  static PlanCache Cache;
+  return Cache;
+}
+
+std::string PlanCache::keyFor(const Plan &P, LeafStrategy Strategy) {
+  return P.fingerprint() +
+         (Strategy == LeafStrategy::Compiled ? ";leaf=compiled"
+                                             : ";leaf=interpreted");
+}
+
+std::shared_ptr<CompiledPlan> PlanCache::find(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  LRU.splice(LRU.begin(), LRU, It->second);
+  return It->second->second;
+}
+
+void PlanCache::put(const std::string &Key, std::shared_ptr<CompiledPlan> CP) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = std::move(CP);
+    LRU.splice(LRU.begin(), LRU, It->second);
+    return;
+  }
+  LRU.emplace_front(Key, std::move(CP));
+  Index[Key] = LRU.begin();
+  while (LRU.size() > Capacity) {
+    Index.erase(LRU.back().first);
+    LRU.pop_back();
+  }
+}
+
+bool PlanCache::invalidate(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  LRU.erase(It->second);
+  Index.erase(It);
+  return true;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LRU.clear();
+  Index.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LRU.size();
+}
+
+void PlanCache::setCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Capacity = N > 0 ? N : 1;
+  while (LRU.size() > Capacity) {
+    Index.erase(LRU.back().first);
+    LRU.pop_back();
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}

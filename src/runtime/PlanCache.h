@@ -1,0 +1,83 @@
+//===- runtime/PlanCache.h - Process-wide compiled-plan cache --*- C++ -*-===//
+///
+/// \file
+/// A process-wide cache of CompiledPlan artifacts so that repeated
+/// evaluations of the same scheduled statement on the same machine hit
+/// steady state: Tensor::evaluate lowers, fingerprints, and looks up here
+/// before paying the compile-phase analysis.
+///
+/// Keying: entries are keyed by PlanCache::keyFor — the plan's structural
+/// fingerprint (statement, schedule/provenance relations, formats, tensor
+/// shapes and identities, machine; see Plan::fingerprint) plus the leaf
+/// strategy. Execute-time knobs (thread count, task/leaf split, trace
+/// mode) are deliberately NOT part of the key: one artifact serves every
+/// configuration and results are bitwise-identical across them. Because
+/// the fingerprint includes tensor identity, recreating a tensor (or
+/// redefining its computation or schedule) naturally misses and compiles
+/// fresh; stale entries age out of the bounded LRU list. `invalidate` and
+/// `clear` drop entries explicitly.
+///
+/// Memory ownership: the cache and any caller share the artifact through
+/// shared_ptr; an artifact (with its reusable instance buffers) stays
+/// alive while either holds it. Eviction or invalidation never invalidates
+/// an execution in flight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_PLANCACHE_H
+#define DISTAL_RUNTIME_PLANCACHE_H
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runtime/CompiledPlan.h"
+
+namespace distal {
+
+class PlanCache {
+public:
+  /// The process-wide instance used by Tensor::evaluate.
+  static PlanCache &global();
+
+  /// The cache key for compiling \p P with \p Strategy.
+  static std::string keyFor(const Plan &P, LeafStrategy Strategy);
+
+  /// Returns the cached artifact for \p Key (refreshing its LRU position),
+  /// or null. Counts a hit or miss.
+  std::shared_ptr<CompiledPlan> find(const std::string &Key);
+
+  /// Inserts (or replaces) the artifact for \p Key, evicting the least
+  /// recently used entry beyond the capacity.
+  void put(const std::string &Key, std::shared_ptr<CompiledPlan> CP);
+
+  /// Drops the entry for \p Key; returns whether one existed.
+  bool invalidate(const std::string &Key);
+
+  /// Drops every entry (hit/miss counters survive).
+  void clear();
+
+  size_t size() const;
+  void setCapacity(size_t N);
+
+  struct Stats {
+    int64_t Hits = 0;
+    int64_t Misses = 0;
+  };
+  Stats stats() const;
+
+private:
+  using Entry = std::pair<std::string, std::shared_ptr<CompiledPlan>>;
+
+  mutable std::mutex Mu;
+  size_t Capacity = 64;
+  std::list<Entry> LRU; ///< Front = most recently used.
+  std::map<std::string, std::list<Entry>::iterator> Index;
+  Stats S;
+};
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_PLANCACHE_H

@@ -108,14 +108,21 @@ constexpr int64_t CopyParallelCutoff = 1 << 17;
 
 } // namespace
 
-Instance::Instance(Rect R) : Bounds(std::move(R)) {
+Instance::Instance(Rect R) { reset(std::move(R)); }
+
+void Instance::reset(Rect R) {
+  Bounds = std::move(R);
   std::vector<Coord> Extents(Bounds.dim());
   for (int I = 0; I < Bounds.dim(); ++I)
     Extents[I] = std::max<Coord>(Bounds.hi()[I] - Bounds.lo()[I], 0);
   Strides = rowMajorStrides(Extents);
-  Data.assign(static_cast<size_t>(Bounds.volume()), 0.0);
-  if (Bounds.dim() == 0)
-    Data.assign(1, 0.0);
+  size_t Vol = static_cast<size_t>(Bounds.dim() == 0 ? 1 : Bounds.volume());
+  if (Data.size() != Vol)
+    Data.resize(Vol, 0.0);
+}
+
+void Instance::reserve(int64_t Elems) {
+  Data.reserve(static_cast<size_t>(std::max<int64_t>(Elems, 1)));
 }
 
 int64_t Instance::offset(const Point &Global) const {
@@ -183,9 +190,15 @@ void Region::zero() {
 Instance Region::gather(const Rect &R) const { return gather(R, {}); }
 
 Instance Region::gather(const Rect &R, const LeafParallelism &LP) const {
+  Instance I(R);
+  gatherInto(I, LP);
+  return I;
+}
+
+void Region::gatherInto(Instance &I, const LeafParallelism &LP) const {
+  const Rect &R = I.rect();
   DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
                 "gather rectangle outside region bounds");
-  Instance I(R);
   double *Dst = I.data();
   const double *Src = Data.data();
   RunDecomposition D = decomposeRuns(R, shape());
@@ -195,7 +208,7 @@ Instance Region::gather(const Rect &R, const LeafParallelism &LP) const {
   };
   if (!LP.enabled() || D.NumRuns * D.RunLen < CopyParallelCutoff) {
     forEachRunRange(R, shape(), Strides, D, 0, D.NumRuns, CopyRun);
-    return I;
+    return;
   }
   if (D.NumRuns == 1) {
     // Fully contiguous rectangle: split the single memcpy into sub-ranges.
@@ -206,14 +219,13 @@ Instance Region::gather(const Rect &R, const LeafParallelism &LP) const {
       std::memcpy(Dst + Lo, Src + RegBase + Lo,
                   static_cast<size_t>(Hi - Lo) * sizeof(double));
     });
-    return I;
+    return;
   }
   // Runs target disjoint instance ranges: any run split copies the same
   // bytes, just on different threads.
   LP.Pool->parallelForWays(D.NumRuns, LP.Ways, [&](int64_t Lo, int64_t Hi) {
     forEachRunRange(R, shape(), Strides, D, Lo, Hi, CopyRun);
   });
-  return I;
 }
 
 void Region::reduceBack(const Instance &I) {
@@ -273,11 +285,16 @@ void Region::writeBack(const Instance &I) {
 }
 
 Instance Region::gatherPointwise(const Rect &R) const {
-  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
-                "gather rectangle outside region bounds");
   Instance I(R);
-  R.forEachPoint([&](const Point &P) { I.at(P) = at(P); });
+  gatherIntoPointwise(I);
   return I;
+}
+
+void Region::gatherIntoPointwise(Instance &I) const {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
+                    I.rect().isEmpty(),
+                "gather rectangle outside region bounds");
+  I.rect().forEachPoint([&](const Point &P) { I.at(P) = at(P); });
 }
 
 void Region::reduceBackPointwise(const Instance &I) {

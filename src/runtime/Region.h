@@ -31,6 +31,15 @@ public:
   Instance() = default;
   explicit Instance(Rect R);
 
+  /// Rebinds the instance to rectangle \p R, reusing the existing storage
+  /// when its capacity suffices (the steady-state path of a CompiledPlan
+  /// re-binds the same buffers every execution). Element values are
+  /// unspecified afterwards; callers gather into or zero() the instance.
+  void reset(Rect R);
+  /// Pre-sizes the backing storage for \p Elems elements so later reset()
+  /// calls never allocate.
+  void reserve(int64_t Elems);
+
   const Rect &rect() const { return Bounds; }
   bool valid() const { return Bounds.dim() >= 0 && !Data.empty(); }
   int64_t bytes() const { return static_cast<int64_t>(Data.size()) * 8; }
@@ -84,6 +93,11 @@ public:
   /// the copied bytes are identical for every pool size and ways budget.
   Instance gather(const Rect &R) const;
   Instance gather(const Rect &R, const LeafParallelism &LP) const;
+  /// In-place variants filling an instance already reset() to the target
+  /// rectangle — the steady-state path that reuses buffers across
+  /// executions. Copied bytes are identical to the allocating overloads.
+  void gatherInto(Instance &I, const LeafParallelism &LP = {}) const;
+  void gatherIntoPointwise(Instance &I) const;
   /// Accumulates (+=) an instance's contents back into the region.
   void reduceBack(const Instance &I);
   /// Accumulates only the rows (dim-0 coordinates) of \p I that fall in

@@ -33,7 +33,7 @@ TEST(Api, Fig2SummaEndToEnd) {
       .communicate(A, Jo)
       .communicate({B, C}, Ko)
       .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
-  Trace T = A.evaluate(M);
+  Trace T = A.evaluateWithTrace(M);
   EXPECT_GT(T.totalFlops(), 0);
   // A = 2*C.
   Rect::forExtents({16, 16}).forEachPoint([&](const Point &P) {
@@ -75,9 +75,13 @@ TEST(Api, CompileExposesPlan) {
   IndexVar I("i"), Io("io"), Ii("ii");
   A(I) = Expr(B(I)) * Expr(2.0);
   A.schedule().distribute({I}, {Io}, {Ii}, M);
-  Plan P = A.compile(M);
+  Plan P = A.lower(M);
   EXPECT_EQ(P.NumDist, 1);
   EXPECT_EQ(P.launchDomain().volume(), 4);
+  // compile() returns the persistent artifact over an equivalent plan.
+  std::shared_ptr<CompiledPlan> CP = A.compile(M);
+  EXPECT_EQ(CP->plan().NumDist, 1);
+  EXPECT_EQ(CP->plan().fingerprint(), P.fingerprint());
 }
 
 TEST(ApiDeath, ScheduleBeforeComputationIsFatal) {
