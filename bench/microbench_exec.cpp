@@ -16,7 +16,22 @@
 //   * nested_gemm_1task — single-task Cannon GEMM: setNumThreads(N) hands
 //                        every thread to the leaf as nested sub-range jobs
 //                        on the ExecContext pool (the configuration PR 1
-//                        could not parallelize at all), vs 1 thread.
+//                        could not parallelize at all), vs 1 thread. Both
+//                        columns time steady-state executions of one
+//                        prebuilt artifact over prebuilt regions (fills and
+//                        compilation used to pollute the timed region and
+//                        mask the fan-out). Only meaningful — and only
+//                        gated — on hosts with >= 4 hardware threads; a
+//                        1-core container times pure pool overhead.
+//   * overlap_cannon   — pipelined executor: gather-heavy tall-skinny
+//                        Cannon (A(n,r) = B(n,n)·C(n,r) on a 4x1 grid,
+//                        rotated k) with Pipeline::Off vs
+//                        Pipeline::DoubleBuffer at --threads. Off pays
+//                        every systolic gather on the critical path; On
+//                        prefetches step S+1's B/C blocks into back
+//                        buffers behind step S's leaf (B home-fed, C
+//                        relay-dependent). Multi-core hosts only, like
+//                        nested_gemm_1task.
 //   * gemm_kernel      — raw blas::gemm GFLOP/s (register-blocked kernel).
 //   * steady_exec_cannon — compile-once / execute-many: first call
 //                        (CompiledPlan construction + execute) vs the
@@ -48,10 +63,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "algorithms/HigherOrder.h"
 #include "algorithms/Matmul.h"
 #include "api/Tensor.h"
 #include "blas/LocalKernels.h"
+#include "lower/Lower.h"
 #include "runtime/Executor.h"
 #include "runtime/PlanCache.h"
 #include "runtime/Region.h"
@@ -83,14 +101,19 @@ struct Result {
   double SeedMs = 0;
   double FastMs = 0;
   std::string Detail;
+  /// Whether the row participates in the --baseline regression gate.
   /// Rows whose seed/fast ratio is single-threaded on both sides are
-  /// machine-portable and participate in the --baseline regression gate;
-  /// threaded rows vary with the host's core count and do not.
+  /// machine-portable and always gated; the threaded pipelining rows
+  /// (nested_gemm_1task, overlap_cannon) gate themselves only on hosts
+  /// with >= 4 hardware threads, where they additionally carry absolute
+  /// floors — on fewer cores they measure pure pool overhead and mark
+  /// themselves ungated. The remaining threaded rows are never gated.
   bool Gated = false;
 };
 
 std::vector<Result> Results;
 bool CheckMode = false;
+bool GateMode = false; ///< --baseline given: absolute floors are enforced.
 int Threads = 8;
 bool Failed = false;
 
@@ -236,29 +259,162 @@ void benchE2EGemm() {
              std::to_string(Threads) + " threads");
 }
 
+/// Hosts where threaded speedup columns mean anything: GitHub runners have
+/// 4 hardware threads, dev boxes more; the 1-core CI container that
+/// produced earlier baselines times nothing but pool overhead (the
+/// long-standing ~1.0x nested_gemm_1task row).
+bool multiCoreHost() {
+  return std::thread::hardware_concurrency() >= 4;
+}
+
+/// Enforces an absolute floor on a threaded row's speedup — gate runs
+/// (--baseline) on multi-core hosts only. The relative baseline gate
+/// cannot catch a row whose committed baseline was measured on a single
+/// core, so these floors carry the multi-core claims.
+void gateAbsolute(const std::string &Name, double Speedup, double Floor) {
+  if (!GateMode || !multiCoreHost() || CheckMode)
+    return;
+  if (Speedup < Floor)
+    fail(Name + " speedup " + std::to_string(Speedup) +
+         "x below the absolute multi-core floor " + std::to_string(Floor) +
+         "x");
+}
+
 void benchNestedLeafGemm() {
   // A single-task plan: the launch domain has one point, so the adaptive
   // split hands every thread to the leaf GEMM (and its gathers) as nested
-  // sub-range jobs on the ExecContext pool. Seed column = compiled at 1
-  // thread, fast column = compiled at --threads; the speedup is pure leaf
-  // fan-out (PR 1 ran this configuration fully sequentially).
+  // sub-range jobs on the ExecContext pool. Seed column = 1 thread, fast
+  // column = --threads. Diagnosis of the old ~1.0x row: (a) the committed
+  // numbers came from a 1-core container where both columns necessarily
+  // tie, and (b) each timed rep re-ran region fills and plan compilation,
+  // diluting the leaf time the fan-out accelerates. Both columns now time
+  // steady-state executions of one prebuilt artifact over prebuilt
+  // regions, and the row is gated (relative + 1.3x absolute floor) only
+  // on multi-core hosts.
   MatmulOptions Opts;
   Opts.N = CheckMode ? 48 : 768;
   Opts.Procs = 1;
   MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
   std::vector<TensorVar> Tensors = {Prob.A, Prob.B, Prob.C};
-  int Reps = CheckMode ? 1 : 3;
+  ProblemData D = makeRegions(Prob.P, Tensors);
+  CompiledPlan CP(Prob.P);
+  int Reps = CheckMode ? 1 : 5;
+  auto timeAt = [&](int NThreads, std::unique_ptr<Region> *OutCopy) {
+    ExecOptions O;
+    O.NumThreads = NThreads;
+    O.Mode = TraceMode::Off;
+    CP.execute(D.Regions, O); // Warm buffers and pool outside the timing.
+    double Ms = bestMs(Reps, [&] { CP.execute(D.Regions, O); });
+    if (OutCopy) {
+      const TensorVar &Out = Tensors[0];
+      *OutCopy = std::make_unique<Region>(Out, Prob.P.formatOf(Out), Prob.P.M);
+      Rect::forExtents(Out.shape()).forEachPoint([&](const Point &Pt) {
+        (*OutCopy)->at(Pt) = D.Regions[Out]->at(Pt);
+      });
+    }
+    return Ms;
+  };
   std::unique_ptr<Region> OneOut, ManyOut;
-  double OneMs =
-      runConfig(Prob.P, Tensors, LeafStrategy::Compiled, 1, Reps, &OneOut);
-  double ManyMs = runConfig(Prob.P, Tensors, LeafStrategy::Compiled, Threads,
-                            Reps, &ManyOut);
+  double OneMs = timeAt(1, &OneOut);
+  double ManyMs = timeAt(Threads, &ManyOut);
   if (maxDiff(*OneOut, *ManyOut) != 0)
     fail("nested_gemm_1task parallel-leaf output not bitwise-identical to "
          "the 1-thread run");
+  bool MultiCore = multiCoreHost();
   record("nested_gemm_1task", OneMs, ManyMs,
          "cannon n=" + std::to_string(Opts.N) + " procs=1 (single task), " +
-             std::to_string(Threads) + "-way leaf fan-out");
+             std::to_string(Threads) + "-way leaf fan-out, steady-state" +
+             (MultiCore ? "" : " [single-core host: ungated]"),
+         /*Gated=*/MultiCore);
+  gateAbsolute("nested_gemm_1task", ManyMs > 0 ? OneMs / ManyMs : 0, 1.3);
+}
+
+void benchOverlapCannon() {
+  // The pipelined executor on a gather-heavy rotated-Cannon shape:
+  // A(n,r) = B(n,k) * C(j=r,k) with r tiny, distributed over a gx1 grid
+  // with k rotated systolically. Every step fetches an (n/g)x(n/g) B
+  // block (home-fed, freely prefetchable) and C's (r)x(n/g) slice
+  // (relayed between neighbour tasks, prefetchable behind the source
+  // task's published progress). The dot-product leaves touch each
+  // gathered B element only r times, so gather time is a large share of
+  // each step — the regime where hiding communication behind computation
+  // pays (paper §7.1.1). Off runs the bulk-synchronous order with the
+  // gathers on the critical path; On runs per-task chains whose surplus
+  // workers (threads = 2x tasks) stream the next step's blocks into back
+  // buffers behind the current leaves. The grid adapts to the host so
+  // the surplus is real: g = 4 on >= 8 hardware threads, else 2.
+  bool MultiCore = multiCoreHost();
+  int G = std::thread::hardware_concurrency() >= 8 ? 4 : 2;
+  int PipeThreads = 2 * G;
+  Coord N = CheckMode ? 128 : 2048;
+  Coord R = 2;
+  Machine M = Machine::grid({G, 1});
+  TensorVar A("A", {N, R}), B("B", {N, N}), C("C", {R, N});
+  IndexVar I("i"), J("j"), K("k");
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji"), Ko("ko"), Ki("ki"),
+      Kos("kos");
+  // C indexed (j, k): both dot operands walk k contiguously.
+  Assignment Stmt(Access(A, {I, J}), Access(B, {I, K}) * Access(C, {J, K}));
+  auto Fmt = [&](const std::string &Spec) {
+    return Format({ModeKind::Dense, ModeKind::Dense},
+                  TensorDistribution::parse(Spec));
+  };
+  std::map<TensorVar, Format> Formats = {
+      {A, Fmt("xy->xy")}, {B, Fmt("xy->xy")}, {C, Fmt("xy->yx")}};
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{G, 1})
+      .divide(K, Ko, Ki, G)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .rotate(Ko, {Io, Jo}, Kos)
+      .communicate(A, Jo)
+      .communicate({B, C}, Kos);
+  Plan P = lower(S.takeNest(), M, std::move(Formats));
+
+  std::vector<TensorVar> Tensors = {A, B, C};
+  ProblemData D = makeRegions(P, Tensors);
+  CompiledPlan CP(P);
+  int Reps = CheckMode ? 1 : 5;
+  const int Inner = CheckMode ? 1 : 4;
+  auto timeMode = [&](Pipeline Pipe, std::unique_ptr<Region> *OutCopy) {
+    ExecOptions O;
+    O.NumThreads = PipeThreads;
+    O.Mode = TraceMode::Off;
+    O.Pipe = Pipe;
+    CP.execute(D.Regions, O); // Warm buffers and pool outside the timing.
+    double Ms = bestMs(Reps, [&] {
+                  for (int It = 0; It < Inner; ++It)
+                    CP.execute(D.Regions, O);
+                }) /
+                Inner;
+    if (OutCopy) {
+      *OutCopy = std::make_unique<Region>(A, P.formatOf(A), P.M);
+      Rect::forExtents(A.shape()).forEachPoint([&](const Point &Pt) {
+        (*OutCopy)->at(Pt) = D.Regions[A]->at(Pt);
+      });
+    }
+    return Ms;
+  };
+  std::unique_ptr<Region> OffOut, OnOut;
+  double OffMs = timeMode(Pipeline::Off, &OffOut);
+  double OnMs = timeMode(Pipeline::DoubleBuffer, &OnOut);
+  double Overlap = CP.lastOverlapStats().overlapFraction();
+  if (maxDiff(*OffOut, *OnOut) != 0)
+    fail("overlap_cannon pipelined output not bitwise-identical to the "
+         "bulk-synchronous run");
+  char OverlapStr[32];
+  std::snprintf(OverlapStr, sizeof(OverlapStr), "%.0f%%", Overlap * 100);
+  record("overlap_cannon", OffMs, OnMs,
+         "tall-skinny cannon n=" + std::to_string(N) + " r=" +
+             std::to_string(R) + " procs=" + std::to_string(G) +
+             ", pipeline off vs double-buffer, " + std::to_string(PipeThreads) +
+             " threads, " + OverlapStr + " gather overlap" +
+             (MultiCore ? "" : " [single-core host: ungated]"),
+         /*Gated=*/MultiCore);
+  // The pipelined order must win outright on any multi-core host; the
+  // magnitude scales with cores and memory bandwidth (and is tracked by
+  // the relative baseline gate), so the absolute floor only pins "On
+  // beats Off".
+  gateAbsolute("overlap_cannon", OnMs > 0 ? OffMs / OnMs : 0, 1.05);
 }
 
 void benchSteadyExec() {
@@ -503,8 +659,10 @@ int main(int argc, char **argv) {
       Threads = std::max(1, std::atoi(Arg.c_str() + 10));
     else if (Arg.rfind("--out=", 0) == 0)
       OutPath = Arg.substr(6);
-    else if (Arg.rfind("--baseline=", 0) == 0)
+    else if (Arg.rfind("--baseline=", 0) == 0) {
       BaselinePath = Arg.substr(11);
+      GateMode = true;
+    }
     else if (Arg.rfind("--gate=", 0) == 0)
       Gate = std::atof(Arg.c_str() + 7);
     else {
@@ -518,6 +676,7 @@ int main(int argc, char **argv) {
   benchGather();
   benchE2EGemm();
   benchNestedLeafGemm();
+  benchOverlapCannon();
   benchSteadyExec();
   benchIterativeEvaluate();
   benchGemmKernel();

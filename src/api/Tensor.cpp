@@ -164,7 +164,7 @@ Trace Tensor::runCompiled(CompiledPlan &CP, const Machine &M,
   for (const TensorVar &T : Stmt.tensors())
     Regions[T] =
         &lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
-  ExecOptions Opts;
+  ExecOptions Opts = ExecOpts;
   Opts.Mode = Mode;
   return CP.execute(Regions, Opts);
 }

@@ -133,6 +133,14 @@ public:
   /// studies). Uses the same cached artifact as evaluate().
   Trace simulateOn(const Machine &M);
 
+  /// Execute-time options applied by evaluate()/evaluateWithTrace()/
+  /// evaluateUncached(): threading, the task/leaf split, and the pipeline
+  /// mode (Pipeline::DoubleBuffer by default — the next step's gathers
+  /// prefetch behind the current leaf). None of these participate in the
+  /// PlanCache key, so flipping them costs no recompile and results stay
+  /// bitwise-identical. The trace mode field is overridden per call.
+  ExecOptions &execOptions() { return ExecOpts; }
+
   /// The PlanCache key evaluate()/compile() use for machine \p M (for
   /// explicit invalidation via PlanCache::global().invalidate).
   std::string planKey(const Machine &M);
@@ -153,6 +161,7 @@ private:
   std::unique_ptr<Schedule> Sched;
   std::unique_ptr<Region> Reg;
   std::function<double(const Point &)> PendingFill;
+  ExecOptions ExecOpts;
   /// Steady-state shortcut past lowering + fingerprinting: the PlanCache
   /// key last computed, valid for MemoMachine while the schedule is
   /// untouched (cleared by defineComputation and schedule()).

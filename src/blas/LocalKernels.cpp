@@ -345,5 +345,14 @@ void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
   axpyStrided(LeafParallelism{}, Y, SY, X, SX, Alpha, N);
 }
 
+void scaleStrided(const LeafParallelism &LP, double *Y, int64_t SY,
+                  const double *X, int64_t SX, double Alpha, int64_t N) {
+  runRange(LP, N, shouldParallelize(LP, N, N, VectorParallelCutoff),
+           [&](int64_t Lo, int64_t Hi) {
+             for (int64_t I = Lo; I < Hi; ++I)
+               Y[I * SY] = Alpha * X[I * SX];
+           });
+}
+
 } // namespace blas
 } // namespace distal

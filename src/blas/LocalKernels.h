@@ -90,6 +90,12 @@ void axpyStrided(const LeafParallelism &LP, double *Y, int64_t SY,
 void axpyStrided(double *Y, int64_t SY, const double *X, int64_t SX,
                  double Alpha, int64_t N);
 
+/// y[i*SY] = alpha * x[i*SX] — the overwrite (=) sibling of axpyStrided,
+/// used by leaves running in overwrite mode after a zero-skip. Disjoint
+/// output ranges: any split is bitwise-identical.
+void scaleStrided(const LeafParallelism &LP, double *Y, int64_t SY,
+                  const double *X, int64_t SX, double Alpha, int64_t N);
+
 } // namespace blas
 } // namespace distal
 

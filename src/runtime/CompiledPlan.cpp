@@ -8,10 +8,27 @@
 // and task/leaf split, and across repeated executions. Nothing here touches
 // the trace: it was fully computed at compile time (PlanAnalysis).
 //
+// Two execution orders produce those identical bytes:
+//
+//  * Pipeline::Off — the bulk-synchronous order: all tasks complete step
+//    S's gathers and leaf before any task starts step S+1.
+//  * Pipeline::DoubleBuffer — per-task step progression: each task runs
+//    its own (wait -> flip -> prefetch -> leaf) chain with no global step
+//    barrier. While step S's leaf computes, the prefetchable gathers of
+//    step S+1 stream into each instance's *back* buffer as detached jobs
+//    on the pool's communication lane, then flip() promotes them. This is
+//    legal because prefetch gathers only read input Regions, which are
+//    immutable for the whole execution; systolic relays additionally gate
+//    on the relay-source task's published step progress, mirroring the
+//    availability constraint of a real distributed run. Gathers the
+//    schedule excluded (or whose dependency is not yet met) fall back to
+//    the synchronous path on arrival — same bytes, no overlap.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/CompiledPlan.h"
 
+#include <chrono>
 #include <functional>
 #include <optional>
 
@@ -32,6 +49,33 @@ CompiledPlan::CompiledPlan(Plan Pl, const Mapper &Map, LeafStrategy Strategy)
 }
 
 CompiledPlan::~CompiledPlan() = default;
+
+CompiledPlan::PrefetchStats CompiledPlan::prefetchStats() const {
+  PrefetchStats S;
+  for (const CompiledTask &CT : Tasks)
+    for (const auto &Step : CT.PrefetchDeps)
+      for (int32_t Dep : Step) {
+        if (Dep == CompiledTask::PrefetchFree)
+          ++S.Free;
+        else if (Dep >= 0)
+          ++S.Dependent;
+        else
+          ++S.Excluded;
+      }
+  return S;
+}
+
+int64_t CompiledPlan::zeroSkipTaskCount() const {
+  int64_t N = 0;
+  for (const CompiledTask &CT : Tasks)
+    N += CT.SkipOutputZero ? 1 : 0;
+  return N;
+}
+
+CompiledPlan::OverlapStats CompiledPlan::lastOverlapStats() const {
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  return LastOverlap;
+}
 
 void CompiledPlan::ensureExecState() {
   if (!Execs.empty() || Tasks.empty())
@@ -55,9 +99,47 @@ void CompiledPlan::ensureExecState() {
   }
 }
 
+void CompiledPlan::ensurePipelineState() {
+  if (PipeReady)
+    return;
+  // Back buffers for every tensor the schedule may prefetch, sized like
+  // the fronts so steady-state flips never reallocate; plus the per-task
+  // progress slots the relay dependencies read.
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    const CompiledTask &CT = Tasks[I];
+    std::map<TensorVar, int64_t> MaxVol;
+    for (size_t S = 0; S < CT.StepGathers.size(); ++S)
+      for (size_t G = 0; G < CT.StepGathers[S].size(); ++G)
+        if (CT.PrefetchDeps[S][G] != CompiledTask::NoPrefetch) {
+          const CompiledGather &CG = CT.StepGathers[S][G];
+          MaxVol[CG.Tensor] = std::max(MaxVol[CG.Tensor], CG.R.volume());
+        }
+    for (const auto &[TV, Vol] : MaxVol)
+      Execs[I].OwnedInsts[TV].back().reserve(Vol);
+  }
+  Progress = std::make_unique<std::atomic<int32_t>[]>(
+      std::max<size_t>(Tasks.size(), 1));
+  PipeReady = true;
+}
+
 Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
                             const ExecOptions &Opts) {
   std::lock_guard<std::mutex> Lock(ExecMutex);
+  // The serialization contract, asserted: concurrent execute() calls on
+  // one artifact queue on ExecMutex above — the reusable instance buffers,
+  // leaf engines, and overlap counters below are artifact state. The
+  // exchange stays outside the assert so an NDEBUG build cannot compile
+  // the check's side effect away.
+  bool WasExecuting = Executing.exchange(true);
+  DISTAL_ASSERT(!WasExecuting,
+                "CompiledPlan::execute entered concurrently; the internal "
+                "mutex must serialize executions");
+  (void)WasExecuting;
+  struct ExecFlagGuard {
+    std::atomic<bool> &F;
+    ~ExecFlagGuard() { F.store(false); }
+  } FlagGuard{Executing};
+
   const TensorVar &Out = P.Nest.Stmt.lhs().tensor();
   for (const TensorVar &TV : P.Nest.Stmt.tensors())
     if (!Regions.count(TV))
@@ -83,15 +165,20 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
   // Divide the context's threads between task fan-out and leaf fan-out.
   // Leaf kernels receive the pool plus a ways budget and fan out as
   // sub-range jobs on the *same* pool, so task- and leaf-level work share
-  // one set of N threads with no oversubscription.
+  // one set of N threads with no oversubscription. The pipelined path adds
+  // the communication lane: prefetch gathers are detached priority jobs on
+  // that same pool, each bounded to the lane's ways budget.
   ExecContext::Split Split;
   ThreadPool *Pool = nullptr;
   LeafParallelism LeafLP;
+  int CommWays = 1;
   int64_t NumTasks = static_cast<int64_t>(Tasks.size());
   if (Ctx && Threads > 1) {
+    ExecContext::Lanes Lanes = Ctx->lanesFor(NumTasks);
     Split = Opts.ForceTaskWays > 0
                 ? ExecContext::Split{Opts.ForceTaskWays, Opts.ForceLeafWays}
-                : Ctx->splitFor(NumTasks);
+                : Lanes.Compute;
+    CommWays = Lanes.CommWays;
     if (Split.TaskWays > 1 || Split.LeafWays > 1)
       Pool = Ctx->pool();
     if (Pool && Split.LeafWays > 1)
@@ -109,7 +196,14 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
         Fn(I);
   };
 
+  bool Pipelined = Opts.Pipe == Pipeline::DoubleBuffer &&
+                   Strategy == LeafStrategy::Compiled && Pool != nullptr &&
+                   !StepVals.empty();
+  bool OverwriteLeaves = Strategy == LeafStrategy::Compiled;
+
   ensureExecState();
+  if (Pipelined)
+    ensurePipelineState();
   auto gatherInto = [&](Instance &I, const Region *R) {
     if (Strategy == LeafStrategy::Compiled)
       R->gatherInto(I, LeafLP);
@@ -117,44 +211,154 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
       R->gatherIntoPointwise(I);
   };
 
+  using Clock = std::chrono::steady_clock;
+  std::atomic<int64_t> PrefetchNs{0}, SyncNs{0}, WaitNs{0};
+  auto nsSince = [](Clock::time_point T0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                T0)
+        .count();
+  };
+  // Reset + gather + re-bind one recorded input gather into its front
+  // buffer — the synchronous (critical-path) route shared by the
+  // bulk-synchronous order and the pipelined fallbacks, so the binding
+  // rules can never diverge between the two orders. \p Counter, when
+  // given, accumulates the gather's wall time.
+  auto syncGather = [&](TaskExec &TE, const CompiledGather &G,
+                        std::atomic<int64_t> *Counter) {
+    Clock::time_point T0 = Counter ? Clock::now() : Clock::time_point{};
+    Instance &Inst = TE.OwnedInsts[G.Tensor];
+    Inst.reset(G.R);
+    gatherInto(Inst, Regions.at(G.Tensor));
+    TE.Insts[G.Tensor] = &Inst;
+    if (Counter)
+      Counter->fetch_add(nsSince(T0), std::memory_order_relaxed);
+  };
+
   // Launch phase: task-level instances (private accumulator for the
   // output, fetched copies for the inputs). Tasks only read shared
-  // regions, so they are independent.
+  // regions, so they are independent. The accumulator's zero is skipped
+  // when the compile phase proved the leaf overwrites it entirely.
   parallelTasks([&](int64_t I) {
     const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
     TaskExec &TE = Execs[static_cast<size_t>(I)];
     for (const CompiledGather &G : CT.LaunchGathers) {
       Instance &Inst = TE.OwnedInsts[G.Tensor];
       Inst.reset(G.R);
-      if (G.IsOutput)
-        Inst.zero();
-      else
+      if (G.IsOutput) {
+        if (!(OverwriteLeaves && CT.SkipOutputZero))
+          Inst.zero();
+      } else {
         gatherInto(Inst, Regions.at(G.Tensor));
+      }
       TE.Insts[G.Tensor] = &Inst;
     }
   });
 
   // Steps: per-task fetches and leaf kernels, replayed from the compiled
-  // program (rectangles, residency dedup, and leaf activation were all
-  // decided at compile time).
-  for (size_t S = 0; S < StepVals.size(); ++S) {
-    parallelTasks([&](int64_t I) {
-      const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
-      TaskExec &TE = Execs[static_cast<size_t>(I)];
-      for (const auto &[V, C] : StepVals[S])
-        TE.FixedVals[V] = C;
-      for (const CompiledGather &G : CT.StepGathers[S]) {
-        Instance &Inst = TE.OwnedInsts[G.Tensor];
-        Inst.reset(G.R);
-        gatherInto(Inst, Regions.at(G.Tensor));
-        TE.Insts[G.Tensor] = &Inst;
-      }
-      if (CT.RunLeaf[S]) {
-        if (Strategy == LeafStrategy::Compiled)
+  // program (rectangles, residency dedup, leaf activation, and the
+  // prefetch schedule were all decided at compile time).
+  if (!Pipelined) {
+    for (size_t S = 0; S < StepVals.size(); ++S) {
+      parallelTasks([&](int64_t I) {
+        const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
+        TaskExec &TE = Execs[static_cast<size_t>(I)];
+        for (const auto &[V, C] : StepVals[S])
+          TE.FixedVals[V] = C;
+        for (const CompiledGather &G : CT.StepGathers[S])
+          syncGather(TE, G, nullptr);
+        if (CT.RunLeaf[S]) {
+          if (Strategy == LeafStrategy::Compiled)
+            leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
+                                  LeafLP, OverwriteLeaves && CT.SkipOutputZero);
+          else
+            leaf::runInterpretedLeaf(P, TE.FixedVals, TE.Insts);
+        }
+      });
+    }
+  } else {
+    size_t NumSteps = StepVals.size();
+    for (int64_t I = 0; I < NumTasks; ++I)
+      Progress[static_cast<size_t>(I)].store(-1, std::memory_order_relaxed);
+    LeafParallelism CommLP =
+        CommWays > 1 ? LeafParallelism{Pool, CommWays} : LeafParallelism{};
+
+    parallelTasks([&](int64_t TaskIdx) {
+      const CompiledTask &CT = Tasks[static_cast<size_t>(TaskIdx)];
+      TaskExec &TE = Execs[static_cast<size_t>(TaskIdx)];
+      int64_t PendingStep = -1;
+
+      // Issue the prefetchable gathers of step S into back buffers as
+      // detached jobs; the rest wait for the synchronous path on arrival.
+      auto issuePrefetch = [&](size_t S) {
+        const std::vector<CompiledGather> &Gs = CT.StepGathers[S];
+        TE.PendingIssued.assign(Gs.size(), 0);
+        for (size_t Gi = 0; Gi < Gs.size(); ++Gi) {
+          int32_t Dep = CT.PrefetchDeps[S][Gi];
+          if (Dep == CompiledTask::NoPrefetch)
+            continue;
+          // One prefetch per tensor per step: a second gather of the same
+          // tensor (a tensor communicated at two step loops) would race
+          // on the single back buffer; it stays on the synchronous path,
+          // which also re-binds the front in the recorded order.
+          bool Dup = false;
+          for (size_t Prev = 0; Prev < Gi && !Dup; ++Prev)
+            Dup = TE.PendingIssued[Prev] && Gs[Prev].Tensor == Gs[Gi].Tensor;
+          if (Dup)
+            continue;
+          // A relay-fed block is only available once its source task has
+          // finished the previous step's gathers. Not yet there: skip the
+          // prefetch (never block the chain) and gather synchronously.
+          if (Dep >= 0 &&
+              Progress[static_cast<size_t>(Dep)].load(
+                  std::memory_order_acquire) < static_cast<int64_t>(S) - 1)
+            continue;
+          const CompiledGather &G = Gs[Gi];
+          Instance &B = TE.OwnedInsts[G.Tensor].back();
+          B.reset(G.R);
+          const Region *Src = Regions.at(G.Tensor);
+          TE.Pending.push_back(Pool->submitAsync([&B, Src, CommLP,
+                                                  &PrefetchNs, nsSince] {
+            Clock::time_point T0 = Clock::now();
+            Src->gatherInto(B, CommLP);
+            PrefetchNs.fetch_add(nsSince(T0), std::memory_order_relaxed);
+          }));
+          TE.PendingIssued[Gi] = 1;
+        }
+        PendingStep = static_cast<int64_t>(S);
+      };
+
+      for (size_t S = 0; S < NumSteps; ++S) {
+        for (const auto &[V, C] : StepVals[S])
+          TE.FixedVals[V] = C;
+        const std::vector<CompiledGather> &Gs = CT.StepGathers[S];
+        if (PendingStep == static_cast<int64_t>(S)) {
+          Clock::time_point W0 = Clock::now();
+          for (ThreadPool::Ticket &T : TE.Pending)
+            T.wait();
+          TE.Pending.clear();
+          WaitNs.fetch_add(nsSince(W0), std::memory_order_relaxed);
+          for (size_t Gi = 0; Gi < Gs.size(); ++Gi) {
+            if (TE.PendingIssued[Gi]) {
+              Instance &Inst = TE.OwnedInsts[Gs[Gi].Tensor];
+              Inst.flip();
+              TE.Insts[Gs[Gi].Tensor] = &Inst;
+            } else {
+              syncGather(TE, Gs[Gi], &SyncNs);
+            }
+          }
+        } else {
+          for (const CompiledGather &G : Gs)
+            syncGather(TE, G, &SyncNs);
+        }
+        // Publish: this task's step-S data is materialised. Relay-
+        // dependent prefetches of neighbouring chains gate on this.
+        Progress[static_cast<size_t>(TaskIdx)].store(
+            static_cast<int32_t>(S), std::memory_order_release);
+        if (S + 1 < NumSteps)
+          issuePrefetch(S + 1);
+        if (CT.RunLeaf[S])
           leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
-                                LeafLP);
-        else
-          leaf::runInterpretedLeaf(P, TE.FixedVals, TE.Insts);
+                                LeafLP, OverwriteLeaves && CT.SkipOutputZero);
       }
     });
   }
@@ -177,6 +381,12 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
         OutR->reduceBackRows(TE.OwnedInsts.at(Out), RowLo, RowHi);
     });
   }
+
+  LastOverlap = OverlapStats{};
+  LastOverlap.PrefetchSeconds =
+      static_cast<double>(PrefetchNs.load()) * 1e-9;
+  LastOverlap.SyncSeconds = static_cast<double>(SyncNs.load()) * 1e-9;
+  LastOverlap.WaitSeconds = static_cast<double>(WaitNs.load()) * 1e-9;
 
   if (Opts.Mode == TraceMode::Off) {
     Trace Empty;

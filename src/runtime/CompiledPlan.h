@@ -22,6 +22,7 @@
 #ifndef DISTAL_RUNTIME_COMPILEDPLAN_H
 #define DISTAL_RUNTIME_COMPILEDPLAN_H
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
+#include "support/ThreadPool.h"
 
 namespace distal {
 
@@ -55,9 +57,23 @@ enum class LeafStrategy {
 /// discard it.
 enum class TraceMode { Full, Off };
 
-/// Execute-time knobs (threading and trace reporting). None of these
-/// affect compilation, so one artifact serves every configuration; traces
-/// and output data are bitwise-identical across all of them.
+/// How an execution overlaps communication with computation.
+enum class Pipeline {
+  /// Bulk-synchronous: every task completes its step-S gathers before its
+  /// leaf runs, with a global barrier between steps (the seed order).
+  Off,
+  /// Pipelined: tasks progress through their own (wait -> flip -> prefetch
+  /// -> leaf) chains with no global step barrier, and each prefetchable
+  /// gather of step S+1 streams into the instance's back buffer on the
+  /// pool's communication lane while step S's leaf computes, then flips.
+  /// Output data is bitwise-identical to Off.
+  DoubleBuffer,
+};
+
+/// Execute-time knobs (threading, pipelining, and trace reporting). None of
+/// these affect compilation — they are deliberately absent from the
+/// PlanCache key — so one artifact serves every configuration; traces and
+/// output data are bitwise-identical across all of them.
 struct ExecOptions {
   /// Runs over this context instead of one owned by the artifact (pool
   /// sharing across plans). Must outlive the execution.
@@ -70,6 +86,10 @@ struct ExecOptions {
   /// (0 = adaptive).
   int ForceTaskWays = 0, ForceLeafWays = 0;
   TraceMode Mode = TraceMode::Full;
+  /// On by default for the compiled-leaf strategy; forced Off for the
+  /// interpreted strategy and for sequential (1-thread) runs, where there
+  /// is nothing to overlap with.
+  Pipeline Pipe = Pipeline::DoubleBuffer;
 };
 
 /// One data movement a task performs in a phase of the compiled program.
@@ -86,6 +106,17 @@ struct CompiledGather {
 /// from an inner sequential iteration is not re-fetched), exactly mirroring
 /// the message skeleton.
 struct CompiledTask {
+  /// Prefetch-schedule entry for one step gather (see PrefetchDeps).
+  enum : int32_t {
+    /// Freely prefetchable one step ahead: the gather reads an input
+    /// tensor's home region, which is immutable for the whole execution.
+    PrefetchFree = -1,
+    /// Never prefetched (conservative): the tensor is the output, or the
+    /// skeleton routed the fetch through a systolic relay whose source
+    /// task could not be identified uniquely.
+    NoPrefetch = -2,
+  };
+
   Point TP, ProcPt;
   int64_t ProcId = 0;
   /// Values of the distributed loop variables at this task point.
@@ -94,6 +125,18 @@ struct CompiledTask {
   std::vector<CompiledGather> LaunchGathers;
   std::vector<std::vector<CompiledGather>> StepGathers; ///< [step]
   std::vector<uint8_t> RunLeaf; ///< [step] leaf has iterations to run.
+  /// Compile-time prefetch schedule, aligned with StepGathers: entry
+  /// [S][G] is PrefetchFree, NoPrefetch, or (>= 0) the index of the task
+  /// whose step-(S-1) gathers must have completed before this gather may
+  /// be issued during step S-1 — the relay source of a rotated (systolic)
+  /// step communication, which in the distributed model only holds the
+  /// block once its own fetch for the previous step is done.
+  std::vector<std::vector<int32_t>> PrefetchDeps; ///< [step][gather]
+  /// Compile-time proof that the leaf fully overwrites the output
+  /// accumulator (non-reduction assignment whose iteration points cover
+  /// OutRect exactly once): the launch-phase Instance::zero() is skipped
+  /// and the compiled leaf runs in overwrite mode.
+  bool SkipOutputZero = false;
 };
 
 /// The persistent compile-once / execute-many artifact.
@@ -122,6 +165,37 @@ public:
   /// observes.
   const Trace &trace() const { return Skeleton; }
 
+  /// Aggregate of the compile-time prefetch schedule over all tasks and
+  /// steps (how much of the gather program the pipelined executor may hide).
+  struct PrefetchStats {
+    int64_t Free = 0;      ///< Prefetchable with no cross-task dependency.
+    int64_t Dependent = 0; ///< Relay-fed, prefetchable behind a task dep.
+    int64_t Excluded = 0;  ///< Conservatively never prefetched.
+  };
+  PrefetchStats prefetchStats() const;
+
+  /// Number of tasks whose launch-phase output zero is skipped (the
+  /// compile phase proved their leaves fully overwrite the accumulator).
+  int64_t zeroSkipTaskCount() const;
+
+  /// Measured communication/computation overlap of the most recent
+  /// execute() (zeroed by non-pipelined executions). overlapFraction() is
+  /// directly comparable to MachineSpec::OverlapFactor: the fraction of
+  /// total gather time hidden behind leaf compute.
+  struct OverlapStats {
+    double PrefetchSeconds = 0; ///< Gather time spent in async prefetch jobs.
+    double SyncSeconds = 0;     ///< Gather time on the critical path.
+    double WaitSeconds = 0;     ///< Time chains blocked on unfinished prefetch.
+    double hiddenSeconds() const {
+      return PrefetchSeconds > WaitSeconds ? PrefetchSeconds - WaitSeconds : 0;
+    }
+    double overlapFraction() const {
+      double Total = PrefetchSeconds + SyncSeconds;
+      return Total > 0 ? hiddenSeconds() / Total : 0;
+    }
+  };
+  OverlapStats lastOverlapStats() const;
+
   /// Executes the compiled program over \p Regions, which must contain
   /// every tensor of the statement; the output region is zeroed first.
   /// Returns the trace skeleton (TraceMode::Full) or an empty trace
@@ -133,15 +207,21 @@ public:
 private:
   /// Reusable per-task execution state: instance buffers sized at compile
   /// time (max rectangle volume over all phases) and the leaf engine whose
-  /// affine structure persists across steps and executions.
+  /// affine structure persists across steps and executions. Pending holds
+  /// the in-flight prefetch tickets of the task's chain; PendingIssued
+  /// marks which gathers of the pending step were issued asynchronously
+  /// (the rest are gathered synchronously on arrival).
   struct TaskExec {
     std::map<IndexVar, Coord> FixedVals;
     std::map<TensorVar, Instance> OwnedInsts;
     std::map<TensorVar, Instance *> Insts;
     leaf::LeafEngine Leaf;
+    std::vector<ThreadPool::Ticket> Pending;
+    std::vector<uint8_t> PendingIssued;
   };
 
   void ensureExecState();
+  void ensurePipelineState();
 
   Plan P;
   LeafStrategy Strategy;
@@ -152,8 +232,19 @@ private:
   /// step (same across tasks; tasks keep private FixedVals maps).
   std::vector<std::vector<std::pair<IndexVar, Coord>>> StepVals;
 
-  std::mutex ExecMutex;
+  mutable std::mutex ExecMutex;
+  /// Documents-and-asserts the serialization contract: concurrent
+  /// execute() calls on one artifact queue on ExecMutex rather than race
+  /// on the shared instance buffers and leaf engines.
+  std::atomic<bool> Executing{false};
   std::vector<TaskExec> Execs; ///< Lazily built on first execute, reused.
+  bool PipeReady = false; ///< Back buffers reserved for prefetch.
+  /// Per-task step progress (highest step whose gathers completed),
+  /// published by each chain and read by relay-dependent prefetch issues.
+  std::unique_ptr<std::atomic<int32_t>[]> Progress;
+  /// Measured overlap of the last execution (guarded by ExecMutex; read
+  /// through lastOverlapStats after execute returns).
+  OverlapStats LastOverlap;
   /// Context owned when none is supplied; rebuilt only when the requested
   /// thread count changes.
   std::unique_ptr<ExecContext> OwnCtx;

@@ -36,6 +36,7 @@ Trace Executor::run(const std::map<TensorVar, Region *> &Regions,
   Opts.ForceTaskWays = ForceTaskWays;
   Opts.ForceLeafWays = ForceLeafWays;
   Opts.Mode = Mode;
+  Opts.Pipe = Pipe;
   return compiled().execute(Regions, Opts);
 }
 

@@ -77,6 +77,13 @@ public:
   /// artifact bakes the leaf tapes and gather routing).
   void setLeafStrategy(LeafStrategy S) { Strategy = S; }
 
+  /// Selects the execution order: Pipeline::DoubleBuffer (the default)
+  /// overlaps the next step's gathers with the current step's leaf via
+  /// double-buffered prefetch; Pipeline::Off runs bulk-synchronously.
+  /// Output data is bitwise-identical either way; no recompile needed
+  /// (pipelining is an execute-time knob, like threads).
+  void setPipeline(Pipeline P) { Pipe = P; }
+
   /// The compiled artifact, built on first use and reused by every
   /// subsequent run()/simulate() of this executor.
   CompiledPlan &compiled();
@@ -104,6 +111,7 @@ private:
   int NumThreads = 0;
   int ForceTaskWays = 0, ForceLeafWays = 0;
   LeafStrategy Strategy = LeafStrategy::Compiled;
+  Pipeline Pipe = Pipeline::DoubleBuffer;
   ExecContext *ExternalCtx = nullptr;
   /// Compile-once artifact, rebuilt only when the leaf strategy changes.
   std::unique_ptr<CompiledPlan> CP;

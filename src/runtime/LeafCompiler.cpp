@@ -272,14 +272,22 @@ enum class InnerKind {
 /// routed to the best-matching kernel. \p LP bounds the nested fan-out of
 /// the routed kernels; the reductions among them use a fixed chunk
 /// association, so results are bitwise-identical for every budget.
-void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
+/// \p Overwrite assigns output elements instead of accumulating (see
+/// runCompiledLeaf); the exactly-once proof behind it guarantees each
+/// element is written by a single (row, trip) so plain stores suffice.
+void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP,
+                    bool Overwrite) {
   // A leaf with no loops is a single (guarded) point.
   if (E.NumLeaf == 0) {
     for (int V = 0; V < E.NumOrig; ++V)
       if (E.VarBase[V] >= E.VarExtent[V])
         return;
-    E.AccData[0][E.AccBase[0]] +=
+    double Val =
         evalTape(T.Ins, E.AccData.data(), E.AccBase.data(), E.Stack.data());
+    if (Overwrite)
+      E.AccData[0][E.AccBase[0]] = Val;
+    else
+      E.AccData[0][E.AccBase[0]] += Val;
     return;
   }
 
@@ -352,16 +360,24 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
                                  E.AccCoef[Varying[0]][Inner], Trips);
         else
           Sum = static_cast<double>(Trips);
-        Data[0][E.CurOff[0]] += Alpha * Sum;
+        if (Overwrite)
+          Data[0][E.CurOff[0]] = Alpha * Sum;
+        else
+          Data[0][E.CurOff[0]] += Alpha * Sum;
         break;
       }
       case InnerKind::AxpyUpdate: {
         double Alpha = T.ProductLit;
         for (int A : Invariant)
           Alpha *= Data[A][E.CurOff[A]];
-        blas::axpyStrided(LP, Data[0] + E.CurOff[0], OutIC,
-                          Data[Varying[0]] + E.CurOff[Varying[0]],
-                          E.AccCoef[Varying[0]][Inner], Alpha, Trips);
+        if (Overwrite)
+          blas::scaleStrided(LP, Data[0] + E.CurOff[0], OutIC,
+                             Data[Varying[0]] + E.CurOff[Varying[0]],
+                             E.AccCoef[Varying[0]][Inner], Alpha, Trips);
+        else
+          blas::axpyStrided(LP, Data[0] + E.CurOff[0], OutIC,
+                            Data[Varying[0]] + E.CurOff[Varying[0]],
+                            E.AccCoef[Varying[0]][Inner], Alpha, Trips);
         break;
       }
       case InnerKind::MulUpdate: {
@@ -373,8 +389,12 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
         const double *__restrict__ W = Data[Varying[1]] + E.CurOff[Varying[1]];
         int64_t SU = E.AccCoef[Varying[0]][Inner],
                 SW = E.AccCoef[Varying[1]][Inner];
-        for (Coord I = 0; I < Trips; ++I)
-          Out[I * OutIC] += Alpha * U[I * SU] * W[I * SW];
+        if (Overwrite)
+          for (Coord I = 0; I < Trips; ++I)
+            Out[I * OutIC] = Alpha * U[I * SU] * W[I * SW];
+        else
+          for (Coord I = 0; I < Trips; ++I)
+            Out[I * OutIC] += Alpha * U[I * SU] * W[I * SW];
         break;
       }
       case InnerKind::ConstUpdate: {
@@ -382,8 +402,12 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
         for (int A : Invariant)
           Alpha *= Data[A][E.CurOff[A]];
         double *__restrict__ Out = Data[0] + E.CurOff[0];
-        for (Coord I = 0; I < Trips; ++I)
-          Out[I * OutIC] += Alpha;
+        if (Overwrite)
+          for (Coord I = 0; I < Trips; ++I)
+            Out[I * OutIC] = Alpha;
+        else
+          for (Coord I = 0; I < Trips; ++I)
+            Out[I * OutIC] += Alpha;
         break;
       }
       case InnerKind::TapeLoop: {
@@ -396,9 +420,13 @@ void runGeneralLeaf(LeafEngine &E, const Tape &T, const LeafParallelism &LP) {
                 Skip = true;
                 break;
               }
-          if (!Skip)
-            Data[0][E.RowOff[0]] +=
-                evalTape(T.Ins, Data, E.RowOff.data(), E.Stack.data());
+          if (!Skip) {
+            double Val = evalTape(T.Ins, Data, E.RowOff.data(), E.Stack.data());
+            if (Overwrite)
+              Data[0][E.RowOff[0]] = Val;
+            else
+              Data[0][E.RowOff[0]] += Val;
+          }
           for (int A = 0; A < E.NumAcc; ++A)
             E.RowOff[A] += E.AccCoef[A][Inner];
         }
@@ -438,10 +466,13 @@ Tape distal::leaf::compileTape(const Expr &Rhs) {
 void distal::leaf::runCompiledLeaf(LeafEngine &E, const Plan &P,
                                    const std::map<IndexVar, Coord> &FixedVals,
                                    std::map<TensorVar, Instance *> &Insts,
-                                   const Tape &T, const LeafParallelism &LP) {
+                                   const Tape &T, const LeafParallelism &LP,
+                                   bool Overwrite) {
   if (!prepareStep(E, P, FixedVals, Insts, T))
     return;
-  if (tryGemmLeaf(E, T, LP))
+  // blas::gemm accumulates into C; overwrite leaves (which by construction
+  // have no reduction loop) take the strided-update path instead.
+  if (!Overwrite && tryGemmLeaf(E, T, LP))
     return;
-  runGeneralLeaf(E, T, LP);
+  runGeneralLeaf(E, T, LP, Overwrite);
 }

@@ -86,10 +86,18 @@ struct LeafEngine {
 /// fixed values and instances (compiling/validating the cached affine
 /// structure), then routes to a GEMM, strided-BLAS, or tape loop. \p LP
 /// bounds the nested fan-out of the routed kernels.
+///
+/// \p Overwrite runs the leaf in overwrite mode: output elements are
+/// assigned (=) instead of accumulated (+=), valid only when compile-time
+/// analysis proved every element of the output instance is written exactly
+/// once per execution (CompiledTask::SkipOutputZero) — the launch-phase
+/// zero of the accumulator is skipped in exchange. Overwrite leaves route
+/// through the strided-update kernels, never GEMM (a GEMM leaf reduces
+/// over k and can never satisfy the exactly-once proof).
 void runCompiledLeaf(LeafEngine &E, const Plan &P,
                      const std::map<IndexVar, Coord> &FixedVals,
                      std::map<TensorVar, Instance *> &Insts, const Tape &T,
-                     const LeafParallelism &LP);
+                     const LeafParallelism &LP, bool Overwrite = false);
 
 /// The seed interpreter: rebuilds the affine structure every step and walks
 /// the expression tree through recursive std::functions at every point.

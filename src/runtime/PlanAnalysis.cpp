@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
+#include <set>
 
 #include "lower/Bounds.h"
 #include "support/Error.h"
@@ -180,8 +181,25 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
     std::map<TensorVar, std::vector<Coord>> FetchKeys;
     int64_t TaskInstBytes = 0;
     int64_t MaxStepBytes = 0;
+    int64_t TotalLeafPoints = 0;
   };
   std::vector<TaskState> States;
+
+  // Statement-level precondition of the launch-phase zero-skip: a
+  // non-reduction assignment (every original loop variable appears in the
+  // distinct-indexed left-hand side, and the output is not read) writes
+  // each output element exactly once, so a compiled leaf running in
+  // overwrite mode makes the accumulator's prior contents irrelevant.
+  bool OutOverwritable = Out.order() > 0;
+  {
+    const std::vector<IndexVar> &LhsIdx = Stmt.lhs().indices();
+    std::set<IndexVar> LhsSet(LhsIdx.begin(), LhsIdx.end());
+    OutOverwritable &= LhsSet.size() == LhsIdx.size();
+    for (const IndexVar &V : Stmt.defaultLoopOrder())
+      OutOverwritable &= LhsSet.count(V) != 0;
+    for (const Access &A : Stmt.rhsAccesses())
+      OutOverwritable &= A.tensor() != Out;
+  }
 
   // Phase 0: task launch and task-level instances.
   Launch.forEachPoint([&](const Point &TP) {
@@ -209,9 +227,21 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
     }
     TS.CT.OutRect = tensorRect(Out, Stmt, Prov, TS.Fixed);
     TS.CT.StepGathers.resize(static_cast<size_t>(NumSteps));
+    TS.CT.PrefetchDeps.resize(static_cast<size_t>(NumSteps));
     TS.CT.RunLeaf.resize(static_cast<size_t>(NumSteps), 0);
     States.push_back(std::move(TS));
   });
+
+  // Relay-source resolution for the prefetch schedule needs the inverse
+  // placement map; a processor hosting more than one task is ambiguous and
+  // conservatively disables prefetch of gathers relayed through it.
+  std::map<int64_t, int32_t> TaskOnProc; // -1: ambiguous.
+  for (size_t I = 0; I < States.size(); ++I) {
+    auto [It, New] = TaskOnProc.emplace(States[I].CT.ProcId,
+                                        static_cast<int32_t>(I));
+    if (!New)
+      It->second = -1;
+  }
 
   // Sequential steps, lock-stepped across all tasks. Holders track which
   // processors have each (tensor, rectangle) resident from the previous
@@ -261,6 +291,12 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
 
         std::vector<Message> Msgs =
             planGatherMessages(P, SC.Tensor, R, TS.CT.ProcPt);
+        // Prefetch schedule: a home-fed gather reads the (execution-
+        // immutable) input region and may always be issued one step early;
+        // a relay-fed gather depends on its source task having finished
+        // the previous step's fetch, resolved below.
+        int32_t Dep = SC.Tensor == Out ? CompiledTask::NoPrefetch
+                                       : CompiledTask::PrefetchFree;
         // Relay: if some processor held exactly this rectangle last step,
         // fetch from the closest holder when that beats the home owner.
         auto HIt = PrevHolders.find(SC.Tensor);
@@ -294,6 +330,23 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
                                P.M.nodeOf(TS.CT.ProcPt);
               Relay.Tensor = SC.Tensor.name();
               Msgs = {Relay};
+              if (Dep == CompiledTask::PrefetchFree) {
+                // The relay source only holds the block once its own
+                // previous-step fetch completed: prefetching is legal
+                // behind that *task's* progress. Resolution is by task,
+                // not processor — a processor hosting several tasks makes
+                // the source ambiguous. An unrotated comm that still
+                // relayed, or an ambiguous source, is excluded; a block
+                // this task itself held last step is freely prefetchable.
+                auto TIt = TaskOnProc.find(BestSrc);
+                int32_t SrcTask =
+                    TIt != TaskOnProc.end() ? TIt->second : -1;
+                int32_t SelfTask = static_cast<int32_t>(&TS - States.data());
+                if (!SC.Rotated || SrcTask < 0)
+                  Dep = CompiledTask::NoPrefetch;
+                else if (SrcTask != SelfTask)
+                  Dep = SrcTask;
+              }
             }
           }
         }
@@ -301,6 +354,7 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
           Ph.Messages.push_back(std::move(Msg));
         TS.CT.StepGathers[static_cast<size_t>(StepIdx)].push_back(
             CompiledGather{SC.Tensor, R, false});
+        TS.CT.PrefetchDeps[static_cast<size_t>(StepIdx)].push_back(Dep);
       }
       TS.MaxStepBytes = std::max(TS.MaxStepBytes, StepBytes);
 
@@ -315,6 +369,7 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
       // Tasks at the ragged edge of an uneven divide may own no
       // iterations at all.
       TS.CT.RunLeaf[static_cast<size_t>(StepIdx)] = Count > 0 ? 1 : 0;
+      TS.TotalLeafPoints += Count;
     }
     std::swap(PrevHolders, CurHolders);
     ++StepIdx;
@@ -338,7 +393,14 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
     T.PeakMemBytes[ProcId] += Bytes;
 
   Result.Tasks.reserve(States.size());
-  for (TaskState &TS : States)
+  for (TaskState &TS : States) {
+    // The task's leaf iteration points cover OutRect exactly once (the
+    // statement-level precondition rules out multiple writes per element,
+    // so point count == volume is full single coverage): the output
+    // accumulator never needs its launch-phase zero.
+    TS.CT.SkipOutputZero =
+        OutOverwritable && TS.TotalLeafPoints == TS.CT.OutRect.volume();
     Result.Tasks.push_back(std::move(TS.CT));
+  }
   return Result;
 }

@@ -143,6 +143,19 @@ void Instance::zero() {
     std::memset(Data.data(), 0, Data.size() * sizeof(double));
 }
 
+Instance &Instance::back() {
+  if (!Back)
+    Back = std::make_unique<Instance>();
+  return *Back;
+}
+
+void Instance::flip() {
+  DISTAL_ASSERT(Back != nullptr, "flip() on an instance without a back buffer");
+  std::swap(Bounds, Back->Bounds);
+  std::swap(Strides, Back->Strides);
+  std::swap(Data, Back->Data);
+}
+
 Region::Region(TensorVar Var, Format Fmt, Machine M)
     : Var(std::move(Var)), Fmt(std::move(Fmt)), M(std::move(M)) {
   DISTAL_ASSERT(this->Var.defined(), "region over undefined tensor");

@@ -15,6 +15,7 @@
 #define DISTAL_RUNTIME_REGION_H
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "format/Format.h"
@@ -58,10 +59,23 @@ public:
 
   void zero();
 
+  /// Double-buffer mode for pipelined prefetch. back() is a second,
+  /// independently bound buffer: the executor gathers the *next* step's
+  /// rectangle into it while leaf kernels read this (front) buffer, then
+  /// flip() promotes it. Created on first use; reserve it up front
+  /// (back().reserve(...)) so steady-state prefetch never allocates.
+  Instance &back();
+  /// Swaps the front and back storage (bounds, strides, and data). The
+  /// Instance object's address is unchanged, so leaf-engine bindings made
+  /// through pointers to this instance stay valid — they simply see the
+  /// newly promoted rectangle on the next bind.
+  void flip();
+
 private:
   Rect Bounds;
   std::vector<Coord> Strides;
   std::vector<double> Data;
+  std::unique_ptr<Instance> Back;
 };
 
 /// A logical region backing one tensor.

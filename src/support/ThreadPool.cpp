@@ -51,6 +51,18 @@ void ThreadPool::resetLiveWorkerHighWater() {
   LiveHighWater = Live;
 }
 
+/// Heap-held state of one detached job: the job record, the body it runs,
+/// and a self-reference that keeps the state alive until the last chunk
+/// finishes even if the ticket is dropped first. Done is guarded by the
+/// pool mutex; JobDone broadcasts its transitions.
+struct ThreadPool::AsyncState {
+  Job J;
+  std::function<void(int64_t, int64_t)> Body;
+  bool Done = false;
+  std::shared_ptr<AsyncState> Self;
+  ThreadPool *Owner = nullptr;
+};
+
 void ThreadPool::runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock) {
   int64_t Lo = J.Next;
   int64_t Hi = std::min(Lo + J.Chunk, J.N);
@@ -71,8 +83,17 @@ void ThreadPool::runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock) {
   --ChunkDepth;
   if (Outermost)
     --Live;
-  if (--J.Remaining == 0)
+  // Keep a detached job's state alive past the erase: J lives inside it,
+  // and the ticket may release its reference the moment Done flips.
+  std::shared_ptr<AsyncState> Finished;
+  if (--J.Remaining == 0) {
+    if (AsyncState *A = J.Async) {
+      A->Done = true;
+      Jobs.erase(std::find(Jobs.begin(), Jobs.end(), &J));
+      Finished = std::move(A->Self);
+    }
     JobDone.notify_all();
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -167,6 +188,61 @@ void ThreadPool::parallelForWays(
   J.Remaining = (N + J.Chunk - 1) / J.Chunk;
   J.Fn = &Fn;
   submitAndRun(J);
+}
+
+ThreadPool::Ticket ThreadPool::submitAsync(std::function<void()> Fn) {
+  // Same inlining rules as the structured entry points: a sequential pool,
+  // a serial-pinned thread, or a foreign pool's worker runs the body now.
+  if (NumThreads == 1 || InlineOnly ||
+      (CurrentPool != nullptr && CurrentPool != this)) {
+    Fn();
+    return Ticket();
+  }
+  auto St = std::make_shared<AsyncState>();
+  St->Owner = this;
+  St->Body = [Body = std::move(Fn)](int64_t, int64_t) { Body(); };
+  St->J.N = 1;
+  St->J.Chunk = 1;
+  St->J.Remaining = 1;
+  St->J.Fn = &St->Body;
+  St->J.Async = St.get();
+  St->Self = St;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    // Communication-lane priority: detached jobs go to the front of the
+    // list so idle workers drain data movement before claiming more
+    // compute chunks.
+    Jobs.insert(Jobs.begin(), &St->J);
+  }
+  WorkAvailable.notify_all();
+  return Ticket(std::move(St));
+}
+
+void ThreadPool::Ticket::wait() {
+  if (!St)
+    return;
+  ThreadPool &P = *St->Owner;
+  std::unique_lock<std::mutex> Lock(P.Mtx);
+  while (!St->Done) {
+    // Help inline when the job is still unclaimed — but never stack an
+    // extra uncounted live thread onto a full pool: only a thread already
+    // inside one of this pool's chunks (accounted for by its enclosing
+    // frame) or a thread that fits under the worker bound may claim.
+    bool CanHelp = (CurrentPool == &P && ChunkDepth > 0) || P.Live < P.NumThreads;
+    if (St->J.Next < St->J.N && CanHelp) {
+      // Adopt the pool for the duration of the chunk so any fan-out the
+      // body issues shares this pool's job list instead of treating
+      // itself as a fresh top-level caller.
+      ThreadPool *Prev = CurrentPool;
+      CurrentPool = &P;
+      P.runOneChunk(St->J, Lock);
+      CurrentPool = Prev;
+      continue;
+    }
+    P.JobDone.wait(Lock);
+  }
+  Lock.unlock();
+  St.reset();
 }
 
 void ThreadPool::parallelFor(int64_t N,

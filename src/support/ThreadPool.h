@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,6 +31,8 @@
 namespace distal {
 
 class ThreadPool {
+  struct AsyncState;
+
 public:
   /// Creates a pool with \p NumThreads workers (including the caller, so
   /// NumThreads == 1 spawns no threads and runs everything inline).
@@ -60,6 +63,44 @@ public:
   /// how task- and leaf-level jobs interleave.
   void parallelForWays(int64_t N, int Ways,
                        const std::function<void(int64_t, int64_t)> &Fn);
+
+  /// Handle to one detached job submitted with submitAsync(). wait() blocks
+  /// until the job has run; if no worker has claimed it yet, the waiting
+  /// thread runs it inline (so a wait can never deadlock and a busy pool
+  /// degenerates to deferred-serial execution, not a stall). Destroying an
+  /// un-waited ticket waits first — the job may reference caller state.
+  class Ticket {
+  public:
+    Ticket() = default;
+    ~Ticket() { wait(); }
+    Ticket(Ticket &&) = default;
+    Ticket &operator=(Ticket &&O) {
+      wait();
+      St = std::move(O.St);
+      return *this;
+    }
+    Ticket(const Ticket &) = delete;
+    Ticket &operator=(const Ticket &) = delete;
+
+    void wait();
+
+  private:
+    friend class ThreadPool;
+    explicit Ticket(std::shared_ptr<AsyncState> St) : St(std::move(St)) {}
+    std::shared_ptr<AsyncState> St;
+  };
+
+  /// Submits \p Fn as a detached single-chunk job — the *communication
+  /// lane* of the pipelined executor. Unlike the structured parallelFor
+  /// family the submitter does not participate: it keeps running (compute)
+  /// while an idle worker picks the job up. Async jobs are queued ahead of
+  /// structured jobs so data-movement work is claimed preferentially the
+  /// moment a worker frees up, which is what lets gathers hide behind leaf
+  /// kernels without a dedicated (oversubscribing) communication thread.
+  /// Runs \p Fn inline (before returning) when the pool is sequential, the
+  /// thread is pinned serial (InlineScope), or the caller is a worker of a
+  /// different pool — the same rules as the structured entry points.
+  Ticket submitAsync(std::function<void()> Fn);
 
   /// The process-wide pool. Size comes from DISTAL_NUM_THREADS when set,
   /// else std::thread::hardware_concurrency().
@@ -93,14 +134,18 @@ public:
   };
 
 private:
-  /// One active fan-out. Lives on the submitting frame's stack; registered
-  /// in Jobs until every chunk has finished. All fields are guarded by Mtx.
+  /// One active fan-out. Structured jobs live on the submitting frame's
+  /// stack; async jobs live inside a heap AsyncState. Registered in Jobs
+  /// until every chunk has finished. All fields are guarded by Mtx.
   struct Job {
     int64_t N = 0;
     int64_t Chunk = 1;
     int64_t Next = 0;      ///< First unclaimed index.
     int64_t Remaining = 0; ///< Chunks claimed or unclaimed but not finished.
     const std::function<void(int64_t, int64_t)> *Fn = nullptr;
+    /// Non-null for detached jobs: completion marks the ticket done and
+    /// unregisters the job (no submitter is waiting inside submitAndRun).
+    AsyncState *Async = nullptr;
   };
 
   /// True when a parallelFor of \p N items must run inline on the caller.

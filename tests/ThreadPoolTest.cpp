@@ -85,6 +85,51 @@ TEST(ThreadPool, FanoutActuallyOverlapsWorkers) {
   EXPECT_EQ(Pool.liveWorkerHighWater(), 4);
 }
 
+TEST(ThreadPool, AsyncTicketsCompleteAndHelpInline) {
+  // The communication-lane primitive: detached jobs complete exactly once
+  // whether a worker claims them or the waiter runs them inline, and
+  // tickets are safe to wait from inside structured fan-outs (the
+  // pipelined executor's chains do exactly that).
+  ThreadPool Pool(4);
+  constexpr int N = 64;
+  std::vector<std::atomic<int>> Ran(N);
+  {
+    std::vector<ThreadPool::Ticket> Tickets;
+    for (int I = 0; I < N; ++I)
+      Tickets.push_back(Pool.submitAsync(
+          [&Ran, I] { Ran[I].fetch_add(1, std::memory_order_relaxed); }));
+    for (ThreadPool::Ticket &T : Tickets)
+      T.wait();
+  }
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Ran[I].load(), 1) << "job " << I;
+
+  // Mixed: submit from inside a structured chunk, wait before the chunk
+  // ends; the live-worker bound must hold throughout.
+  Pool.resetLiveWorkerHighWater();
+  std::vector<std::atomic<int>> Nested(N);
+  Pool.parallelFor(N, [&](int64_t I) {
+    ThreadPool::Ticket T = Pool.submitAsync(
+        [&Nested, I] { Nested[I].fetch_add(1, std::memory_order_relaxed); });
+    T.wait();
+  });
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Nested[I].load(), 1) << "nested job " << I;
+  EXPECT_LE(Pool.liveWorkerHighWater(), 4);
+
+  // A sequential pool runs the body inline at submit time.
+  ThreadPool Seq(1);
+  bool RanInline = false;
+  ThreadPool::Ticket T = Seq.submitAsync([&] { RanInline = true; });
+  EXPECT_TRUE(RanInline);
+  T.wait();
+
+  // An un-waited ticket must complete before destruction (dtor waits).
+  std::atomic<int> Dropped{0};
+  { ThreadPool::Ticket D = Pool.submitAsync([&] { ++Dropped; }); }
+  EXPECT_EQ(Dropped.load(), 1);
+}
+
 TEST(ThreadPool, CrossPoolCallsRunInline) {
   // A worker of pool A calling pool B must not recruit B's workers:
   // stacking two pools would exceed the configured thread budget.
