@@ -32,6 +32,19 @@
 //                        buffers behind step S's leaf (B home-fed, C
 //                        relay-dependent). Multi-core hosts only, like
 //                        nested_gemm_1task.
+//   * zero_copy_local_gemm — alias-aware views on a fully-local shape:
+//                        single-task tall-skinny GEMM whose whole gather
+//                        program (and writeback) is home-resident. Views
+//                        off copies every rectangle; views on binds leaves
+//                        directly to Region storage — zero bytes move.
+//                        Reports gathered bytes before/after. Multi-core
+//                        hosts gate a 1.15x absolute floor.
+//   * coalesce_cannon  — the mixed regime: rotated tall-skinny Cannon
+//                        where half the step gathers are view-elided and
+//                        the remaining copies replay the compile-time
+//                        coalesced run program. Reports the gathered-byte
+//                        reduction (>= 30% on this shape, checked in
+//                        --check); 1.05x multi-core floor.
 //   * gemm_kernel      — raw blas::gemm GFLOP/s (register-blocked kernel).
 //   * steady_exec_cannon — compile-once / execute-many: first call
 //                        (CompiledPlan construction + execute) vs the
@@ -417,6 +430,166 @@ void benchOverlapCannon() {
   gateAbsolute("overlap_cannon", OnMs > 0 ? OffMs / OnMs : 0, 1.05);
 }
 
+/// Formats a byte count as whole megabytes for the detail strings.
+std::string mbString(int64_t Bytes) {
+  return std::to_string(Bytes / 1000000) + "MB";
+}
+
+/// Times steady-state executions of \p CP over \p D at the given view
+/// setting (warm-up outside the timed region, bestMs over \p Reps samples
+/// of \p Inner executions each); when \p OutCopy is given, snapshots the
+/// output region afterwards for the bitwise views-on/off comparison.
+double timeSteadyViews(CompiledPlan &CP, ProblemData &D, const Plan &P,
+                       const TensorVar &Out, int NThreads, bool Views,
+                       int Reps, int Inner,
+                       std::unique_ptr<Region> *OutCopy) {
+  ExecOptions O;
+  O.NumThreads = NThreads;
+  O.Mode = TraceMode::Off;
+  O.ZeroCopyViews = Views;
+  CP.execute(D.Regions, O); // Warm buffers and pool outside the timing.
+  double Ms = bestMs(Reps, [&] {
+                for (int It = 0; It < Inner; ++It)
+                  CP.execute(D.Regions, O);
+              }) /
+              Inner;
+  if (OutCopy) {
+    *OutCopy = std::make_unique<Region>(Out, P.formatOf(Out), P.M);
+    Rect::forExtents(Out.shape()).forEachPoint([&](const Point &Pt) {
+      (*OutCopy)->at(Pt) = D.Regions[Out]->at(Pt);
+    });
+  }
+  return Ms;
+}
+
+void benchZeroCopyLocalGemm() {
+  // The zero-copy view path on a fully-local shape: a single-task
+  // tall-skinny GEMM (A(n,r) = B(n,n)·C(r,n), one processor) where every
+  // gather rectangle is home-resident and the output tile is exclusively
+  // owned. Views off pays the full copy program — B's n² elements in and
+  // the accumulator back out — around a leaf that touches each B element
+  // only r times, so the copies are a large share of steady-state time;
+  // views on binds the leaf straight to Region storage and moves zero
+  // bytes. Both columns time steady-state executions of one prebuilt
+  // artifact; outputs must be bitwise-identical.
+  bool MultiCore = multiCoreHost();
+  Coord N = CheckMode ? 128 : 2048;
+  Coord R = 2;
+  Machine M = Machine::grid({1, 1});
+  TensorVar A("A", {N, R}), B("B", {N, N}), C("C", {R, N});
+  IndexVar I("i"), J("j"), K("k");
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji");
+  // C indexed (j, k): both dot operands walk k contiguously.
+  Assignment Stmt(Access(A, {I, J}), Access(B, {I, K}) * Access(C, {J, K}));
+  auto Fmt = [&](const std::string &Spec) {
+    return Format({ModeKind::Dense, ModeKind::Dense},
+                  TensorDistribution::parse(Spec));
+  };
+  std::map<TensorVar, Format> Formats = {
+      {A, Fmt("xy->xy")}, {B, Fmt("xy->xy")}, {C, Fmt("xy->yx")}};
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{1, 1})
+      .communicate({A, B, C}, Jo);
+  Plan P = lower(S.takeNest(), M, std::move(Formats));
+
+  std::vector<TensorVar> Tensors = {A, B, C};
+  ProblemData D = makeRegions(P, Tensors);
+  CompiledPlan CP(P);
+  CompiledPlan::DataMovementStats DM = CP.dataMovementStats();
+  int64_t BytesBefore = DM.totalBytes(), BytesAfter = DM.movedBytes();
+  if (CheckMode && BytesAfter != 0)
+    fail("zero_copy_local_gemm still copies " + std::to_string(BytesAfter) +
+         " bytes; the fully-local plan must elide its entire program");
+  int Reps = CheckMode ? 1 : 5;
+  const int Inner = CheckMode ? 1 : 4;
+  std::unique_ptr<Region> OffOut, OnOut;
+  double OffMs =
+      timeSteadyViews(CP, D, P, A, Threads, false, Reps, Inner, &OffOut);
+  double OnMs =
+      timeSteadyViews(CP, D, P, A, Threads, true, Reps, Inner, &OnOut);
+  if (maxDiff(*OffOut, *OnOut) != 0)
+    fail("zero_copy_local_gemm views-on output not bitwise-identical to the "
+         "copy path");
+  record("zero_copy_local_gemm", OffMs, OnMs,
+         "local tall-skinny gemm n=" + std::to_string(N) + " r=" +
+             std::to_string(R) + " procs=1, gathered " + mbString(BytesBefore) +
+             " -> " + mbString(BytesAfter) + "/exec, views off vs on" +
+             (MultiCore ? "" : " [single-core host: ungated]"),
+         /*Gated=*/MultiCore);
+  gateAbsolute("zero_copy_local_gemm", OnMs > 0 ? OffMs / OnMs : 0, 1.15);
+}
+
+void benchCoalesceCannon() {
+  // The mixed regime: rotated tall-skinny Cannon on a 2x1 grid with B
+  // distributed by *columns* ("yx->xy"), so each task's systolic walk is
+  // home-resident for exactly one of the two k-blocks per operand — half
+  // the step gathers (plus the whole writeback) are view-elided, and the
+  // half that must still move replays the compile-time coalesced run
+  // program (strided row-block rectangles: one precomputed 2D memcpy grid
+  // instead of per-execute run discovery). Steady-state, pipelined
+  // executions of one artifact, views off vs on; bitwise-identical output.
+  bool MultiCore = multiCoreHost();
+  int G = 2;
+  int PipeThreads = 2 * G;
+  Coord N = CheckMode ? 128 : 2048;
+  Coord R = 2;
+  Machine M = Machine::grid({G, 1});
+  TensorVar A("A", {N, R}), B("B", {N, N}), C("C", {R, N});
+  IndexVar I("i"), J("j"), K("k");
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji"), Ko("ko"), Ki("ki"),
+      Kos("kos");
+  Assignment Stmt(Access(A, {I, J}), Access(B, {I, K}) * Access(C, {J, K}));
+  auto Fmt = [&](const std::string &Spec) {
+    return Format({ModeKind::Dense, ModeKind::Dense},
+                  TensorDistribution::parse(Spec));
+  };
+  std::map<TensorVar, Format> Formats = {
+      {A, Fmt("xy->xy")}, {B, Fmt("yx->xy")}, {C, Fmt("xy->yx")}};
+  Schedule S(Stmt);
+  S.distribute({I, J}, {Io, Jo}, {Ii, Ji}, std::vector<int>{G, 1})
+      .divide(K, Ko, Ki, G)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .rotate(Ko, {Io, Jo}, Kos)
+      .communicate(A, Jo)
+      .communicate({B, C}, Kos);
+  Plan P = lower(S.takeNest(), M, std::move(Formats));
+
+  std::vector<TensorVar> Tensors = {A, B, C};
+  ProblemData D = makeRegions(P, Tensors);
+  CompiledPlan CP(P);
+  CompiledPlan::DataMovementStats DM = CP.dataMovementStats();
+  int64_t BytesBefore = DM.totalBytes(), BytesAfter = DM.movedBytes();
+  double Reduction =
+      BytesBefore > 0
+          ? 1.0 - static_cast<double>(BytesAfter) / BytesBefore
+          : 0;
+  if (CheckMode && Reduction < 0.30)
+    fail("coalesce_cannon gathered-byte reduction " +
+         std::to_string(Reduction * 100) +
+         "% below the 30% home-resident claim");
+  int Reps = CheckMode ? 1 : 5;
+  const int Inner = CheckMode ? 1 : 4;
+  std::unique_ptr<Region> OffOut, OnOut;
+  double OffMs =
+      timeSteadyViews(CP, D, P, A, PipeThreads, false, Reps, Inner, &OffOut);
+  double OnMs =
+      timeSteadyViews(CP, D, P, A, PipeThreads, true, Reps, Inner, &OnOut);
+  if (maxDiff(*OffOut, *OnOut) != 0)
+    fail("coalesce_cannon views-on output not bitwise-identical to the copy "
+         "path");
+  char Pct[16];
+  std::snprintf(Pct, sizeof(Pct), "%.0f%%", Reduction * 100);
+  record("coalesce_cannon", OffMs, OnMs,
+         "tall-skinny cannon n=" + std::to_string(N) + " r=" +
+             std::to_string(R) + " procs=" + std::to_string(G) +
+             ", gathered " + mbString(BytesBefore) + " -> " +
+             mbString(BytesAfter) + "/exec (-" + Pct +
+             "), views off vs on" +
+             (MultiCore ? "" : " [single-core host: ungated]"),
+         /*Gated=*/MultiCore);
+  gateAbsolute("coalesce_cannon", OnMs > 0 ? OffMs / OnMs : 0, 1.05);
+}
+
 void benchSteadyExec() {
   // Compile-once / execute-many at the engine level. A 4x4 Cannon launch
   // at a modest tile size keeps the per-call analysis (placement, bounds,
@@ -677,6 +850,8 @@ int main(int argc, char **argv) {
   benchE2EGemm();
   benchNestedLeafGemm();
   benchOverlapCannon();
+  benchZeroCopyLocalGemm();
+  benchCoalesceCannon();
   benchSteadyExec();
   benchIterativeEvaluate();
   benchGemmKernel();

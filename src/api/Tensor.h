@@ -134,11 +134,13 @@ public:
   Trace simulateOn(const Machine &M);
 
   /// Execute-time options applied by evaluate()/evaluateWithTrace()/
-  /// evaluateUncached(): threading, the task/leaf split, and the pipeline
+  /// evaluateUncached(): threading, the task/leaf split, the pipeline
   /// mode (Pipeline::DoubleBuffer by default — the next step's gathers
-  /// prefetch behind the current leaf). None of these participate in the
-  /// PlanCache key, so flipping them costs no recompile and results stay
-  /// bitwise-identical. The trace mode field is overridden per call.
+  /// prefetch behind the current leaf), and zero-copy alias views (on by
+  /// default — home-resident gathers bind leaves directly to Region
+  /// storage). None of these participate in the PlanCache key, so
+  /// flipping them costs no recompile and results stay bitwise-identical.
+  /// The trace mode field is overridden per call.
   ExecOptions &execOptions() { return ExecOpts; }
 
   /// The PlanCache key evaluate()/compile() use for machine \p M (for

@@ -175,6 +175,14 @@ Rect TensorDistribution::ownedRect(const std::vector<Coord> &Shape,
   return Cur;
 }
 
+bool TensorDistribution::ownsRect(const std::vector<Coord> &Shape,
+                                  const Machine &M, const Point &Proc,
+                                  const Rect &R) const {
+  if (R.isEmpty())
+    return false;
+  return ownedRect(Shape, M, Proc).contains(R);
+}
+
 Rect TensorDistribution::ownersOfPoint(const std::vector<Coord> &Shape,
                                        const Machine &M,
                                        const Point &P) const {

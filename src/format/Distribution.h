@@ -100,6 +100,14 @@ public:
   /// distribution: all processors a color maps to.
   std::vector<Point> placementOf(const Machine &M, const Point &Color) const;
 
+  /// True when rectangle \p R of a tensor with \p Shape lies wholly inside
+  /// \p Proc's owned piece — i.e. a fetch of R by \p Proc moves no bytes,
+  /// the home data can be aliased in place. Empty rectangles own nothing
+  /// (there is nothing to alias). This is the zero-copy view precondition
+  /// of the execution engine's alias analysis.
+  bool ownsRect(const std::vector<Coord> &Shape, const Machine &M,
+                const Point &Proc, const Rect &R) const;
+
   /// True if any level replicates (broadcasts) the tensor.
   bool hasReplication() const;
 

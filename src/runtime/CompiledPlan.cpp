@@ -53,8 +53,15 @@ CompiledPlan::~CompiledPlan() = default;
 CompiledPlan::PrefetchStats CompiledPlan::prefetchStats() const {
   PrefetchStats S;
   for (const CompiledTask &CT : Tasks)
-    for (const auto &Step : CT.PrefetchDeps)
-      for (int32_t Dep : Step) {
+    for (size_t Step = 0; Step < CT.PrefetchDeps.size(); ++Step)
+      for (size_t G = 0; G < CT.PrefetchDeps[Step].size(); ++G) {
+        // A view-elided gather is not "prefetchable" — there is no copy to
+        // hide — whatever its dependency entry says.
+        if (CT.StepGathers[Step][G].Class == GatherClass::Aliasable) {
+          ++S.Elided;
+          continue;
+        }
+        int32_t Dep = CT.PrefetchDeps[Step][G];
         if (Dep == CompiledTask::PrefetchFree)
           ++S.Free;
         else if (Dep >= 0)
@@ -63,6 +70,27 @@ CompiledPlan::PrefetchStats CompiledPlan::prefetchStats() const {
           ++S.Excluded;
       }
   return S;
+}
+
+CompiledPlan::DataMovementStats CompiledPlan::dataMovementStats() const {
+  DataMovementStats D;
+  for (const CompiledTask &CT : Tasks) {
+    for (const CompiledGather &G : CT.LaunchGathers) {
+      int64_t Bytes = (G.R.dim() == 0 ? 1 : G.R.volume()) * 8;
+      if (G.IsOutput)
+        (G.Class == GatherClass::Aliasable ? D.WritebackElidedBytes
+                                           : D.WritebackBytes) += Bytes;
+      else
+        (G.Class == GatherClass::Aliasable ? D.ElidedBytes
+                                           : D.GatheredBytes) += Bytes;
+    }
+    for (const auto &Step : CT.StepGathers)
+      for (const CompiledGather &G : Step)
+        (G.Class == GatherClass::Aliasable ? D.ElidedBytes
+                                           : D.GatheredBytes) +=
+            (G.R.dim() == 0 ? 1 : G.R.volume()) * 8;
+  }
+  return D;
 }
 
 int64_t CompiledPlan::zeroSkipTaskCount() const {
@@ -200,16 +228,13 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
                    Strategy == LeafStrategy::Compiled && Pool != nullptr &&
                    !StepVals.empty();
   bool OverwriteLeaves = Strategy == LeafStrategy::Compiled;
+  // Zero-copy views only for the compiled strategy: the interpreted path
+  // is the seed reference and always copies.
+  bool ViewsOn = Opts.ZeroCopyViews && Strategy == LeafStrategy::Compiled;
 
   ensureExecState();
   if (Pipelined)
     ensurePipelineState();
-  auto gatherInto = [&](Instance &I, const Region *R) {
-    if (Strategy == LeafStrategy::Compiled)
-      R->gatherInto(I, LeafLP);
-    else
-      R->gatherIntoPointwise(I);
-  };
 
   using Clock = std::chrono::steady_clock;
   std::atomic<int64_t> PrefetchNs{0}, SyncNs{0}, WaitNs{0};
@@ -218,17 +243,27 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
                                                                 T0)
         .count();
   };
-  // Reset + gather + re-bind one recorded input gather into its front
-  // buffer — the synchronous (critical-path) route shared by the
-  // bulk-synchronous order and the pipelined fallbacks, so the binding
-  // rules can never diverge between the two orders. \p Counter, when
-  // given, accumulates the gather's wall time.
+  // Bind one recorded input gather into its front buffer — the synchronous
+  // (critical-path) route shared by the bulk-synchronous order and the
+  // pipelined fallbacks, so the binding rules can never diverge between
+  // the two orders. Aliasable gathers bind a zero-copy view of Region
+  // storage (no bytes move, no time counted); the rest reset + replay the
+  // precomputed coalesced run program. \p Counter, when given, accumulates
+  // a copy's wall time.
   auto syncGather = [&](TaskExec &TE, const CompiledGather &G,
                         std::atomic<int64_t> *Counter) {
-    Clock::time_point T0 = Counter ? Clock::now() : Clock::time_point{};
     Instance &Inst = TE.OwnedInsts[G.Tensor];
+    if (ViewsOn && G.Class == GatherClass::Aliasable) {
+      Regions.at(G.Tensor)->bindView(Inst, G.R);
+      TE.Insts[G.Tensor] = &Inst;
+      return;
+    }
+    Clock::time_point T0 = Counter ? Clock::now() : Clock::time_point{};
     Inst.reset(G.R);
-    gatherInto(Inst, Regions.at(G.Tensor));
+    if (Strategy == LeafStrategy::Compiled)
+      Regions.at(G.Tensor)->gatherCompiled(Inst, G.Runs, LeafLP);
+    else
+      Regions.at(G.Tensor)->gatherIntoPointwise(Inst);
     TE.Insts[G.Tensor] = &Inst;
     if (Counter)
       Counter->fetch_add(nsSince(T0), std::memory_order_relaxed);
@@ -237,18 +272,25 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
   // Launch phase: task-level instances (private accumulator for the
   // output, fetched copies for the inputs). Tasks only read shared
   // regions, so they are independent. The accumulator's zero is skipped
-  // when the compile phase proved the leaf overwrites it entirely.
+  // when the compile phase proved the leaf overwrites it entirely; an
+  // aliased accumulator (exclusive home-resident rectangle) binds the
+  // region storage itself, which the region-wide zero above already
+  // cleared, and elides its writeback at the end.
   parallelTasks([&](int64_t I) {
     const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
     TaskExec &TE = Execs[static_cast<size_t>(I)];
     for (const CompiledGather &G : CT.LaunchGathers) {
+      if (!G.IsOutput) {
+        syncGather(TE, G, nullptr);
+        continue;
+      }
       Instance &Inst = TE.OwnedInsts[G.Tensor];
-      Inst.reset(G.R);
-      if (G.IsOutput) {
+      if (ViewsOn && G.Class == GatherClass::Aliasable) {
+        Regions.at(G.Tensor)->bindView(Inst, G.R);
+      } else {
+        Inst.reset(G.R);
         if (!(OverwriteLeaves && CT.SkipOutputZero))
           Inst.zero();
-      } else {
-        gatherInto(Inst, Regions.at(G.Tensor));
       }
       TE.Insts[G.Tensor] = &Inst;
     }
@@ -296,6 +338,23 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
           int32_t Dep = CT.PrefetchDeps[S][Gi];
           if (Dep == CompiledTask::NoPrefetch)
             continue;
+          // View-elided gathers are not prefetched: there is no copy to
+          // hide, binding at arrival is free. And a front bound as a view
+          // must never flip (the promotion would clobber the alias), so a
+          // tensor viewed *this* step — or viewed by ANY aliasable gather
+          // of the arrival step, which replays in recorded order and may
+          // bind the front as a view before a later same-tensor flip —
+          // forces the fetch onto the synchronous arrival path.
+          // Instance::flip asserts the invariant.
+          if (ViewsOn) {
+            bool TensorViewed = TE.OwnedInsts[Gs[Gi].Tensor].isView();
+            for (size_t Other = 0; Other < Gs.size() && !TensorViewed;
+                 ++Other)
+              TensorViewed = Gs[Other].Class == GatherClass::Aliasable &&
+                             Gs[Other].Tensor == Gs[Gi].Tensor;
+            if (TensorViewed)
+              continue;
+          }
           // One prefetch per tensor per step: a second gather of the same
           // tensor (a tensor communicated at two step loops) would race
           // on the single back buffer; it stays on the synchronous path,
@@ -316,10 +375,11 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
           Instance &B = TE.OwnedInsts[G.Tensor].back();
           B.reset(G.R);
           const Region *Src = Regions.at(G.Tensor);
-          TE.Pending.push_back(Pool->submitAsync([&B, Src, CommLP,
+          const GatherRuns *Runs = &G.Runs; // Artifact-lifetime storage.
+          TE.Pending.push_back(Pool->submitAsync([&B, Runs, Src, CommLP,
                                                   &PrefetchNs, nsSince] {
             Clock::time_point T0 = Clock::now();
-            Src->gatherInto(B, CommLP);
+            Src->gatherCompiled(B, *Runs, CommLP);
             PrefetchNs.fetch_add(nsSince(T0), std::memory_order_relaxed);
           }));
           TE.PendingIssued[Gi] = 1;
@@ -364,21 +424,31 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
   }
 
   // Writeback / reduction of every task's output instance to its owners.
+  // A viewed accumulator already wrote the home region in place — its
+  // striped owner-ordered writeback is elided entirely (the alias proof
+  // guarantees no other task contributes to those elements, so there is
+  // no merge order to preserve).
   Region *OutR = Regions.at(Out);
   if (Strategy != LeafStrategy::Compiled) {
     for (TaskExec &TE : Execs)
       OutR->reduceBackPointwise(TE.OwnedInsts.at(Out));
   } else if (!Pool || Out.order() == 0) {
-    for (TaskExec &TE : Execs)
-      OutR->reduceBack(TE.OwnedInsts.at(Out));
+    for (TaskExec &TE : Execs) {
+      const Instance &OutInst = TE.OwnedInsts.at(Out);
+      if (!OutInst.isView())
+        OutR->reduceBack(OutInst);
+    }
   } else {
     // Stripe the merge over output rows. Within a stripe every element
     // still accumulates the tasks in task order, so the result is
     // bitwise-identical to the sequential merge.
     Coord Rows = OutR->shape()[0];
     Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
-      for (TaskExec &TE : Execs)
-        OutR->reduceBackRows(TE.OwnedInsts.at(Out), RowLo, RowHi);
+      for (TaskExec &TE : Execs) {
+        const Instance &OutInst = TE.OwnedInsts.at(Out);
+        if (!OutInst.isView())
+          OutR->reduceBackRows(OutInst, RowLo, RowHi);
+      }
     });
   }
 

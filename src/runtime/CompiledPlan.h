@@ -90,6 +90,29 @@ struct ExecOptions {
   /// interpreted strategy and for sequential (1-thread) runs, where there
   /// is nothing to overlap with.
   Pipeline Pipe = Pipeline::DoubleBuffer;
+  /// Zero-copy alias views (compiled-leaf strategy only). On, gathers the
+  /// compile phase proved home-resident bind the leaf directly to Region
+  /// storage — no bytes move, and an aliased output accumulator elides its
+  /// writeback too. Off forces every gather through the coalesced copy
+  /// path (the differential-testing reference). Output data is
+  /// bitwise-identical either way; like the other knobs here, flipping it
+  /// costs no recompile (the classification lives in the artifact).
+  bool ZeroCopyViews = true;
+};
+
+/// How the execute phase materialises one recorded gather.
+enum class GatherClass : uint8_t {
+  /// Bytes must move; replayed through the precomputed coalesced run
+  /// program (GatherRuns) instead of rediscovering the rectangle's run
+  /// structure every execution.
+  Coalesced,
+  /// The rectangle is home-resident on the executing processor: the
+  /// instance binds as a zero-copy view of Region storage when views are
+  /// enabled, and falls back to the Coalesced program when they are off.
+  /// For the output accumulator this additionally carries the proof that
+  /// no other task touches the rectangle, so the striped writeback is
+  /// elided entirely.
+  Aliasable,
 };
 
 /// One data movement a task performs in a phase of the compiled program.
@@ -99,6 +122,10 @@ struct CompiledGather {
   /// Launch phase only: the task's private reduction accumulator — zeroed,
   /// not fetched.
   bool IsOutput = false;
+  /// Alias-analysis verdict (see GatherClass).
+  GatherClass Class = GatherClass::Coalesced;
+  /// The coalesced copy program of R, derived once at compile time.
+  GatherRuns Runs;
 };
 
 /// Per-task compile-time state: placement plus the gather program. Step
@@ -166,13 +193,33 @@ public:
   const Trace &trace() const { return Skeleton; }
 
   /// Aggregate of the compile-time prefetch schedule over all tasks and
-  /// steps (how much of the gather program the pipelined executor may hide).
+  /// steps (how much of the gather program the pipelined executor may
+  /// hide). View-elided gathers are not prefetchable — there is no copy to
+  /// hide — so they are reported in their own bucket, keeping
+  /// overlapFraction() comparable to the Simulator's OverlapFactor.
   struct PrefetchStats {
     int64_t Free = 0;      ///< Prefetchable with no cross-task dependency.
     int64_t Dependent = 0; ///< Relay-fed, prefetchable behind a task dep.
     int64_t Excluded = 0;  ///< Conservatively never prefetched.
+    int64_t Elided = 0;    ///< Home-resident: bound as a view, never copied.
   };
   PrefetchStats prefetchStats() const;
+
+  /// Compile-time volume of the data-movement program per execution,
+  /// assuming views are enabled (the default): what the copy engine moves
+  /// versus what alias analysis proved never moves. The benches report
+  /// GatheredBytes + ElidedBytes as the "before" (views-off) traffic.
+  struct DataMovementStats {
+    int64_t GatheredBytes = 0; ///< Copied by launch + step gathers.
+    int64_t ElidedBytes = 0;   ///< Gathers bound as views instead.
+    int64_t WritebackBytes = 0; ///< Output instance bytes merged back.
+    int64_t WritebackElidedBytes = 0; ///< Elided by output aliasing.
+    int64_t movedBytes() const { return GatheredBytes + WritebackBytes; }
+    int64_t totalBytes() const {
+      return movedBytes() + ElidedBytes + WritebackElidedBytes;
+    }
+  };
+  DataMovementStats dataMovementStats() const;
 
   /// Number of tasks whose launch-phase output zero is skipped (the
   /// compile phase proved their leaves fully overwrite the accumulator).

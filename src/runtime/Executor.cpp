@@ -37,6 +37,7 @@ Trace Executor::run(const std::map<TensorVar, Region *> &Regions,
   Opts.ForceLeafWays = ForceLeafWays;
   Opts.Mode = Mode;
   Opts.Pipe = Pipe;
+  Opts.ZeroCopyViews = ZeroCopyViews;
   return compiled().execute(Regions, Opts);
 }
 

@@ -84,6 +84,14 @@ public:
   /// (pipelining is an execute-time knob, like threads).
   void setPipeline(Pipeline P) { Pipe = P; }
 
+  /// Zero-copy alias views (on by default for the compiled strategy):
+  /// gathers the compile phase proved home-resident bind leaves directly
+  /// to Region storage, and an aliased output accumulator elides its
+  /// writeback. Off forces every gather through the coalesced copy path.
+  /// Output data is bitwise-identical either way; execute-time knob, no
+  /// recompile.
+  void setZeroCopyViews(bool On) { ZeroCopyViews = On; }
+
   /// The compiled artifact, built on first use and reused by every
   /// subsequent run()/simulate() of this executor.
   CompiledPlan &compiled();
@@ -112,6 +120,7 @@ private:
   int ForceTaskWays = 0, ForceLeafWays = 0;
   LeafStrategy Strategy = LeafStrategy::Compiled;
   Pipeline Pipe = Pipeline::DoubleBuffer;
+  bool ZeroCopyViews = true;
   ExecContext *ExternalCtx = nullptr;
   /// Compile-once artifact, rebuilt only when the leaf strategy changes.
   std::unique_ptr<CompiledPlan> CP;

@@ -185,7 +185,16 @@ bool prepareStep(LeafEngine &E, const Plan &P,
     if (E.LeafExtents[I] == 0)
       return false;
 
-  // Bind accesses: instance pointers, affine offsets in elements.
+  // Bind accesses: instance pointers and affine offsets in elements. The
+  // binding is stride-generic, so it works unchanged whether the instance
+  // owns a packed copy or is a zero-copy view carrying the home region's
+  // strides. Offsets accumulate directly through stride arithmetic — no
+  // Point construction, no per-coordinate bounds re-derivation — since
+  // this runs per task per step on the steady-state path. The base is
+  // computed at the (unclamped) VarBase corner; in guarded edge tiles that
+  // corner can lie outside the instance rectangle, but every guarded point
+  // is skipped before being dereferenced, exactly as the clamp-and-adjust
+  // formulation guaranteed.
   for (int A = 0; A < E.NumAcc; ++A) {
     const Access &Acc = E.Accesses[A];
     auto It = Insts.find(Acc.tensor());
@@ -194,23 +203,16 @@ bool prepareStep(LeafEngine &E, const Plan &P,
     Instance *Inst = It->second;
     E.AccData[A] = Inst->data();
     std::fill(E.AccCoef[A].begin(), E.AccCoef[A].end(), 0);
-    std::vector<Coord> BaseCoords(Acc.tensor().order());
+    int64_t Base = 0;
+    const Rect &IR = Inst->rect();
     for (int D = 0; D < Acc.tensor().order(); ++D) {
       int V = E.OrigIdx[Acc.indices()[D]];
-      BaseCoords[D] = std::min(E.VarBase[V],
-                               Inst->rect().hi()[D] > 0
-                                   ? Inst->rect().hi()[D] - 1
-                                   : E.VarBase[V]);
+      int64_t Stride = Inst->stride(D);
+      Base += (E.VarBase[V] - IR.lo()[D]) * Stride;
       for (int I = 0; I < E.NumLeaf; ++I)
-        E.AccCoef[A][I] += E.VarCoef[V][I] * Inst->stride(D);
+        E.AccCoef[A][I] += E.VarCoef[V][I] * Stride;
     }
-    E.AccBase[A] = Inst->offset(Point(BaseCoords));
-    // Adjust the base back if clamping changed coordinates (only possible
-    // in guarded edge tiles whose guarded points are skipped anyway).
-    for (int D = 0; D < Acc.tensor().order(); ++D) {
-      int V = E.OrigIdx[Acc.indices()[D]];
-      E.AccBase[A] += (E.VarBase[V] - BaseCoords[D]) * Inst->stride(D);
-    }
+    E.AccBase[A] = Base;
   }
   return true;
 }

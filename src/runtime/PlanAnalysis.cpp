@@ -185,6 +185,18 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
   };
   std::vector<TaskState> States;
 
+  // Statement-level preconditions of the output-alias elision: an aliased
+  // accumulator writes the home region *during* the step phase, so nothing
+  // may read the output region mid-execution — the output on the RHS or in
+  // a step communication would observe in-flight partials (the copy path
+  // lets them observe the initial zeroes instead). Scalar outputs stay on
+  // the copy path (a 0-dim view buys nothing).
+  bool OutAliasOK = Out.order() > 0;
+  for (const Access &A : Stmt.rhsAccesses())
+    OutAliasOK &= A.tensor() != Out;
+  for (const StepComm &SC : StepC)
+    OutAliasOK &= !(SC.Tensor == Out);
+
   // Statement-level precondition of the launch-phase zero-skip: a
   // non-reduction assignment (every original loop variable appears in the
   // distinct-indexed left-hand side, and the output is not read) writes
@@ -223,7 +235,18 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
       if (TV != Out)
         for (Message &Msg : planGatherMessages(P, TV, R, TS.CT.ProcPt))
           T.Phases.front().Messages.push_back(std::move(Msg));
-      TS.CT.LaunchGathers.push_back(CompiledGather{TV, R, TV == Out});
+      CompiledGather G{TV, R, TV == Out};
+      G.Runs = compileGatherRuns(R, TV.shape());
+      // Alias analysis, input side: a home-resident rectangle is exactly
+      // the case where Legion maps the existing instance instead of a copy
+      // — the execute phase binds a zero-copy view. Input regions are
+      // immutable for the whole execution, so residency alone is the
+      // proof. The output accumulator is classified after every task's
+      // OutRect is known (it additionally needs exclusive ownership of its
+      // elements).
+      if (TV != Out && !R.isEmpty() && Owned.contains(R))
+        G.Class = GatherClass::Aliasable;
+      TS.CT.LaunchGathers.push_back(std::move(G));
     }
     TS.CT.OutRect = tensorRect(Out, Stmt, Prov, TS.Fixed);
     TS.CT.StepGathers.resize(static_cast<size_t>(NumSteps));
@@ -241,6 +264,31 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
                                         static_cast<int32_t>(I));
     if (!New)
       It->second = -1;
+  }
+
+  // Alias analysis, output side: a task's accumulator may alias the home
+  // region — eliding both its launch-phase zero/copy and its owner-ordered
+  // writeback — when the rectangle is home-resident on the executing
+  // processor AND no other task writes any of its elements (otherwise the
+  // copy path's deterministic task-ordered merge is what defines the
+  // result). With those proofs, in-place accumulation performs the same
+  // additions in the same order starting from the same region-wide zero,
+  // so outputs stay bitwise-identical to the copy path.
+  if (OutAliasOK) {
+    const TensorDistribution &OutD = P.formatOf(Out).distribution();
+    for (size_t I = 0; I < States.size(); ++I) {
+      TaskState &TS = States[I];
+      if (!OutD.ownsRect(Out.shape(), P.M, TS.CT.ProcPt, TS.CT.OutRect))
+        continue;
+      bool Exclusive = true;
+      for (size_t J = 0; J < States.size() && Exclusive; ++J)
+        Exclusive = I == J || !States[J].CT.OutRect.overlaps(TS.CT.OutRect);
+      if (!Exclusive)
+        continue;
+      for (CompiledGather &G : TS.CT.LaunchGathers)
+        if (G.IsOutput)
+          G.Class = GatherClass::Aliasable;
+    }
   }
 
   // Sequential steps, lock-stepped across all tasks. Holders track which
@@ -352,8 +400,20 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
         }
         for (Message &Msg : Msgs)
           Ph.Messages.push_back(std::move(Msg));
+        CompiledGather SG{SC.Tensor, R, false};
+        SG.Runs = compileGatherRuns(R, SC.Tensor.shape());
+        // Alias analysis: a step rectangle that rotated back onto (or never
+        // left) this processor's owned piece needs no copy at all — note
+        // this is exactly the OwnerIsSelf case above, so the classification
+        // never contradicts the relay routing. Step fetches of the output
+        // tensor always copy (the region holds zeroes mid-execution by the
+        // engine's semantics, and OutAliasOK already excluded aliasing).
+        if (!(SC.Tensor == Out) &&
+            P.formatOf(SC.Tensor).distribution().ownsRect(
+                SC.Tensor.shape(), P.M, TS.CT.ProcPt, R))
+          SG.Class = GatherClass::Aliasable;
         TS.CT.StepGathers[static_cast<size_t>(StepIdx)].push_back(
-            CompiledGather{SC.Tensor, R, false});
+            std::move(SG));
         TS.CT.PrefetchDeps[static_cast<size_t>(StepIdx)].push_back(Dep);
       }
       TS.MaxStepBytes = std::max(TS.MaxStepBytes, StepBytes);

@@ -110,12 +110,22 @@ constexpr int64_t CopyParallelCutoff = 1 << 17;
 
 Instance::Instance(Rect R) { reset(std::move(R)); }
 
+static int64_t loCornerOffset(const Rect &Bounds,
+                              const std::vector<Coord> &Strides) {
+  int64_t Off = 0;
+  for (int I = 0; I < Bounds.dim(); ++I)
+    Off -= Bounds.lo()[I] * Strides[I];
+  return Off;
+}
+
 void Instance::reset(Rect R) {
   Bounds = std::move(R);
+  View = nullptr;
   std::vector<Coord> Extents(Bounds.dim());
   for (int I = 0; I < Bounds.dim(); ++I)
     Extents[I] = std::max<Coord>(Bounds.hi()[I] - Bounds.lo()[I], 0);
   Strides = rowMajorStrides(Extents);
+  BaseOff = loCornerOffset(Bounds, Strides);
   size_t Vol = static_cast<size_t>(Bounds.dim() == 0 ? 1 : Bounds.volume());
   if (Data.size() != Vol)
     Data.resize(Vol, 0.0);
@@ -125,11 +135,22 @@ void Instance::reserve(int64_t Elems) {
   Data.reserve(static_cast<size_t>(std::max<int64_t>(Elems, 1)));
 }
 
+void Instance::bindView(double *Ptr, Rect R,
+                        const std::vector<Coord> &ViewStrides) {
+  DISTAL_ASSERT(Ptr != nullptr, "view bound to null storage");
+  DISTAL_ASSERT(static_cast<int>(ViewStrides.size()) == R.dim(),
+                "view stride dimension mismatch");
+  Bounds = std::move(R);
+  Strides = ViewStrides;
+  BaseOff = loCornerOffset(Bounds, Strides);
+  View = Ptr; // offset(lo) == 0, so data()[offset(lo)] lands on *Ptr.
+}
+
 int64_t Instance::offset(const Point &Global) const {
   DISTAL_ASSERT(Bounds.contains(Global), "instance access out of bounds");
-  int64_t Off = 0;
+  int64_t Off = BaseOff;
   for (int I = 0; I < Bounds.dim(); ++I)
-    Off += (Global[I] - Bounds.lo()[I]) * Strides[I];
+    Off += Global[I] * Strides[I];
   return Off;
 }
 
@@ -139,6 +160,7 @@ int64_t Instance::stride(int D) const {
 }
 
 void Instance::zero() {
+  DISTAL_ASSERT(!isView(), "zero() on a view would clobber region storage");
   if (!Data.empty())
     std::memset(Data.data(), 0, Data.size() * sizeof(double));
 }
@@ -151,9 +173,16 @@ Instance &Instance::back() {
 
 void Instance::flip() {
   DISTAL_ASSERT(Back != nullptr, "flip() on an instance without a back buffer");
+  DISTAL_ASSERT(!isView() && !Back->isView(),
+                "a viewed instance never flips: views alias region storage "
+                "and must not be promoted over a prefetched buffer");
   std::swap(Bounds, Back->Bounds);
   std::swap(Strides, Back->Strides);
+  std::swap(BaseOff, Back->BaseOff);
   std::swap(Data, Back->Data);
+  // Swapped alongside the rest so even an assert-stripped build promotes
+  // the gathered buffer coherently instead of aliasing stale storage.
+  std::swap(View, Back->View);
 }
 
 Region::Region(TensorVar Var, Format Fmt, Machine M)
@@ -212,6 +241,8 @@ void Region::gatherInto(Instance &I, const LeafParallelism &LP) const {
   const Rect &R = I.rect();
   DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
                 "gather rectangle outside region bounds");
+  DISTAL_ASSERT(!I.isView(), "gather into a view would clobber region "
+                             "storage");
   double *Dst = I.data();
   const double *Src = Data.data();
   RunDecomposition D = decomposeRuns(R, shape());
@@ -241,10 +272,95 @@ void Region::gatherInto(Instance &I, const LeafParallelism &LP) const {
   });
 }
 
+GatherRuns distal::compileGatherRuns(const Rect &R,
+                                     const std::vector<Coord> &Shape) {
+  GatherRuns GR;
+  std::vector<Coord> RegStrides = rowMajorStrides(Shape);
+  RunDecomposition D = decomposeRuns(R, Shape);
+  GR.RunLen = D.RunLen;
+  for (int I = 0; I < R.dim(); ++I)
+    GR.RegBase += R.lo()[I] * RegStrides[I];
+  if (D.NumRuns == 0) { // Empty rectangle: nothing to copy.
+    GR.Count0 = GR.Count1 = 0;
+    return GR;
+  }
+  switch (D.OuterDims) {
+  case 0:
+    break; // One run; the defaults (1 x 1 grid) already describe it.
+  case 1:
+    GR.Count1 = R.hi()[0] - R.lo()[0];
+    GR.Stride1 = RegStrides[0];
+    break;
+  case 2:
+    GR.Count0 = R.hi()[0] - R.lo()[0];
+    GR.Stride0 = RegStrides[0];
+    GR.Count1 = R.hi()[1] - R.lo()[1];
+    GR.Stride1 = RegStrides[1];
+    break;
+  default:
+    GR.General = true; // > 3D rectangle with a partial prefix: odometer.
+    break;
+  }
+  return GR;
+}
+
+void Region::gatherCompiled(Instance &I, const GatherRuns &GR,
+                            const LeafParallelism &LP) const {
+  if (GR.General) {
+    gatherInto(I, LP);
+    return;
+  }
+  DISTAL_ASSERT(!I.isView(), "gather into a view would clobber region "
+                             "storage");
+  int64_t NumRuns = GR.numRuns();
+  if (NumRuns == 0 || GR.RunLen == 0)
+    return;
+  double *Dst = I.data();
+  const double *Src = Data.data() + GR.RegBase;
+  size_t RunBytes = static_cast<size_t>(GR.RunLen) * sizeof(double);
+  if (!LP.enabled() || NumRuns * GR.RunLen < CopyParallelCutoff) {
+    double *D = Dst;
+    for (int64_t I0 = 0; I0 < GR.Count0; ++I0) {
+      const double *S0 = Src + I0 * GR.Stride0;
+      for (int64_t I1 = 0; I1 < GR.Count1; ++I1, D += GR.RunLen)
+        std::memcpy(D, S0 + I1 * GR.Stride1, RunBytes);
+    }
+    return;
+  }
+  if (NumRuns == 1) {
+    // Fully contiguous rectangle: split the single memcpy into sub-ranges.
+    LP.Pool->parallelForWays(GR.RunLen, LP.Ways, [&](int64_t Lo, int64_t Hi) {
+      std::memcpy(Dst + Lo, Src + Lo,
+                  static_cast<size_t>(Hi - Lo) * sizeof(double));
+    });
+    return;
+  }
+  // Runs target disjoint instance ranges: any run split copies the same
+  // bytes, just on different threads.
+  LP.Pool->parallelForWays(NumRuns, LP.Ways, [&](int64_t Lo, int64_t Hi) {
+    for (int64_t Run = Lo; Run < Hi; ++Run) {
+      int64_t I0 = Run / GR.Count1, I1 = Run % GR.Count1;
+      std::memcpy(Dst + Run * GR.RunLen,
+                  Src + I0 * GR.Stride0 + I1 * GR.Stride1, RunBytes);
+    }
+  });
+}
+
+void Region::bindView(Instance &I, const Rect &R) {
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
+                "view rectangle outside region bounds");
+  int64_t Base = 0;
+  for (int D = 0; D < R.dim(); ++D)
+    Base += R.lo()[D] * Strides[D];
+  I.bindView(Data.data() + Base, R, Strides);
+}
+
 void Region::reduceBack(const Instance &I) {
   DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
                     I.rect().isEmpty(),
                 "instance rectangle outside region bounds");
+  DISTAL_ASSERT(!I.isView(), "writeback of a view: an aliased accumulator "
+                             "already lives in the region and is elided");
   double *Dst = Data.data();
   const double *Src = I.data();
   forEachRun(I.rect(), shape(), Strides,
@@ -257,6 +373,8 @@ void Region::reduceBack(const Instance &I) {
 }
 
 void Region::reduceBackRows(const Instance &I, Coord RowLo, Coord RowHi) {
+  DISTAL_ASSERT(!I.isView(), "writeback of a view: an aliased accumulator "
+                             "already lives in the region and is elided");
   const Rect &R = I.rect();
   if (R.dim() == 0) { // Scalar: assigned to stripe containing row 0.
     if (RowLo <= 0 && 0 < RowHi)
@@ -288,6 +406,8 @@ void Region::writeBack(const Instance &I) {
   DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
                     I.rect().isEmpty(),
                 "instance rectangle outside region bounds");
+  DISTAL_ASSERT(!I.isView(), "writeback of a view: aliased data already "
+                             "lives in the region");
   double *Dst = Data.data();
   const double *Src = I.data();
   forEachRun(I.rect(), shape(), Strides,
@@ -304,10 +424,47 @@ Instance Region::gatherPointwise(const Rect &R) const {
 }
 
 void Region::gatherIntoPointwise(Instance &I) const {
-  DISTAL_ASSERT(Rect::forExtents(shape()).contains(I.rect()) ||
-                    I.rect().isEmpty(),
+  const Rect &R = I.rect();
+  DISTAL_ASSERT(Rect::forExtents(shape()).contains(R) || R.isEmpty(),
                 "gather rectangle outside region bounds");
-  I.rect().forEachPoint([&](const Point &P) { I.at(P) = at(P); });
+  DISTAL_ASSERT(!I.isView(), "gather into a view would clobber region "
+                             "storage");
+  // Element-by-element copy (the interpreted strategy's fallback), but with
+  // both offsets maintained incrementally by an odometer: the strides are
+  // fixed per dimension, so re-deriving them per coordinate through
+  // Point-based at() calls only burned time.
+  int Dim = R.dim();
+  if (Dim == 0) { // Scalar region: one element.
+    I.data()[0] = Data[0];
+    return;
+  }
+  if (R.isEmpty())
+    return;
+  double *Dst = I.data();
+  const double *Src = Data.data();
+  int64_t RegOff = 0;
+  for (int D = 0; D < Dim; ++D)
+    RegOff += R.lo()[D] * Strides[D];
+  Coord InnerExtent = R.hi()[Dim - 1] - R.lo()[Dim - 1];
+  std::vector<Coord> Idx(Dim > 1 ? Dim - 1 : 0, 0);
+  int64_t InstOff = 0;
+  for (;;) {
+    // Innermost dimension: both sides advance by their unit stride
+    // (row-major region => innermost region stride is 1).
+    for (Coord E = 0; E < InnerExtent; ++E)
+      Dst[InstOff + E] = Src[RegOff + E];
+    InstOff += InnerExtent;
+    int D = Dim - 2;
+    for (; D >= 0; --D) {
+      RegOff += Strides[D];
+      if (++Idx[D] < R.hi()[D] - R.lo()[D])
+        break;
+      RegOff -= (R.hi()[D] - R.lo()[D]) * Strides[D];
+      Idx[D] = 0;
+    }
+    if (D < 0)
+      break;
+  }
 }
 
 void Region::reduceBackPointwise(const Instance &I) {

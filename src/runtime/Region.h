@@ -26,37 +26,62 @@
 namespace distal {
 
 /// A physical instance: the data of one rectangle of a region, resident in
-/// one processor's memory.
+/// one processor's memory. Two storage modes share one binding interface
+/// (rect/stride/offset/data), so the leaf engine never distinguishes them:
+///
+///  * Owned (the default): a packed row-major buffer the runtime gathers
+///    the rectangle's bytes into — the model of a copy materialised in the
+///    executing processor's memory.
+///  * View (bindView): a non-owning alias of the rectangle where it already
+///    sits in a Region's backing storage, with the region's strides. Zero
+///    bytes move; the executor binds these when compile-time alias analysis
+///    proved the rectangle home-resident on the executing processor.
 class Instance {
 public:
   Instance() = default;
   explicit Instance(Rect R);
 
-  /// Rebinds the instance to rectangle \p R, reusing the existing storage
-  /// when its capacity suffices (the steady-state path of a CompiledPlan
-  /// re-binds the same buffers every execution). Element values are
-  /// unspecified afterwards; callers gather into or zero() the instance.
+  /// Rebinds the instance to rectangle \p R in owned mode (leaving any view
+  /// mode), reusing the existing storage when its capacity suffices (the
+  /// steady-state path of a CompiledPlan re-binds the same buffers every
+  /// execution). Element values are unspecified afterwards; callers gather
+  /// into or zero() the instance.
   void reset(Rect R);
   /// Pre-sizes the backing storage for \p Elems elements so later reset()
   /// calls never allocate.
   void reserve(int64_t Elems);
 
+  /// Rebinds the instance as a zero-copy view: \p Ptr addresses the element
+  /// at \p R's lo corner inside some larger storage whose per-dimension
+  /// element strides are \p ViewStrides. The owned buffer is kept (unused)
+  /// so a later reset() returns to owned mode without reallocating.
+  void bindView(double *Ptr, Rect R, const std::vector<Coord> &ViewStrides);
+  bool isView() const { return View != nullptr; }
+
   const Rect &rect() const { return Bounds; }
-  bool valid() const { return Bounds.dim() >= 0 && !Data.empty(); }
+  bool valid() const {
+    return Bounds.dim() >= 0 && (View != nullptr || !Data.empty());
+  }
+  /// Bytes of owned backing storage (0 for a pure view that never owned).
   int64_t bytes() const { return static_cast<int64_t>(Data.size()) * 8; }
 
   /// Element access by global (region) coordinates.
-  double at(const Point &Global) const { return Data[offset(Global)]; }
-  double &at(const Point &Global) { return Data[offset(Global)]; }
+  double at(const Point &Global) const { return data()[offset(Global)]; }
+  double &at(const Point &Global) { return data()[offset(Global)]; }
 
-  /// Row-major offset of a global coordinate within this instance.
+  /// Offset of a global coordinate within this instance's storage
+  /// (row-major over the rectangle when owned; the view strides when
+  /// viewing). The lo-corner term is precomputed at bind time, so this is
+  /// a pure multiply-add over the coordinates.
   int64_t offset(const Point &Global) const;
-  /// Row-major stride of dimension \p D within this instance.
+  /// Element stride of dimension \p D within this instance.
   int64_t stride(int D) const;
 
-  double *data() { return Data.data(); }
-  const double *data() const { return Data.data(); }
+  double *data() { return View ? View : Data.data(); }
+  const double *data() const { return View ? View : Data.data(); }
 
+  /// Owned mode only: a view aliases region storage the instance does not
+  /// own (the executor zeroes the region once instead).
   void zero();
 
   /// Double-buffer mode for pipelined prefetch. back() is a second,
@@ -68,15 +93,42 @@ public:
   /// Swaps the front and back storage (bounds, strides, and data). The
   /// Instance object's address is unchanged, so leaf-engine bindings made
   /// through pointers to this instance stay valid — they simply see the
-  /// newly promoted rectangle on the next bind.
+  /// newly promoted rectangle on the next bind. A viewed instance never
+  /// flips (asserted): views alias region storage and have nothing to
+  /// promote, so the prefetcher must never have issued against one.
   void flip();
 
 private:
   Rect Bounds;
   std::vector<Coord> Strides;
+  /// Precomputed -sum(lo[d] * Strides[d]) of the bound rectangle, so
+  /// offset() needs no per-coordinate lo subtraction.
+  int64_t BaseOff = 0;
   std::vector<double> Data;
+  double *View = nullptr;
   std::unique_ptr<Instance> Back;
 };
+
+/// A compile-time coalesced copy program for one rectangle of a region: the
+/// rectangle's contiguous innermost runs merged into a (up to 3-level)
+/// grid of strided block memcpys — base offset, run length, and the outer
+/// run counts/strides — recorded once in a CompiledPlan instead of being
+/// rediscovered from the rectangle on every execution. Rectangles with more
+/// than two non-collapsed outer dimensions fall back to the general
+/// odometer walk (General).
+struct GatherRuns {
+  int64_t RegBase = 0; ///< Region element offset of the rectangle's lo.
+  int64_t RunLen = 0;  ///< Contiguous elements per run (both sides).
+  int64_t Count0 = 1, Count1 = 1;   ///< Outer x inner grid of runs.
+  int64_t Stride0 = 0, Stride1 = 0; ///< Region element strides of the grid.
+  bool General = false; ///< Too deep to merge: use the odometer path.
+  int64_t numRuns() const { return Count0 * Count1; }
+};
+
+/// Derives the coalesced copy program of rectangle \p R inside a row-major
+/// region of \p Shape (pure geometry — runs at compile time, no Region
+/// needed).
+GatherRuns compileGatherRuns(const Rect &R, const std::vector<Coord> &Shape);
 
 /// A logical region backing one tensor.
 class Region {
@@ -112,6 +164,19 @@ public:
   /// executions. Copied bytes are identical to the allocating overloads.
   void gatherInto(Instance &I, const LeafParallelism &LP = {}) const;
   void gatherIntoPointwise(Instance &I) const;
+  /// Replays a precomputed coalesced copy program (compileGatherRuns of
+  /// \p I's rectangle against this region's shape) into an instance already
+  /// reset() to that rectangle: the steady-state copy path of a
+  /// CompiledPlan, which never re-derives the run structure. Copied bytes
+  /// are identical to gatherInto.
+  void gatherCompiled(Instance &I, const GatherRuns &GR,
+                      const LeafParallelism &LP = {}) const;
+  /// Binds \p I as a zero-copy view of rectangle \p R where it sits in this
+  /// region's backing storage (home-resident data: no bytes move). The
+  /// caller owns the aliasing proof — notably that nothing mutates the
+  /// viewed storage while leaves read it, and that a viewed output
+  /// accumulator is the rectangle's only writer.
+  void bindView(Instance &I, const Rect &R);
   /// Accumulates (+=) an instance's contents back into the region.
   void reduceBack(const Instance &I);
   /// Accumulates only the rows (dim-0 coordinates) of \p I that fall in
@@ -131,6 +196,11 @@ public:
 
   /// The rectangle owned by processor \p Proc under the home distribution.
   Rect ownedRect(const Point &Proc) const;
+
+  /// Row-major element strides of the full region (what views bind with).
+  const std::vector<Coord> &strides() const { return Strides; }
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
 
 private:
   int64_t offset(const Point &P) const;

@@ -186,9 +186,13 @@ TEST(Pipeline, PrefetchScheduleClassification) {
   EXPECT_GT(CS.Dependent, 0);
   EXPECT_GT(CS.Free, 0); // Step-0 fetches are home-fed.
   EXPECT_EQ(CS.Excluded, 0);
+  // Each task's systolic walk passes over its home block once per operand:
+  // those fetches are view-elided, not prefetchable (nothing to hide).
+  EXPECT_GT(CS.Elided, 0);
 
   // SUMMA: chunked broadcasts always fetch from the home distribution —
-  // everything is freely prefetchable.
+  // every fetch that moves bytes is freely prefetchable, and the chunks
+  // already resident on their owner are view-elided.
   MatmulOptions SOpts;
   SOpts.N = 32;
   SOpts.Procs = 4;
@@ -199,6 +203,7 @@ TEST(Pipeline, PrefetchScheduleClassification) {
   EXPECT_GT(SS.Free, 0);
   EXPECT_EQ(SS.Dependent, 0);
   EXPECT_EQ(SS.Excluded, 0);
+  EXPECT_GT(SS.Elided, 0);
 }
 
 TEST(Pipeline, ForcedRelayDisablesPrefetch) {
