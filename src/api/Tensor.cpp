@@ -136,14 +136,22 @@ std::shared_ptr<CompiledPlan> Tensor::compile(const Machine &M) {
   // eviction) always forces a true recompile below.
   if (!MemoKey.empty() && MemoMachine == M.str())
     if (std::shared_ptr<CompiledPlan> Cached =
-            PlanCache::global().find(MemoKey))
-      return Cached;
+            PlanCache::global().find(MemoKey)) {
+      // A poisoned artifact (uncontained execution failure) must never be
+      // served again; evict and fall through to a true recompile.
+      if (!Cached->poisoned())
+        return Cached;
+      PlanCache::global().invalidate(MemoKey);
+    }
   Plan P = lower(M);
   std::string Key = PlanCache::keyFor(P, LeafStrategy::Compiled);
   MemoMachine = M.str();
   MemoKey = Key;
-  if (std::shared_ptr<CompiledPlan> Cached = PlanCache::global().find(Key))
-    return Cached;
+  if (std::shared_ptr<CompiledPlan> Cached = PlanCache::global().find(Key)) {
+    if (!Cached->poisoned())
+      return Cached;
+    PlanCache::global().invalidate(Key);
+  }
   auto CP = std::make_shared<CompiledPlan>(std::move(P));
   PlanCache::global().put(Key, CP);
   return CP;
@@ -169,8 +177,33 @@ Trace Tensor::runCompiled(CompiledPlan &CP, const Machine &M,
   return CP.execute(Regions, Opts);
 }
 
+StatusOr<std::shared_ptr<CompiledPlan>> Tensor::tryCompile(const Machine &M) {
+  try {
+    return compile(M);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
 void Tensor::evaluate(const Machine &M) {
   runCompiled(*compile(M), M, TraceMode::Off);
+}
+
+Status Tensor::tryEvaluate(const Machine &M) {
+  std::shared_ptr<CompiledPlan> CP;
+  try {
+    CP = compile(M);
+    runCompiled(*CP, M, TraceMode::Off);
+    return Status();
+  } catch (...) {
+    Status S = statusFromCurrentException();
+    // The execution failure was contained inside the artifact; only a
+    // poisoned artifact (failed quiesce) is unusable, and it must not stay
+    // in the process-wide cache where the next compile() would find it.
+    if (CP && CP->poisoned() && !MemoKey.empty())
+      PlanCache::global().invalidate(MemoKey);
+    return S;
+  }
 }
 
 Trace Tensor::evaluateWithTrace(const Machine &M) {

@@ -114,11 +114,22 @@ public:
   /// shortcut to the lookup, never to the artifact.
   std::shared_ptr<CompiledPlan> compile(const Machine &M);
 
+  /// Non-throwing compile: a lowering or validation failure comes back as
+  /// a Status instead of a DistalError.
+  StatusOr<std::shared_ptr<CompiledPlan>> tryCompile(const Machine &M);
+
   /// Compiles (or cache-hits) and runs on real data; operand tensors'
   /// fills are applied. The steady-state path: repeated calls reuse the
   /// cached artifact, its instance buffers, and this tensor's backing
-  /// Region, and skip trace accounting entirely (TraceMode::Off).
+  /// Region, and skip trace accounting entirely (TraceMode::Off). Throws
+  /// DistalError on failure; tryEvaluate is the non-throwing form.
   void evaluate(const Machine &M);
+
+  /// Non-throwing evaluate. A failed execution is contained inside the
+  /// artifact (CompiledPlan's failure contract); if the artifact came back
+  /// poisoned, its PlanCache entry is evicted here so the next
+  /// compile()/evaluate() recompiles instead of serving the dead artifact.
+  Status tryEvaluate(const Machine &M);
 
   /// Like evaluate(), returning the execution trace (precomputed at
   /// compile time; this copies the cached skeleton).

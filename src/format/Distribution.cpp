@@ -53,6 +53,15 @@ DistributionLevel DistributionLevel::parse(const std::string &Spec) {
   return L;
 }
 
+StatusOr<DistributionLevel>
+DistributionLevel::tryParse(const std::string &Spec) {
+  try {
+    return parse(Spec);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
 int DistributionLevel::tensorDimNamed(const std::string &Id) const {
   for (size_t I = 0; I < TensorDims.size(); ++I)
     if (TensorDims[I] == Id)
@@ -80,6 +89,34 @@ TensorDistribution::parse(const std::vector<std::string> &Specs) {
   for (const std::string &S : Specs)
     Levels.push_back(DistributionLevel::parse(S));
   return TensorDistribution(std::move(Levels));
+}
+
+StatusOr<TensorDistribution>
+TensorDistribution::tryParse(const std::string &Spec) {
+  try {
+    return parse(Spec);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
+StatusOr<TensorDistribution>
+TensorDistribution::tryParse(const std::vector<std::string> &Specs) {
+  try {
+    return parse(Specs);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
+Status TensorDistribution::validateStatus(int TensorOrder,
+                                          const Machine &M) const {
+  try {
+    validate(TensorOrder, M);
+    return Status();
+  } catch (...) {
+    return statusFromCurrentException();
+  }
 }
 
 void TensorDistribution::validate(int TensorOrder, const Machine &M) const {

@@ -27,6 +27,7 @@
 
 #include "machine/Machine.h"
 #include "support/Geometry.h"
+#include "support/Status.h"
 
 namespace distal {
 
@@ -47,7 +48,10 @@ struct DistributionLevel {
   std::vector<MachineDimName> MachineDims;
 
   /// Parses e.g. "xy->xy0", "xyz->xy", "xy->xy*", "->**" (scalar).
+  /// Throws DistalError(InvalidArgument) on a malformed spec; tryParse is
+  /// the non-throwing form for untrusted input.
   static DistributionLevel parse(const std::string &Spec);
+  static StatusOr<DistributionLevel> tryParse(const std::string &Spec);
 
   /// Index into TensorDims of the tensor dimension named \p Id, or -1.
   int tensorDimNamed(const std::string &Id) const;
@@ -62,20 +66,26 @@ public:
   explicit TensorDistribution(std::vector<DistributionLevel> Levels)
       : Levels(std::move(Levels)) {}
 
-  /// Parses a single-level distribution.
+  /// Parses a single-level distribution. Throws DistalError on a
+  /// malformed spec; tryParse is the non-throwing form.
   static TensorDistribution parse(const std::string &Spec);
   /// Parses a multi-level distribution, one spec per machine level.
   static TensorDistribution parse(const std::vector<std::string> &Specs);
+  static StatusOr<TensorDistribution> tryParse(const std::string &Spec);
+  static StatusOr<TensorDistribution>
+  tryParse(const std::vector<std::string> &Specs);
 
   bool defined() const { return !Levels.empty(); }
   int numLevels() const { return static_cast<int>(Levels.size()); }
   const DistributionLevel &level(int I) const { return Levels[I]; }
 
   /// Checks the paper's validity conditions against a tensor order and a
-  /// machine; reports a fatal error if violated: per level, |X| = dim T,
-  /// |Y| = dim of that machine level, no duplicate names on either side,
-  /// and every name in Y appears in X.
+  /// machine; throws DistalError(InvalidArgument) if violated: per level,
+  /// |X| = dim T, |Y| = dim of that machine level, no duplicate names on
+  /// either side, and every name in Y appears in X. validateStatus is the
+  /// non-throwing form.
   void validate(int TensorOrder, const Machine &M) const;
+  Status validateStatus(int TensorOrder, const Machine &M) const;
 
   /// The sub-rectangle of a tensor with \p Shape owned by processor
   /// \p Proc of machine \p M (empty if the processor lies off a fixed

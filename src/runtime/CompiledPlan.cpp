@@ -35,6 +35,7 @@
 #include "runtime/PlanAnalysis.h"
 #include "support/Error.h"
 #include "support/ExecContext.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 using namespace distal;
@@ -150,11 +151,66 @@ void CompiledPlan::ensurePipelineState() {
   PipeReady = true;
 }
 
+bool CompiledPlan::poisoned() const {
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  return Poisoned;
+}
+
+void CompiledPlan::poisonForTesting() {
+  std::lock_guard<std::mutex> Lock(ExecMutex);
+  Poisoned = true;
+}
+
+bool CompiledPlan::quiescePending() {
+  // waitNoThrow consumes a pending exception instead of rethrowing: the
+  // primary error is already in flight, and the detached jobs reference
+  // executeLocked's stack (the overlap counters), so every ticket must be
+  // drained before that frame unwinds. The belt-and-braces catch keeps a
+  // failure here from escaping the containment path — if it fires, the
+  // artifact is poisoned rather than left with live references.
+  try {
+    for (TaskExec &TE : Execs) {
+      for (ThreadPool::Ticket &T : TE.Pending)
+        T.waitNoThrow();
+      TE.Pending.clear();
+      TE.PendingIssued.clear();
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void CompiledPlan::resetExecState() {
+  // Dropping Execs discards every instance front/back/view and leaf
+  // engine; the next execution's ensureExecState/ensurePipelineState
+  // rebuilds them from the immutable compiled program, so a re-execute
+  // after a contained failure is exactly a first run on a fresh artifact.
+  Execs.clear();
+  PipeReady = false;
+  Progress.reset();
+  LastOverlap = OverlapStats{};
+}
+
 Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
                             const ExecOptions &Opts) {
+  Trace Out;
+  Status S = tryExecute(Regions, Out, Opts);
+  if (!S.ok())
+    throwStatus(std::move(S));
+  return Out;
+}
+
+Status CompiledPlan::tryExecute(const std::map<TensorVar, Region *> &Regions,
+                                Trace &Out, const ExecOptions &Opts) {
   std::lock_guard<std::mutex> Lock(ExecMutex);
-  // The serialization contract, asserted: concurrent execute() calls on
-  // one artifact queue on ExecMutex above — the reusable instance buffers,
+  if (Poisoned)
+    return Status(ErrorCode::FailedPrecondition,
+                  "CompiledPlan is poisoned by an uncontained execution "
+                  "failure; recompile the plan (and evict any PlanCache "
+                  "entry holding it)");
+  // The serialization contract, asserted: concurrent executions of one
+  // artifact queue on ExecMutex above — the reusable instance buffers,
   // leaf engines, and overlap counters below are artifact state. The
   // exchange stays outside the assert so an NDEBUG build cannot compile
   // the check's side effect away.
@@ -168,6 +224,42 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
     ~ExecFlagGuard() { F.store(false); }
   } FlagGuard{Executing};
 
+  try {
+    Out = executeLocked(Regions, Opts);
+    return Status();
+  } catch (...) {
+    // executeLocked already contained the failure (quiesce + state reset,
+    // or poisoning) before unwinding; here the exception only needs to be
+    // flattened into a Status.
+    return statusFromCurrentException();
+  }
+}
+
+Trace CompiledPlan::executeLocked(const std::map<TensorVar, Region *> &Regions,
+                                  const ExecOptions &Opts) {
+  try {
+    return executeBody(Regions, Opts);
+  } catch (...) {
+    Status S = statusFromCurrentException();
+    // Containment, in order: (1) drain every in-flight prefetch ticket —
+    // their jobs reference artifact state (back buffers, the overlap
+    // counters) that resetExecState is about to drop; (2) discard the
+    // reusable execution state so the next run rebuilds it from scratch.
+    // Only if the drain itself fails is the artifact unsalvageable.
+    if (!quiescePending()) {
+      Poisoned = true;
+      S.appendNote("in-flight prefetch work could not be quiesced; "
+                   "artifact poisoned, recompile required");
+    } else {
+      resetExecState();
+      S.appendNote("execution state reset; the artifact remains reusable");
+    }
+    throwStatus(std::move(S));
+  }
+}
+
+Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
+                                const ExecOptions &Opts) {
   const TensorVar &Out = P.Nest.Stmt.lhs().tensor();
   for (const TensorVar &TV : P.Nest.Stmt.tensors())
     if (!Regions.count(TV))
@@ -237,7 +329,9 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
     ensurePipelineState();
 
   using Clock = std::chrono::steady_clock;
-  std::atomic<int64_t> PrefetchNs{0}, SyncNs{0}, WaitNs{0};
+  PrefetchNs.store(0, std::memory_order_relaxed);
+  SyncNs.store(0, std::memory_order_relaxed);
+  WaitNs.store(0, std::memory_order_relaxed);
   auto nsSince = [](Clock::time_point T0) {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                 T0)
@@ -252,6 +346,7 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
   // a copy's wall time.
   auto syncGather = [&](TaskExec &TE, const CompiledGather &G,
                         std::atomic<int64_t> *Counter) {
+    FaultInjector::inject(FaultInjector::Site::Gather);
     Instance &Inst = TE.OwnedInsts[G.Tensor];
     if (ViewsOn && G.Class == GatherClass::Aliasable) {
       Regions.at(G.Tensor)->bindView(Inst, G.R);
@@ -309,6 +404,7 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
         for (const CompiledGather &G : CT.StepGathers[S])
           syncGather(TE, G, nullptr);
         if (CT.RunLeaf[S]) {
+          FaultInjector::inject(FaultInjector::Site::Leaf);
           if (Strategy == LeafStrategy::Compiled)
             leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
                                   LeafLP, OverwriteLeaves && CT.SkipOutputZero);
@@ -376,8 +472,9 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
           B.reset(G.R);
           const Region *Src = Regions.at(G.Tensor);
           const GatherRuns *Runs = &G.Runs; // Artifact-lifetime storage.
-          TE.Pending.push_back(Pool->submitAsync([&B, Runs, Src, CommLP,
-                                                  &PrefetchNs, nsSince] {
+          TE.Pending.push_back(Pool->submitAsync([this, &B, Runs, Src,
+                                                  CommLP, nsSince] {
+            FaultInjector::inject(FaultInjector::Site::Prefetch);
             Clock::time_point T0 = Clock::now();
             Src->gatherCompiled(B, *Runs, CommLP);
             PrefetchNs.fetch_add(nsSince(T0), std::memory_order_relaxed);
@@ -416,9 +513,11 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
             static_cast<int32_t>(S), std::memory_order_release);
         if (S + 1 < NumSteps)
           issuePrefetch(S + 1);
-        if (CT.RunLeaf[S])
+        if (CT.RunLeaf[S]) {
+          FaultInjector::inject(FaultInjector::Site::Leaf);
           leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
                                 LeafLP, OverwriteLeaves && CT.SkipOutputZero);
+        }
       }
     });
   }
@@ -430,13 +529,17 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
   // no merge order to preserve).
   Region *OutR = Regions.at(Out);
   if (Strategy != LeafStrategy::Compiled) {
-    for (TaskExec &TE : Execs)
+    for (TaskExec &TE : Execs) {
+      FaultInjector::inject(FaultInjector::Site::Writeback);
       OutR->reduceBackPointwise(TE.OwnedInsts.at(Out));
+    }
   } else if (!Pool || Out.order() == 0) {
     for (TaskExec &TE : Execs) {
       const Instance &OutInst = TE.OwnedInsts.at(Out);
-      if (!OutInst.isView())
+      if (!OutInst.isView()) {
+        FaultInjector::inject(FaultInjector::Site::Writeback);
         OutR->reduceBack(OutInst);
+      }
     }
   } else {
     // Stripe the merge over output rows. Within a stripe every element
@@ -444,6 +547,7 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
     // bitwise-identical to the sequential merge.
     Coord Rows = OutR->shape()[0];
     Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
+      FaultInjector::inject(FaultInjector::Site::Writeback);
       for (TaskExec &TE : Execs) {
         const Instance &OutInst = TE.OwnedInsts.at(Out);
         if (!OutInst.isView())

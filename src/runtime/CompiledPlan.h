@@ -33,6 +33,7 @@
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
+#include "support/Status.h"
 #include "support/ThreadPool.h"
 
 namespace distal {
@@ -173,6 +174,21 @@ struct CompiledTask {
 /// one artifact are safe but run one at a time. The artifact owns its Plan
 /// copy, so it remains valid after the schedule or lowering inputs change —
 /// staleness is managed by the PlanCache key, not by the artifact.
+///
+/// Failure contract (tryExecute): when any step of an execution fails —
+/// a gather, a prefetch ticket, a leaf launch, a writeback stripe, or an
+/// allocation in Instance::reserve/reset — the execution (1) quiesces
+/// every in-flight prefetch ticket (their exceptions are consumed; the
+/// primary error wins), then (2) drops all reusable execution state
+/// (instance fronts/backs/views, leaf engines, step-progress counters) so
+/// the next execution rebuilds it from the immutable compiled program.
+/// The artifact therefore stays reusable: a subsequent clean execute() is
+/// bitwise-identical to one against a freshly compiled artifact. Input
+/// regions are never mutated by a failed execution; the output region may
+/// hold partial data but is re-zeroed by every execution. If the quiesce
+/// itself fails the artifact is marked poisoned — every further
+/// tryExecute returns FailedPrecondition and the owner should evict it
+/// from the PlanCache (Tensor::tryEvaluate does).
 class CompiledPlan {
 public:
   /// Compiles \p P for repeated execution: runs the full data-independent
@@ -248,8 +264,24 @@ public:
   /// Returns the trace skeleton (TraceMode::Full) or an empty trace
   /// (TraceMode::Off). Output data is bitwise-identical for every thread
   /// count and task/leaf split, and to a freshly compiled artifact's.
+  /// Throws DistalError on failure (see the class failure contract);
+  /// tryExecute is the non-throwing form.
   Trace execute(const std::map<TensorVar, Region *> &Regions,
                 const ExecOptions &Opts = {});
+
+  /// Non-throwing execute: on success fills \p Out and returns OK; on
+  /// failure returns the error after containing it per the class failure
+  /// contract (in-flight prefetches quiesced, execution state dropped, the
+  /// artifact reusable — or poisoned if the quiesce itself failed).
+  Status tryExecute(const std::map<TensorVar, Region *> &Regions, Trace &Out,
+                    const ExecOptions &Opts = {});
+
+  /// True once a failed execution could not be contained (quiesce failure):
+  /// every further tryExecute returns FailedPrecondition and the owner
+  /// should drop the artifact (PlanCache::invalidate).
+  bool poisoned() const;
+  /// Test hook: marks the artifact poisoned as if a quiesce had failed.
+  void poisonForTesting();
 
 private:
   /// Reusable per-task execution state: instance buffers sized at compile
@@ -269,6 +301,23 @@ private:
 
   void ensureExecState();
   void ensurePipelineState();
+  /// Containment wrapper around executeBody; runs with ExecMutex held.
+  /// On a throw it quiesces in-flight prefetches and resets the execution
+  /// state (or poisons the artifact), then rethrows as DistalError.
+  Trace executeLocked(const std::map<TensorVar, Region *> &Regions,
+                      const ExecOptions &Opts);
+  /// The execute walk proper; runs with ExecMutex held. Throws on failure.
+  Trace executeBody(const std::map<TensorVar, Region *> &Regions,
+                    const ExecOptions &Opts);
+  /// Containment step 1: waits out every in-flight prefetch ticket,
+  /// consuming their exceptions (the primary error is already in flight).
+  /// Returns false if the quiesce itself threw — the artifact must then be
+  /// poisoned, because detached jobs may still reference dead stack frames.
+  bool quiescePending();
+  /// Containment step 2: drops all reusable execution state so the next
+  /// execution rebuilds it from the immutable compiled program, exactly
+  /// like a first run on a fresh artifact.
+  void resetExecState();
 
   Plan P;
   LeafStrategy Strategy;
@@ -286,12 +335,21 @@ private:
   std::atomic<bool> Executing{false};
   std::vector<TaskExec> Execs; ///< Lazily built on first execute, reused.
   bool PipeReady = false; ///< Back buffers reserved for prefetch.
+  /// Set when a failed execution could not be contained (guarded by
+  /// ExecMutex). See poisoned().
+  bool Poisoned = false;
   /// Per-task step progress (highest step whose gathers completed),
   /// published by each chain and read by relay-dependent prefetch issues.
   std::unique_ptr<std::atomic<int32_t>[]> Progress;
   /// Measured overlap of the last execution (guarded by ExecMutex; read
   /// through lastOverlapStats after execute returns).
   OverlapStats LastOverlap;
+  /// Per-execution overlap accumulators, reset at the start of every
+  /// execution. Members rather than execute-frame locals so a detached
+  /// prefetch job can never reference a stack frame that a failure has
+  /// unwound — the containment quiesce runs after executeBody's frame is
+  /// gone, and these must still be alive for stragglers it drains.
+  std::atomic<int64_t> PrefetchNs{0}, SyncNs{0}, WaitNs{0};
   /// Context owned when none is supplied; rebuilt only when the requested
   /// thread count changes.
   std::unique_ptr<ExecContext> OwnCtx;

@@ -23,13 +23,23 @@ Executor::Executor(const Plan &P, const Mapper &Map) : P(P), Map(Map) {}
 Executor::~Executor() = default;
 
 CompiledPlan &Executor::compiled() {
-  if (!CP || CP->strategy() != Strategy)
+  if (!CP || CP->strategy() != Strategy || CP->poisoned())
     CP = std::make_unique<CompiledPlan>(P, Map, Strategy);
   return *CP;
 }
 
 Trace Executor::run(const std::map<TensorVar, Region *> &Regions,
                     TraceMode Mode) {
+  Trace Out;
+  Status S = tryRun(Regions, Out, Mode);
+  if (!S.ok())
+    throwStatus(std::move(S));
+  return Out;
+}
+
+Status Executor::tryRun(const std::map<TensorVar, Region *> &Regions,
+                        Trace &Out, TraceMode Mode) {
+  Trail.clear();
   ExecOptions Opts;
   Opts.Ctx = ExternalCtx;
   Opts.NumThreads = NumThreads;
@@ -38,7 +48,58 @@ Trace Executor::run(const std::map<TensorVar, Region *> &Regions,
   Opts.Mode = Mode;
   Opts.Pipe = Pipe;
   Opts.ZeroCopyViews = ZeroCopyViews;
-  return compiled().execute(Regions, Opts);
+
+  Status First = compiled().tryExecute(Regions, Out, Opts);
+  if (First.ok())
+    return First;
+  Trail.push_back({"as-configured", First});
+  // Bad input fails identically on every rung; don't mask it with retries.
+  if (First.code() == ErrorCode::InvalidArgument)
+    return First;
+
+  // The degradation ladder: each rung removes one optimization that
+  // narrows the machinery a fault can hide in — first the prefetch
+  // communication lane, then the zero-copy alias bindings, finally the
+  // compiled leaf tapes. Every rung produces bitwise-identical output, so
+  // a success anywhere on the ladder is a full-fidelity result. compiled()
+  // is re-fetched per rung: a rung that poisons the artifact gets a fresh
+  // compile for the next one.
+  if (Opts.Pipe != Pipeline::Off) {
+    Opts.Pipe = Pipeline::Off;
+    Status S = compiled().tryExecute(Regions, Out, Opts);
+    Trail.push_back({"pipeline-off", S});
+    if (S.ok())
+      return S;
+  }
+  if (Opts.ZeroCopyViews) {
+    Opts.ZeroCopyViews = false;
+    Status S = compiled().tryExecute(Regions, Out, Opts);
+    Trail.push_back({"zero-copy-views-off", S});
+    if (S.ok())
+      return S;
+  }
+  if (Strategy == LeafStrategy::Compiled) {
+    // Last rung: the seed interpreter, on a temporary artifact so the
+    // memoized compiled one is not clobbered by a one-off fallback.
+    Status S;
+    try {
+      CompiledPlan Interp(P, Map, LeafStrategy::Interpreted);
+      S = Interp.tryExecute(Regions, Out, Opts);
+    } catch (...) {
+      S = statusFromCurrentException();
+    }
+    Trail.push_back({"interpreted-leaves", S});
+    if (S.ok())
+      return S;
+  }
+
+  // Every rung failed: surface the original error, annotated with the
+  // trail so the caller sees what degradation was attempted.
+  Status Result = First;
+  for (size_t I = 1; I < Trail.size(); ++I)
+    Result.appendNote("rung '" + Trail[I].Rung +
+                      "': " + Trail[I].Outcome.str());
+  return Result;
 }
 
 Trace Executor::simulate() { return compiled().trace(); }

@@ -93,16 +93,42 @@ public:
   void setZeroCopyViews(bool On) { ZeroCopyViews = On; }
 
   /// The compiled artifact, built on first use and reused by every
-  /// subsequent run()/simulate() of this executor.
+  /// subsequent run()/simulate() of this executor. A poisoned artifact
+  /// (uncontained execution failure) is dropped and recompiled here.
   CompiledPlan &compiled();
 
   /// Runs the plan on real data. \p Regions must contain every tensor of
   /// the statement; the output region is zeroed first. The first call
   /// compiles; later calls are steady-state walks of the artifact.
   /// TraceMode::Full returns the precomputed trace; TraceMode::Off skips
-  /// even the trace copy and returns an empty trace.
+  /// even the trace copy and returns an empty trace. On failure walks the
+  /// degradation ladder (see tryRun) and throws DistalError only if every
+  /// rung fails.
   Trace run(const std::map<TensorVar, Region *> &Regions,
             TraceMode Mode = TraceMode::Full);
+
+  /// One rung of the graceful-degradation ladder tryRun walked: the
+  /// configuration tried and what it returned.
+  struct RetryAttempt {
+    std::string Rung;
+    Status Outcome;
+  };
+
+  /// Non-throwing run with graceful degradation. On a contained execution
+  /// failure, retries with progressively safer configurations —
+  /// (1) as configured, (2) Pipeline::Off, (3) additionally zero-copy
+  /// views off, (4) interpreted leaves on a temporary artifact (the
+  /// compiled artifact is not clobbered) — and returns OK from the first
+  /// rung that succeeds. InvalidArgument failures are not retried: bad
+  /// input fails identically on every rung. If every rung fails, returns
+  /// the *original* Status with one note per attempted rung (the
+  /// degradation trail, also kept in degradationTrail()).
+  Status tryRun(const std::map<TensorVar, Region *> &Regions, Trace &Out,
+                TraceMode Mode = TraceMode::Full);
+
+  /// The attempts of the most recent tryRun/run, in order. Empty after a
+  /// first-rung success with no degradation.
+  const std::vector<RetryAttempt> &degradationTrail() const { return Trail; }
 
   /// Returns the trace without touching data (for cost studies).
   Trace simulate();
@@ -122,8 +148,11 @@ private:
   Pipeline Pipe = Pipeline::DoubleBuffer;
   bool ZeroCopyViews = true;
   ExecContext *ExternalCtx = nullptr;
-  /// Compile-once artifact, rebuilt only when the leaf strategy changes.
+  /// Compile-once artifact, rebuilt only when the leaf strategy changes
+  /// or the artifact was poisoned by an uncontained failure.
   std::unique_ptr<CompiledPlan> CP;
+  /// Degradation trail of the most recent tryRun/run (see tryRun).
+  std::vector<RetryAttempt> Trail;
 };
 
 /// Sequential reference executor: runs \p Stmt directly over dense arrays

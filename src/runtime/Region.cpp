@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "support/Error.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 using namespace distal;
@@ -127,11 +128,14 @@ void Instance::reset(Rect R) {
   Strides = rowMajorStrides(Extents);
   BaseOff = loCornerOffset(Bounds, Strides);
   size_t Vol = static_cast<size_t>(Bounds.dim() == 0 ? 1 : Bounds.volume());
-  if (Data.size() != Vol)
+  if (Data.size() != Vol) {
+    FaultInjector::inject(FaultInjector::Site::Alloc);
     Data.resize(Vol, 0.0);
+  }
 }
 
 void Instance::reserve(int64_t Elems) {
+  FaultInjector::inject(FaultInjector::Site::Alloc);
   Data.reserve(static_cast<size_t>(std::max<int64_t>(Elems, 1)));
 }
 

@@ -5,9 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/Status.h"
+
 void distal::reportFatalError(const std::string &Message) {
-  std::fprintf(stderr, "distal fatal error: %s\n", Message.c_str());
-  std::abort();
+  throwError(ErrorCode::InvalidArgument, Message);
 }
 
 void distal::unreachable(const char *Message) {

@@ -2,9 +2,15 @@
 ///
 /// \file
 /// Error handling primitives for DISTAL. Programmatic errors (violated
-/// invariants) use DISTAL_ASSERT / distal::unreachable; user-facing errors
-/// (malformed schedules, invalid distributions) use reportFatalError, which
-/// prints a diagnostic and aborts, mirroring report_fatal_error in LLVM.
+/// invariants) use DISTAL_ASSERT / distal::unreachable and still fail fast;
+/// user-facing errors (malformed schedules, invalid distributions, failed
+/// executions) use reportFatalError, which throws a DistalError carrying a
+/// structured Status (see support/Status.h). Boundary APIs — tryParse,
+/// Tensor::tryCompile/tryEvaluate, CompiledPlan::tryExecute,
+/// Executor::tryRun — catch it and return the Status; an error that
+/// escapes every boundary still terminates the process with the message
+/// in what(), preserving the old fail-loud behaviour for callers that
+/// never opted into recovery.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,9 +22,10 @@
 
 namespace distal {
 
-/// Prints "distal fatal error: <Message>" to stderr and aborts. Used for
-/// errors triggered by user input (bad distribution strings, inconsistent
-/// schedules) rather than internal invariant violations.
+/// Signals an error triggered by user input (bad distribution strings,
+/// inconsistent schedules) rather than an internal invariant violation:
+/// throws DistalError with ErrorCode::InvalidArgument. Recoverable through
+/// the Status-returning boundary APIs; fatal if never caught.
 [[noreturn]] void reportFatalError(const std::string &Message);
 
 /// Marks a point in the code that must never be reached.

@@ -1,0 +1,164 @@
+//===- support/FaultInjector.cpp ------------------------------*- C++ -*-===//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "support/Status.h"
+
+using namespace distal;
+
+std::atomic<bool> FaultInjector::Armed{false};
+
+namespace {
+
+/// All mutable injector state behind one mutex: configuration changes are
+/// rare (tests, process start), and the armed fast path never touches it.
+struct InjectorState {
+  std::mutex Mu;
+  FaultInjector::Config Cfg;
+  std::array<std::atomic<int64_t>, FaultInjector::NumSites> Arrivals{};
+  std::array<std::atomic<int64_t>, FaultInjector::NumSites> Injected{};
+  std::atomic<int64_t> TotalInjected{0};
+};
+
+InjectorState &state() {
+  static InjectorState S;
+  return S;
+}
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+FaultInjector::Config configFromEnv() {
+  FaultInjector::Config C;
+  if (const char *Rate = std::getenv("DISTAL_FAULT_RATE"))
+    C.Rate = std::atof(Rate);
+  if (const char *Seed = std::getenv("DISTAL_FAULT_SEED"))
+    C.Seed = std::strtoull(Seed, nullptr, 10);
+  C.SiteMask = FaultInjector::allSites();
+  if (const char *Sites = std::getenv("DISTAL_FAULT_SITES"))
+    C.SiteMask = FaultInjector::parseSites(Sites);
+  if (const char *Max = std::getenv("DISTAL_FAULT_MAX"))
+    C.MaxInjections = std::atoll(Max);
+  return C;
+}
+
+/// Installs the environment configuration once, at static-initialization
+/// time, so DISTAL_FAULT_* arms the hooks without any code change.
+struct EnvInit {
+  EnvInit() {
+    FaultInjector::Config C = configFromEnv();
+    if (C.Rate > 0 && C.SiteMask != 0)
+      FaultInjector::configure(C);
+  }
+} EnvInitOnce;
+
+} // namespace
+
+const char *FaultInjector::siteName(Site S) {
+  switch (S) {
+  case Site::Gather:
+    return "gather";
+  case Site::Prefetch:
+    return "prefetch";
+  case Site::Leaf:
+    return "leaf";
+  case Site::Writeback:
+    return "writeback";
+  case Site::Alloc:
+    return "alloc";
+  }
+  unreachable("unknown fault site");
+}
+
+uint32_t FaultInjector::parseSites(const std::string &Spec) {
+  uint32_t Mask = 0;
+  std::stringstream SS(Spec);
+  std::string Name;
+  while (std::getline(SS, Name, ',')) {
+    if (Name == "all")
+      return allSites();
+    for (int I = 0; I < NumSites; ++I)
+      if (Name == siteName(static_cast<Site>(I)))
+        Mask |= 1u << I;
+  }
+  return Mask;
+}
+
+void FaultInjector::configure(const Config &C) {
+  InjectorState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Cfg = C;
+  for (int I = 0; I < NumSites; ++I) {
+    S.Arrivals[I].store(0, std::memory_order_relaxed);
+    S.Injected[I].store(0, std::memory_order_relaxed);
+  }
+  S.TotalInjected.store(0, std::memory_order_relaxed);
+  Armed.store(C.Rate > 0 && C.SiteMask != 0, std::memory_order_release);
+}
+
+void FaultInjector::disarm() { configure(Config{}); }
+
+FaultInjector::Config FaultInjector::current() {
+  InjectorState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Cfg;
+}
+
+FaultInjector::Stats FaultInjector::stats() {
+  InjectorState &S = state();
+  Stats St;
+  for (int I = 0; I < NumSites; ++I) {
+    St.Arrivals[I] = S.Arrivals[I].load(std::memory_order_relaxed);
+    St.Injected[I] = S.Injected[I].load(std::memory_order_relaxed);
+  }
+  return St;
+}
+
+void FaultInjector::injectSlow(Site S) {
+  InjectorState &St = state();
+  // Snapshot the config without the lock: configure() only runs while no
+  // execution is in flight (tests, process start), and the fields are
+  // plain values read-only here.
+  const Config &C = St.Cfg;
+  int SI = static_cast<int>(S);
+  if (!(C.SiteMask & (1u << SI)))
+    return;
+  int64_t Arrival = St.Arrivals[SI].fetch_add(1, std::memory_order_relaxed);
+  // Deterministic per-(seed, site, arrival) decision, independent of how
+  // threads interleave arrivals.
+  uint64_t H = splitmix64(C.Seed ^ (static_cast<uint64_t>(SI) << 56) ^
+                          static_cast<uint64_t>(Arrival));
+  double U = static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
+  if (U >= C.Rate)
+    return;
+  if (C.MaxInjections >= 0) {
+    // Claim one injection slot; losers past the budget pass through.
+    int64_t Claimed =
+        St.TotalInjected.fetch_add(1, std::memory_order_relaxed);
+    if (Claimed >= C.MaxInjections)
+      return;
+  } else {
+    St.TotalInjected.fetch_add(1, std::memory_order_relaxed);
+  }
+  St.Injected[SI].fetch_add(1, std::memory_order_relaxed);
+  throwError(ErrorCode::Injected,
+             std::string("injected fault at site '") + siteName(S) +
+                 "' (arrival " + std::to_string(Arrival) + ")");
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultInjector::Config &C)
+    : Prev(FaultInjector::current()) {
+  FaultInjector::configure(C);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::configure(Prev);
+}

@@ -1,0 +1,115 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// Seeded, deterministic fault injection for the execute stack. Hooks sit
+/// at the five failure surfaces of a CompiledPlan execution — gather,
+/// prefetch-ticket, leaf-launch, writeback, and allocation — and, when
+/// armed, throw DistalError(ErrorCode::Injected) so the containment and
+/// retry machinery can be driven without real hardware faults.
+///
+/// Determinism: every site keeps an arrival counter, and arrival K at site
+/// S fires iff splitmix64(Seed ^ site ^ K) maps below Rate. The *set* of
+/// firing arrival indices per site is therefore a pure function of
+/// (Seed, Rate), independent of thread interleaving; at Rate = 1 every
+/// arrival fires, which is what the fault-tolerance tests use to hit a
+/// specific site on a specific execution.
+///
+/// Arming: programmatically via configure()/ScopedFaultInjection (tests),
+/// or from the environment at process start:
+///   DISTAL_FAULT_RATE   fire probability in [0, 1] (0 or unset = disarmed)
+///   DISTAL_FAULT_SEED   determinism seed (default 0)
+///   DISTAL_FAULT_SITES  comma list of gather,prefetch,leaf,writeback,alloc
+///                       or "all" (default all)
+///   DISTAL_FAULT_MAX    stop after this many injections (default unlimited)
+///
+/// Cost: disarmed, every hook is a single relaxed atomic load of one global
+/// flag and a predicted-not-taken branch — nothing the bench gate can see.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_SUPPORT_FAULTINJECTOR_H
+#define DISTAL_SUPPORT_FAULTINJECTOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace distal {
+
+class FaultInjector {
+public:
+  enum class Site : uint8_t { Gather, Prefetch, Leaf, Writeback, Alloc };
+  static constexpr int NumSites = 5;
+
+  struct Config {
+    uint64_t Seed = 0;
+    double Rate = 0; ///< Fire probability per arrival; 0 disarms.
+    /// Bitmask of (1 << Site) values; allSites() covers everything.
+    uint32_t SiteMask = 0;
+    /// Total injections before the injector exhausts itself; < 0 means
+    /// unlimited. MaxInjections = 1 makes exactly the first eligible
+    /// arrival fail — the retry-ladder tests' "transient fault".
+    int64_t MaxInjections = -1;
+  };
+
+  static constexpr uint32_t allSites() { return (1u << NumSites) - 1; }
+  static uint32_t maskFor(Site S) { return 1u << static_cast<int>(S); }
+  /// Parses "gather,leaf" / "all" into a site mask (unknown names ignored).
+  static uint32_t parseSites(const std::string &Spec);
+  static const char *siteName(Site S);
+
+  /// Installs \p C (Rate > 0 and a non-empty mask arm the hooks) and
+  /// resets the arrival counters and stats.
+  static void configure(const Config &C);
+  /// Disarms every hook; counters and stats reset.
+  static void disarm();
+  /// The currently installed configuration.
+  static Config current();
+  static bool armed() {
+    return Armed.load(std::memory_order_relaxed);
+  }
+
+  /// The hook. Disarmed: one relaxed load. Armed: deterministically decides
+  /// whether this arrival fails and, if so, throws
+  /// DistalError(ErrorCode::Injected) with the site and arrival index in
+  /// the message.
+  static void inject(Site S) {
+    if (armed())
+      injectSlow(S);
+  }
+
+  /// Per-site arrival and injection counts since the last configure().
+  struct Stats {
+    std::array<int64_t, NumSites> Arrivals{};
+    std::array<int64_t, NumSites> Injected{};
+    int64_t totalInjected() const {
+      int64_t N = 0;
+      for (int64_t I : Injected)
+        N += I;
+      return N;
+    }
+  };
+  static Stats stats();
+
+private:
+  static void injectSlow(Site S);
+  static std::atomic<bool> Armed;
+};
+
+/// RAII configuration for tests: installs a config on construction and
+/// restores the previous one (usually disarmed) on destruction.
+class ScopedFaultInjection {
+public:
+  explicit ScopedFaultInjection(const FaultInjector::Config &C);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+
+private:
+  FaultInjector::Config Prev;
+};
+
+} // namespace distal
+
+#endif // DISTAL_SUPPORT_FAULTINJECTOR_H

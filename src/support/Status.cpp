@@ -1,0 +1,51 @@
+//===- support/Status.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Status.h"
+
+#include <new>
+
+using namespace distal;
+
+const char *distal::toString(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "OK";
+  case ErrorCode::InvalidArgument:
+    return "INVALID_ARGUMENT";
+  case ErrorCode::FailedPrecondition:
+    return "FAILED_PRECONDITION";
+  case ErrorCode::ResourceExhausted:
+    return "RESOURCE_EXHAUSTED";
+  case ErrorCode::Injected:
+    return "INJECTED";
+  case ErrorCode::Internal:
+    return "INTERNAL";
+  }
+  unreachable("unknown error code");
+}
+
+std::string Status::str() const {
+  if (ok())
+    return "OK";
+  return std::string(toString(Code)) + ": " + Message;
+}
+
+void distal::throwError(ErrorCode Code, std::string Message) {
+  throw DistalError(Status(Code, std::move(Message)));
+}
+
+void distal::throwStatus(Status S) { throw DistalError(std::move(S)); }
+
+Status distal::statusFromCurrentException() {
+  try {
+    throw;
+  } catch (const DistalError &E) {
+    return E.status();
+  } catch (const std::bad_alloc &) {
+    return Status(ErrorCode::ResourceExhausted, "allocation failed");
+  } catch (const std::exception &E) {
+    return Status(ErrorCode::Internal, E.what());
+  } catch (...) {
+    return Status(ErrorCode::Internal, "unknown exception");
+  }
+}

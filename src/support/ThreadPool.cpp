@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "support/Error.h"
@@ -78,11 +79,30 @@ void ThreadPool::runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock) {
   }
   ++ChunkDepth;
   Lock.unlock();
-  (*J.Fn)(Lo, Hi);
+  // A chunk that throws must not unwind into a worker loop (std::terminate)
+  // or past a helping waiter: capture the exception instead and rethrow it
+  // where the job is joined — submitAndRun for structured jobs, the ticket's
+  // wait() for detached ones.
+  std::exception_ptr ChunkError;
+  try {
+    (*J.Fn)(Lo, Hi);
+  } catch (...) {
+    ChunkError = std::current_exception();
+  }
   Lock.lock();
   --ChunkDepth;
   if (Outermost)
     --Live;
+  if (ChunkError && !J.Error) {
+    J.Error = ChunkError;
+    // First exception wins and cancels the job's unclaimed chunks: retire
+    // them from Remaining so the join below doesn't wait for work that
+    // will never run. In-flight chunks on other threads still drain.
+    if (J.Next < J.N) {
+      J.Remaining -= (J.N - J.Next + J.Chunk - 1) / J.Chunk;
+      J.Next = J.N;
+    }
+  }
   // Keep a detached job's state alive past the erase: J lives inside it,
   // and the ticket may release its reference the moment Done flips.
   std::shared_ptr<AsyncState> Finished;
@@ -137,6 +157,7 @@ void ThreadPool::submitAndRun(Job &J) {
     CallerLock.lock();
   ThreadPool *PrevPool = CurrentPool;
   CurrentPool = this;
+  std::exception_ptr JobError;
   {
     std::unique_lock<std::mutex> Lock(Mtx);
     Jobs.push_back(&J);
@@ -147,11 +168,17 @@ void ThreadPool::submitAndRun(Job &J) {
     // Wait out chunks claimed by other threads. They always finish: a
     // claimed chunk is being executed by a live thread, and any job that
     // execution submits drains the same way (induction on nesting depth),
-    // so this wait cannot deadlock.
+    // so this wait cannot deadlock. A captured exception also cancelled
+    // the unclaimed chunks, so the same wait covers the failure path.
     JobDone.wait(Lock, [&] { return J.Remaining == 0; });
     Jobs.erase(std::find(Jobs.begin(), Jobs.end(), &J));
+    JobError = J.Error;
   }
   CurrentPool = PrevPool;
+  // Rethrow only after the job is fully quiesced and unregistered: every
+  // reference to J (stack storage) is gone, and the pool is reusable.
+  if (JobError)
+    std::rethrow_exception(JobError);
 }
 
 void ThreadPool::parallelForChunks(
@@ -222,27 +249,53 @@ void ThreadPool::Ticket::wait() {
   if (!St)
     return;
   ThreadPool &P = *St->Owner;
-  std::unique_lock<std::mutex> Lock(P.Mtx);
-  while (!St->Done) {
-    // Help inline when the job is still unclaimed — but never stack an
-    // extra uncounted live thread onto a full pool: only a thread already
-    // inside one of this pool's chunks (accounted for by its enclosing
-    // frame) or a thread that fits under the worker bound may claim.
-    bool CanHelp = (CurrentPool == &P && ChunkDepth > 0) || P.Live < P.NumThreads;
-    if (St->J.Next < St->J.N && CanHelp) {
-      // Adopt the pool for the duration of the chunk so any fan-out the
-      // body issues shares this pool's job list instead of treating
-      // itself as a fresh top-level caller.
-      ThreadPool *Prev = CurrentPool;
-      CurrentPool = &P;
-      P.runOneChunk(St->J, Lock);
-      CurrentPool = Prev;
-      continue;
+  std::exception_ptr JobError;
+  {
+    std::unique_lock<std::mutex> Lock(P.Mtx);
+    while (!St->Done) {
+      // Help inline when the job is still unclaimed — but never stack an
+      // extra uncounted live thread onto a full pool: only a thread already
+      // inside one of this pool's chunks (accounted for by its enclosing
+      // frame) or a thread that fits under the worker bound may claim.
+      bool CanHelp =
+          (CurrentPool == &P && ChunkDepth > 0) || P.Live < P.NumThreads;
+      if (St->J.Next < St->J.N && CanHelp) {
+        // Adopt the pool for the duration of the chunk so any fan-out the
+        // body issues shares this pool's job list instead of treating
+        // itself as a fresh top-level caller. runOneChunk captures a throw
+        // into the job (never through this frame); it is rethrown below.
+        ThreadPool *Prev = CurrentPool;
+        CurrentPool = &P;
+        P.runOneChunk(St->J, Lock);
+        CurrentPool = Prev;
+        continue;
+      }
+      P.JobDone.wait(Lock);
     }
-    P.JobDone.wait(Lock);
+    // Consume the stored exception: exactly one wait() observes it.
+    JobError = St->J.Error;
+    St->J.Error = nullptr;
   }
-  Lock.unlock();
   St.reset();
+  if (JobError)
+    std::rethrow_exception(JobError);
+}
+
+void ThreadPool::Ticket::waitNoThrow(bool LogDropped) {
+  try {
+    wait();
+  } catch (const std::exception &E) {
+    if (LogDropped)
+      std::fprintf(stderr,
+                   "distal: detached job failed; exception consumed by "
+                   "Ticket destructor: %s\n",
+                   E.what());
+  } catch (...) {
+    if (LogDropped)
+      std::fprintf(stderr,
+                   "distal: detached job failed; non-standard exception "
+                   "consumed by Ticket destructor\n");
+  }
 }
 
 void ThreadPool::parallelFor(int64_t N,

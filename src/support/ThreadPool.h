@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,13 @@ public:
   /// Runs Fn(I) for every I in [0, N), distributing indices across the pool
   /// in contiguous chunks. Blocks until all iterations complete. Iterations
   /// must be independent; any deterministic merging is the caller's job.
+  ///
+  /// Exception contract (all structured entry points): a throw inside any
+  /// chunk is captured, unclaimed chunks of the job are cancelled, in-flight
+  /// chunks drain, and the *first* captured exception is rethrown on the
+  /// submitting thread once the job is fully quiesced — a worker thread
+  /// never terminates the process, and the pool stays usable afterwards.
+  /// Later exceptions of the same job are discarded.
   void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn);
 
   /// Chunked variant: Fn(Lo, Hi) over a partition of [0, N). Lower overhead
@@ -69,20 +77,34 @@ public:
   /// thread runs it inline (so a wait can never deadlock and a busy pool
   /// degenerates to deferred-serial execution, not a stall). Destroying an
   /// un-waited ticket waits first — the job may reference caller state.
+  ///
+  /// Exception contract: a throw inside the detached job is captured in the
+  /// ticket (never left to terminate a worker) and rethrown by the next
+  /// wait() — including the waiter-helps-inline path, where the exception
+  /// is captured first and rethrown by the same wait(), never thrown raw
+  /// through the helping frame. The destructor and waitNoThrow() consume a
+  /// pending exception without throwing; the destructor additionally logs
+  /// it to stderr so a failed comm-lane job is never silently dropped.
   class Ticket {
   public:
     Ticket() = default;
-    ~Ticket() { wait(); }
+    ~Ticket() { waitNoThrow(/*LogDropped=*/true); }
     Ticket(Ticket &&) = default;
     Ticket &operator=(Ticket &&O) {
-      wait();
+      waitNoThrow(/*LogDropped=*/true);
       St = std::move(O.St);
       return *this;
     }
     Ticket(const Ticket &) = delete;
     Ticket &operator=(const Ticket &) = delete;
 
+    /// Blocks until the job has run, then rethrows its exception if it
+    /// threw. The exception is consumed: a second wait() returns cleanly.
     void wait();
+    /// wait() that swallows a pending exception instead of rethrowing —
+    /// the quiesce path of a failed execution, where the primary error is
+    /// already in flight. Logs the swallowed exception when \p LogDropped.
+    void waitNoThrow(bool LogDropped = false);
 
   private:
     friend class ThreadPool;
@@ -143,6 +165,10 @@ private:
     int64_t Next = 0;      ///< First unclaimed index.
     int64_t Remaining = 0; ///< Chunks claimed or unclaimed but not finished.
     const std::function<void(int64_t, int64_t)> *Fn = nullptr;
+    /// First exception thrown by a chunk (guarded by Mtx). Capturing it
+    /// cancels the job's unclaimed chunks; submitAndRun (structured) or
+    /// Ticket::wait (detached) rethrows it once the job has quiesced.
+    std::exception_ptr Error;
     /// Non-null for detached jobs: completion marks the ticket done and
     /// unregisters the job (no submitter is waiting inside submitAndRun).
     AsyncState *Async = nullptr;

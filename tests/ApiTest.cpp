@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "TestSupport.h"
+
 using namespace distal;
 
 namespace {
@@ -84,17 +86,17 @@ TEST(Api, CompileExposesPlan) {
   EXPECT_EQ(CP->plan().fingerprint(), P.fingerprint());
 }
 
-TEST(ApiDeath, ScheduleBeforeComputationIsFatal) {
+TEST(ApiError, ScheduleBeforeComputationThrows) {
   Tensor A("A", {4, 4}, tiles());
-  EXPECT_DEATH(A.schedule(), "no computation");
+  EXPECT_DISTAL_ERROR(A.schedule(), "no computation");
 }
 
-TEST(ApiDeath, AtBeforeEvaluateIsFatal) {
+TEST(ApiError, AtBeforeEvaluateThrows) {
   Tensor A("A", {4, 4}, tiles());
-  EXPECT_DEATH(A.at(Point({0, 0})), "no data");
+  EXPECT_DISTAL_ERROR(A.at(Point({0, 0})), "no data");
 }
 
-TEST(ApiDeath, EvaluateRequiresLiveOperands) {
+TEST(ApiError, EvaluateRequiresLiveOperands) {
   Machine M = Machine::grid({2});
   Format V({ModeKind::Dense}, TensorDistribution::parse("x->x"));
   auto A = std::make_unique<Tensor>("A", std::vector<Coord>{8}, V);
@@ -105,5 +107,10 @@ TEST(ApiDeath, EvaluateRequiresLiveOperands) {
     A->schedule().distribute({I}, {Io}, {Ii}, M);
     // B is destroyed here.
   }
-  EXPECT_DEATH(A->evaluate(M), "not backed by a live");
+  EXPECT_DISTAL_ERROR(A->evaluate(M), "not backed by a live");
+  // The non-throwing boundary reports the same failure as a Status.
+  Status S = A->tryEvaluate(M);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(S.message().find("not backed by a live"), std::string::npos);
 }

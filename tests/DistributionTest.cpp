@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "TestSupport.h"
+
 using namespace distal;
 
 TEST(Blocked1D, PiecesCoverExactly) {
@@ -50,8 +52,36 @@ TEST(DistributionParse, Forms) {
   ASSERT_EQ(S.MachineDims.size(), 2u);
 }
 
-TEST(DistributionParseDeath, MissingArrow) {
-  EXPECT_DEATH(DistributionLevel::parse("xyxy"), "missing '->'");
+TEST(DistributionParseError, MissingArrow) {
+  EXPECT_DISTAL_ERROR(DistributionLevel::parse("xyxy"), "missing '->'");
+}
+
+TEST(DistributionParseError, TryParseReturnsStatus) {
+  StatusOr<DistributionLevel> Bad = DistributionLevel::tryParse("xyxy");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(Bad.status().message().find("missing '->'"), std::string::npos);
+
+  StatusOr<TensorDistribution> BadTD = TensorDistribution::tryParse("x#->x");
+  ASSERT_FALSE(BadTD.ok());
+  EXPECT_EQ(BadTD.status().code(), ErrorCode::InvalidArgument);
+
+  StatusOr<TensorDistribution> MultiBad =
+      TensorDistribution::tryParse(std::vector<std::string>{"xy->xy", "oops"});
+  ASSERT_FALSE(MultiBad.ok());
+
+  StatusOr<TensorDistribution> Good = TensorDistribution::tryParse("xy->xy");
+  ASSERT_TRUE(Good.ok());
+  EXPECT_EQ(Good->str(), TensorDistribution::parse("xy->xy").str());
+
+  // validateStatus: the non-throwing form of validate().
+  Machine M = Machine::grid({2, 2});
+  EXPECT_TRUE(Good->validateStatus(2, M).ok());
+  Status Invalid =
+      TensorDistribution::parse("x->xy").validateStatus(2, M);
+  ASSERT_FALSE(Invalid.ok());
+  EXPECT_EQ(Invalid.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(Invalid.message().find("order"), std::string::npos);
 }
 
 TEST(DistributionValidate, PaperRules) {
@@ -61,17 +91,17 @@ TEST(DistributionValidate, PaperRules) {
   // Valid: row-wise on a 1-d machine.
   TensorDistribution::parse("xy->x").validate(2, Machine::grid({4}));
   // |X| != dim T.
-  EXPECT_DEATH(TensorDistribution::parse("x->xy").validate(2, M),
-               "order");
+  EXPECT_DISTAL_ERROR(TensorDistribution::parse("x->xy").validate(2, M),
+                      "order");
   // |Y| != dim M.
-  EXPECT_DEATH(TensorDistribution::parse("xy->x").validate(2, M),
-               "machine");
+  EXPECT_DISTAL_ERROR(TensorDistribution::parse("xy->x").validate(2, M),
+                      "machine");
   // Duplicate names in X.
-  EXPECT_DEATH(TensorDistribution::parse("xx->xy").validate(2, M),
-               "duplicate");
+  EXPECT_DISTAL_ERROR(TensorDistribution::parse("xx->xy").validate(2, M),
+                      "duplicate");
   // Name in Y missing from X.
-  EXPECT_DEATH(TensorDistribution::parse("xy->xz").validate(2, M),
-               "does not name");
+  EXPECT_DISTAL_ERROR(TensorDistribution::parse("xy->xz").validate(2, M),
+                      "does not name");
 }
 
 TEST(Distribution, BlockedVectorPaperFig5a) {

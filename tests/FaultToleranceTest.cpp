@@ -1,0 +1,400 @@
+//===- tests/FaultToleranceTest.cpp - Fault-tolerant execution --*- C++ -*-===//
+//
+// The failure contract of the execution engine, driven by deterministic
+// fault injection: an injected failure at any hook site (gather, prefetch
+// ticket, leaf launch, writeback, allocation), under any pipeline/views
+// configuration, comes back as a recoverable Status; the artifact stays
+// reusable and a subsequent clean execution is bitwise-identical to an
+// uninjected run. Also covers the Executor's graceful-degradation retry
+// ladder, poisoned-artifact eviction from the PlanCache, structured error
+// propagation through Tensor::tryEvaluate, and the ThreadPool's
+// exception-capture contract.
+//
+// The fractional-rate test honours DISTAL_FAULT_SEED so CI can sweep seeds;
+// every seed must satisfy the same containment property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/Matmul.h"
+#include "api/Tensor.h"
+#include "runtime/Executor.h"
+#include "runtime/PlanCache.h"
+#include "runtime/Region.h"
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "TestSupport.h"
+
+using namespace distal;
+using namespace distal::algorithms;
+
+namespace {
+
+using Site = FaultInjector::Site;
+
+// The suite tests the *containment* of injected faults, so it owns the
+// injector configuration itself (ScopedFaultInjection around the failing
+// statement); a process-level DISTAL_FAULT_RATE would also fail the
+// reference runs the assertions compare against. Start disarmed, whatever
+// the environment says — the seed is still honoured via envSeed().
+class DisarmedBaseline : public ::testing::Environment {
+public:
+  void SetUp() override { FaultInjector::disarm(); }
+};
+const ::testing::Environment *const BaselineEnv =
+    ::testing::AddGlobalTestEnvironment(new DisarmedBaseline);
+
+uint64_t envSeed() {
+  if (const char *S = std::getenv("DISTAL_FAULT_SEED"))
+    return std::strtoull(S, nullptr, 10);
+  return 0;
+}
+
+/// A Cannon matmul (systolic rotations: launch + step gathers, relay-fed
+/// prefetch, real writeback) with regions, the densest exercise of every
+/// hook site.
+struct Harness {
+  MatmulProblem Prob;
+  std::vector<std::unique_ptr<Region>> Storage;
+  std::map<TensorVar, Region *> Regions;
+
+  static MatmulProblem makeCannon() {
+    MatmulOptions O;
+    O.N = 16;
+    O.Procs = 4;
+    return buildMatmul(MatmulAlgo::Cannon, O);
+  }
+
+  Harness() : Prob(makeCannon()) {
+    for (const TensorVar &T : {Prob.A, Prob.B, Prob.C}) {
+      Storage.push_back(
+          std::make_unique<Region>(T, Prob.P.formatOf(T), Prob.P.M));
+      Regions[T] = Storage.back().get();
+    }
+    Regions[Prob.B]->fillRandom(5);
+    Regions[Prob.C]->fillRandom(7);
+  }
+
+  std::vector<double> output() const {
+    std::vector<double> Out;
+    Rect::forExtents(Prob.A.shape()).forEachPoint([&](const Point &P) {
+      Out.push_back(Regions.at(Prob.A)->at(P));
+    });
+    return Out;
+  }
+};
+
+ExecOptions optsFor(Pipeline Pipe, bool Views) {
+  ExecOptions Opts;
+  Opts.NumThreads = 4;
+  Opts.Mode = TraceMode::Off;
+  Opts.Pipe = Pipe;
+  Opts.ZeroCopyViews = Views;
+  return Opts;
+}
+
+FaultInjector::Config alwaysFire(Site S, int64_t MaxInjections = -1) {
+  FaultInjector::Config C;
+  C.Seed = envSeed();
+  C.Rate = 1;
+  C.SiteMask = FaultInjector::maskFor(S);
+  C.MaxInjections = MaxInjections;
+  return C;
+}
+
+} // namespace
+
+// Every hook site, under every pipeline/views combination, against a fresh
+// artifact (so the Alloc site fires in ensureExecState): an injected fault
+// either surfaces as a recoverable Status — after which the same artifact
+// executes cleanly and bitwise matches the uninjected reference — or the
+// site is legitimately unreached in that configuration (zero injections,
+// output already correct).
+TEST(FaultTolerance, EverySiteEveryConfigIsContained) {
+  Harness H;
+  // Uninjected reference output, from its own artifact.
+  CompiledPlan Ref(H.Prob.P);
+  Ref.execute(H.Regions, optsFor(Pipeline::Off, true));
+  const std::vector<double> Expected = H.output();
+
+  const Site Sites[] = {Site::Gather, Site::Prefetch, Site::Leaf,
+                        Site::Writeback, Site::Alloc};
+  for (Pipeline Pipe : {Pipeline::DoubleBuffer, Pipeline::Off}) {
+    for (bool Views : {true, false}) {
+      ExecOptions Opts = optsFor(Pipe, Views);
+      for (Site S : Sites) {
+        SCOPED_TRACE(std::string("site=") + FaultInjector::siteName(S) +
+                     " pipe=" + (Pipe == Pipeline::Off ? "off" : "double") +
+                     " views=" + (Views ? "on" : "off"));
+        CompiledPlan CP(H.Prob.P);
+        Trace T;
+        Status St;
+        {
+          ScopedFaultInjection Inject(alwaysFire(S));
+          St = CP.tryExecute(H.Regions, T, Opts);
+          // Only the prefetch site may legitimately go unreached (there
+          // are no prefetch tickets without the pipeline); every other
+          // site must actually fire under every configuration.
+          bool MayBeUnreached = (S == Site::Prefetch);
+          if (St.ok()) {
+            EXPECT_TRUE(MayBeUnreached);
+            EXPECT_EQ(FaultInjector::stats().totalInjected(), 0);
+          } else {
+            EXPECT_EQ(St.code(), ErrorCode::Injected) << St.str();
+            EXPECT_NE(St.message().find(FaultInjector::siteName(S)),
+                      std::string::npos)
+                << St.str();
+            EXPECT_NE(St.message().find("reusable"), std::string::npos)
+                << "containment note missing: " << St.str();
+            EXPECT_FALSE(CP.poisoned());
+          }
+        }
+        // The artifact must be reusable after the failure, and a clean
+        // execution must be bitwise-identical to the uninjected run.
+        Status Clean = CP.tryExecute(H.Regions, T, Opts);
+        ASSERT_TRUE(Clean.ok()) << Clean.str();
+        EXPECT_EQ(H.output(), Expected);
+      }
+    }
+  }
+}
+
+// Fractional injection rate over repeated executions of one artifact: every
+// failed attempt is contained and the first clean attempt produces the
+// reference bytes. DISTAL_FAULT_SEED varies the firing set in CI.
+TEST(FaultTolerance, FractionalRateRepeatedExecutionsStayContained) {
+  Harness H;
+  CompiledPlan Ref(H.Prob.P);
+  Ref.execute(H.Regions, optsFor(Pipeline::Off, true));
+  const std::vector<double> Expected = H.output();
+
+  CompiledPlan CP(H.Prob.P);
+  ExecOptions Opts = optsFor(Pipeline::DoubleBuffer, true);
+  int Failures = 0;
+  {
+    FaultInjector::Config C;
+    C.Seed = envSeed();
+    C.Rate = 0.05;
+    C.SiteMask = FaultInjector::allSites();
+    ScopedFaultInjection Inject(C);
+    Trace T;
+    for (int Attempt = 0; Attempt < 20; ++Attempt) {
+      Status S = CP.tryExecute(H.Regions, T, Opts);
+      if (!S.ok()) {
+        ++Failures;
+        EXPECT_EQ(S.code(), ErrorCode::Injected) << S.str();
+        EXPECT_FALSE(CP.poisoned());
+      }
+    }
+  }
+  // Disarmed: the artifact must run cleanly whatever the failure history.
+  Trace T;
+  Status S = CP.tryExecute(H.Regions, T, Opts);
+  ASSERT_TRUE(S.ok()) << S.str() << " (after " << Failures << " failures)";
+  EXPECT_EQ(H.output(), Expected);
+}
+
+// A transient fault (one injection, then the budget is exhausted) fails the
+// first rung and succeeds on a later one; tryRun reports OK with the trail
+// recording the degradation.
+TEST(FaultTolerance, RetryLadderRecoversFromTransientFault) {
+  Harness H;
+  Executor Ref(H.Prob.P);
+  Ref.setNumThreads(4);
+  Ref.run(H.Regions, TraceMode::Off);
+  const std::vector<double> Expected = H.output();
+
+  Executor E(H.Prob.P);
+  E.setNumThreads(4);
+  Trace T;
+  Status S;
+  {
+    ScopedFaultInjection Inject(alwaysFire(Site::Leaf, /*MaxInjections=*/1));
+    S = E.tryRun(H.Regions, T, TraceMode::Off);
+  }
+  ASSERT_TRUE(S.ok()) << S.str();
+  ASSERT_GE(E.degradationTrail().size(), 2u);
+  EXPECT_EQ(E.degradationTrail()[0].Rung, "as-configured");
+  EXPECT_EQ(E.degradationTrail()[0].Outcome.code(), ErrorCode::Injected);
+  EXPECT_TRUE(E.degradationTrail().back().Outcome.ok());
+  EXPECT_EQ(H.output(), Expected);
+}
+
+// A persistent fault (leaf site at rate 1, interpreted leaves included)
+// fails every rung: tryRun surfaces the original Status annotated with the
+// full degradation trail, and run() throws it.
+TEST(FaultTolerance, RetryLadderSurfacesTrailWhenAllRungsFail) {
+  Harness H;
+  Executor E(H.Prob.P);
+  E.setNumThreads(4);
+  Trace T;
+  Status S;
+  {
+    ScopedFaultInjection Inject(alwaysFire(Site::Leaf));
+    S = E.tryRun(H.Regions, T, TraceMode::Off);
+  }
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Injected);
+  ASSERT_EQ(E.degradationTrail().size(), 4u);
+  EXPECT_EQ(E.degradationTrail()[1].Rung, "pipeline-off");
+  EXPECT_EQ(E.degradationTrail()[2].Rung, "zero-copy-views-off");
+  EXPECT_EQ(E.degradationTrail()[3].Rung, "interpreted-leaves");
+  for (const Executor::RetryAttempt &A : E.degradationTrail())
+    EXPECT_FALSE(A.Outcome.ok()) << A.Rung;
+  EXPECT_NE(S.message().find("rung 'interpreted-leaves'"), std::string::npos)
+      << S.str();
+  {
+    ScopedFaultInjection Inject(alwaysFire(Site::Leaf));
+    EXPECT_DISTAL_ERROR(E.run(H.Regions, TraceMode::Off), "injected fault");
+  }
+  // Disarmed, the same executor runs cleanly again.
+  Status Clean = E.tryRun(H.Regions, T, TraceMode::Off);
+  EXPECT_TRUE(Clean.ok()) << Clean.str();
+  EXPECT_TRUE(E.degradationTrail().empty());
+}
+
+// Bad input is not retried: the ladder would fail identically on every
+// rung, so the InvalidArgument surfaces from the first attempt alone.
+TEST(FaultTolerance, InvalidArgumentIsNotRetried) {
+  Harness H;
+  Executor E(H.Prob.P);
+  std::map<TensorVar, Region *> Missing = H.Regions;
+  Missing.erase(H.Prob.B);
+  Trace T;
+  Status S = E.tryRun(Missing, T, TraceMode::Off);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(E.degradationTrail().size(), 1u);
+}
+
+// A poisoned artifact refuses further executions, and both the Executor
+// facade and Tensor::compile drop it instead of serving it again.
+TEST(FaultTolerance, PoisonedArtifactIsRefusedAndEvicted) {
+  Harness H;
+  {
+    CompiledPlan CP(H.Prob.P);
+    CP.poisonForTesting();
+    Trace T;
+    Status S = CP.tryExecute(H.Regions, T, optsFor(Pipeline::Off, true));
+    ASSERT_FALSE(S.ok());
+    EXPECT_EQ(S.code(), ErrorCode::FailedPrecondition);
+  }
+  {
+    Executor E(H.Prob.P);
+    E.setNumThreads(2);
+    CompiledPlan *First = &E.compiled();
+    First->poisonForTesting();
+    CompiledPlan *Second = &E.compiled();
+    EXPECT_NE(First, Second) << "poisoned artifact must be recompiled";
+    EXPECT_FALSE(Second->poisoned());
+    Trace T;
+    EXPECT_TRUE(E.tryRun(H.Regions, T, TraceMode::Off).ok());
+  }
+
+  // PlanCache eviction through the Tensor API.
+  Machine M = Machine::grid({2, 2});
+  Format Tiles({ModeKind::Dense, ModeKind::Dense},
+               TensorDistribution::parse("xy->xy"));
+  Tensor A("A", {16, 16}, Tiles), B("B", {16, 16}, Tiles),
+      C("C", {16, 16}, Tiles);
+  B.fillRandom(5);
+  C.fillRandom(7);
+  IndexVar I("i"), J("j"), K("k");
+  A(I, J) = B(I, K) * C(K, J);
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji"), Ko("ko"), Ki("ki");
+  A.schedule()
+      .distribute({I, J}, {Io, Jo}, {Ii, Ji}, M)
+      .split(K, Ko, Ki, 8)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .communicate(A, Jo)
+      .communicate({B, C}, Ko)
+      .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+
+  std::shared_ptr<CompiledPlan> CP1 = A.compile(M);
+  CP1->poisonForTesting();
+  std::shared_ptr<CompiledPlan> CP2 = A.compile(M);
+  EXPECT_NE(CP1.get(), CP2.get())
+      << "compile() must evict a poisoned cache entry";
+  EXPECT_FALSE(CP2->poisoned());
+  EXPECT_TRUE(A.tryEvaluate(M).ok());
+}
+
+// Structured propagation through the user-facing Tensor boundary: an
+// injected execution failure comes back as a Status from tryEvaluate, and
+// the next clean evaluate() produces the same bytes as a never-failed run.
+TEST(FaultTolerance, TensorTryEvaluatePropagatesStatus) {
+  Machine M = Machine::grid({2});
+  Format V({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  Tensor A("A", {32}, V), B("B", {32}, V);
+  B.fillRandom(11);
+  IndexVar I("i"), Io("io"), Ii("ii");
+  A(I) = B(I) + 1.0;
+  A.schedule().distribute({I}, {Io}, {Ii}, M);
+
+  Status S;
+  {
+    ScopedFaultInjection Inject(alwaysFire(Site::Gather));
+    S = A.tryEvaluate(M);
+  }
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Injected);
+  ASSERT_TRUE(A.tryEvaluate(M).ok());
+  for (Coord X = 0; X < 32; ++X)
+    EXPECT_EQ(A.at(Point({X})), B.region()->at(Point({X})) + 1.0);
+}
+
+// The structured fan-out contract: a throw inside a chunk cancels the job,
+// rethrows first-wins on the submitting thread, and leaves the pool usable.
+TEST(FaultTolerance, ParallelForPropagatesFirstExceptionAndPoolSurvives) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(1000,
+                                [](int64_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("chunk 37 died");
+                                }),
+               std::runtime_error);
+  // The pool must be fully usable after the failed job.
+  std::atomic<int64_t> Sum{0};
+  Pool.parallelFor(100, [&](int64_t I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 99 * 100 / 2);
+}
+
+// The detached-job contract: the ticket's wait() rethrows the captured
+// exception exactly once (including when the waiter helps inline), and a
+// destroyed un-waited ticket consumes the exception instead of terminating.
+TEST(FaultTolerance, TicketCapturesAndRethrowsDetachedFailure) {
+  ThreadPool Pool(4);
+  ThreadPool::Ticket T = Pool.submitAsync(
+      [] { throwError(ErrorCode::Internal, "detached job failed"); });
+  EXPECT_DISTAL_ERROR(T.wait(), "detached job failed");
+  T.wait(); // Consumed: a second wait returns cleanly.
+
+  {
+    // Dropping a failed ticket must not terminate (the destructor consumes
+    // and logs the exception).
+    ThreadPool::Ticket Dropped = Pool.submitAsync(
+        [] { throwError(ErrorCode::Internal, "dropped ticket"); });
+  }
+  // Sequential pools run submitAsync inline; the throw happens at the
+  // submission site, never from a destructor.
+  ThreadPool Seq(1);
+  EXPECT_DISTAL_ERROR(
+      Seq.submitAsync([] { throwError(ErrorCode::Internal, "inline"); }),
+      "inline");
+}
+
+// Disarmed hooks must not perturb results or arrivals: the injector is off
+// by default and the steady-state suites run with it off.
+TEST(FaultTolerance, DisarmedInjectorIsInert) {
+  EXPECT_FALSE(FaultInjector::armed());
+  Harness H;
+  CompiledPlan CP(H.Prob.P);
+  Trace T;
+  ASSERT_TRUE(
+      CP.tryExecute(H.Regions, T, optsFor(Pipeline::DoubleBuffer, true)).ok());
+}

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "TestSupport.h"
+
 using namespace distal;
 
 namespace {
@@ -117,10 +119,10 @@ TEST(Assignment, ScalarOutputInnerProduct) {
   EXPECT_EQ(S.reductionVars().size(), 3u);
 }
 
-TEST(AssignmentDeath, InconsistentExtentsAbort) {
+TEST(AssignmentError, InconsistentExtentsThrow) {
   Vars V;
   TensorVar A("A", {4, 4}), B("B", {5, 4});
-  EXPECT_DEATH(
+  EXPECT_DISTAL_ERROR(
       { Assignment S(Access(A, {V.I, V.J}), Expr(Access(B, {V.I, V.J}))); },
       "inconsistent extents");
 }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "TestSupport.h"
+
 using namespace distal;
 using namespace distal::algorithms;
 
@@ -74,8 +76,8 @@ TEST(Lower, RequiresDistributedLoop) {
   Assignment Stmt(Access(A, {I}), Expr(Access(B, {I})));
   Schedule S(Stmt);
   Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
-  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
-               "distribute");
+  EXPECT_DISTAL_ERROR(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
+                      "distribute");
 }
 
 TEST(Lower, RequiresFormats) {
@@ -85,8 +87,8 @@ TEST(Lower, RequiresFormats) {
   Schedule S(Stmt);
   S.distribute({I}, {Io}, {Ii}, std::vector<int>{2});
   Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
-  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}}),
-               "no format");
+  EXPECT_DISTAL_ERROR(lower(S.takeNest(), Machine::grid({2}), {{A, F}}),
+                      "no format");
 }
 
 TEST(Lower, OutputMustBeTaskLevel) {
@@ -96,8 +98,8 @@ TEST(Lower, OutputMustBeTaskLevel) {
   Schedule S(Stmt);
   S.divide(I, Io, Ii, 2).distribute({Io}).communicate(A, Ii);
   Format F({ModeKind::Dense}, TensorDistribution::parse("x->x"));
-  EXPECT_DEATH(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
-               "communicated at a distributed loop");
+  EXPECT_DISTAL_ERROR(lower(S.takeNest(), Machine::grid({2}), {{A, F}, {B, F}}),
+                      "communicated at a distributed loop");
 }
 
 TEST(Bounds, SummaTaskRectsMatchTiles) {

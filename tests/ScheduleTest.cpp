@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "TestSupport.h"
+
 using namespace distal;
 
 namespace {
@@ -127,27 +129,27 @@ TEST_F(MatmulFixture, NestPrinting) {
   EXPECT_NE(Str.find("divide(i, io, ii, 2)"), std::string::npos);
 }
 
-TEST_F(MatmulFixture, DistributedPrefixViolationIsFatal) {
+TEST_F(MatmulFixture, DistributedPrefixViolationThrows) {
   Schedule S(Stmt);
   S.distribute({J}); // j distributed under sequential i.
-  EXPECT_DEATH(S.nest().distributedPrefix(), "contiguous outermost");
+  EXPECT_DISTAL_ERROR(S.nest().distributedPrefix(), "contiguous outermost");
 }
 
-TEST_F(MatmulFixture, CommunicateUnknownTensorIsFatal) {
+TEST_F(MatmulFixture, CommunicateUnknownTensorThrows) {
   Schedule S(Stmt);
   TensorVar Other("Z", {2, 2});
-  EXPECT_DEATH(S.communicate(Other, I), "does not appear");
+  EXPECT_DISTAL_ERROR(S.communicate(Other, I), "does not appear");
 }
 
-TEST_F(MatmulFixture, CommunicateTwiceIsFatal) {
+TEST_F(MatmulFixture, CommunicateTwiceThrows) {
   Schedule S(Stmt);
   S.communicate(B, I);
-  EXPECT_DEATH(S.communicate(B, J), "already communicated");
+  EXPECT_DISTAL_ERROR(S.communicate(B, J), "already communicated");
 }
 
 TEST_F(MatmulFixture, SubstituteRequiresInnermostLoops) {
   Schedule S(Stmt);
-  EXPECT_DEATH(S.substitute({I, J}, LeafKernel::GeMM), "innermost");
+  EXPECT_DISTAL_ERROR(S.substitute({I, J}, LeafKernel::GeMM), "innermost");
   Schedule S2(Stmt);
   S2.substitute({J, K}, LeafKernel::GeMM); // j, k are innermost, in order.
   EXPECT_EQ(S2.nest().Leaf, LeafKernel::GeMM);

@@ -1,0 +1,35 @@
+//===- tests/TestSupport.h - Shared test helpers ----------------*- C++ -*-===//
+//
+// Helpers shared across the test suites.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_TESTS_TESTSUPPORT_H
+#define DISTAL_TESTS_TESTSUPPORT_H
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/Status.h"
+
+/// Expects \p Stmt to throw distal::DistalError with a message containing
+/// \p Substr. This is the structured-error successor of the suites' old
+/// EXPECT_DEATH checks: user-facing failures (bad specs, invalid schedules,
+/// dead tensors) now propagate as DistalError / Status instead of aborting
+/// the process, so a long-lived caller can recover from them.
+#define EXPECT_DISTAL_ERROR(Stmt, Substr)                                      \
+  do {                                                                         \
+    try {                                                                      \
+      Stmt;                                                                    \
+      ADD_FAILURE() << "expected DistalError containing \"" << (Substr)        \
+                    << "\", but nothing was thrown";                           \
+    } catch (const distal::DistalError &DistalErrorCaught) {                   \
+      EXPECT_NE(std::string(DistalErrorCaught.what()).find(Substr),            \
+                std::string::npos)                                             \
+          << "DistalError message \"" << DistalErrorCaught.what()              \
+          << "\" does not contain \"" << (Substr) << "\"";                     \
+    }                                                                          \
+  } while (0)
+
+#endif // DISTAL_TESTS_TESTSUPPORT_H
