@@ -55,6 +55,19 @@
 //                        API: repeated evaluations of one scheduled GEMM,
 //                        evaluateUncached() (fresh compile every call) vs
 //                        evaluate() (process-wide PlanCache steady state).
+//   * exec_tput_{1,8,64}t — multi-tenant throughput: executions/sec of ONE
+//                        shared artifact driven by 1, 8, and 64 client
+//                        threads through the admission queue
+//                        (CompiledPlan::submit + wait), each client over
+//                        its own region set so nothing coalesces. Seed
+//                        column = the direct serial execute() loop, so the
+//                        speedup is the throughput scaling of concurrent
+//                        admission over serial execution. The 1t row is a
+//                        pure admission-overhead ratio (single-threaded on
+//                        both sides, always gated, ~1.0x); the 8t/64t rows
+//                        gate on multi-core hosts with absolute floors
+//                        (1.5x / 1.3x) — concurrency must BUY throughput,
+//                        not just not crash.
 //
 // Usage: microbench_exec [--check] [--threads=N] [--out=FILE]
 //                        [--baseline=FILE] [--gate=FRACTION]
@@ -694,6 +707,98 @@ void benchIterativeEvaluate() {
          /*Gated=*/true);
 }
 
+void benchExecThroughput() {
+  // Multi-tenant throughput of one shared artifact: N client threads in a
+  // submit+wait loop over private region sets (distinct admission keys —
+  // nothing coalesces; identical input fills — every output must match the
+  // serial reference bitwise). Executions run inline on the claiming
+  // client (NumThreads = 1), so scaling comes purely from concurrent
+  // executions in sibling arenas; the serial column is the same count of
+  // direct execute() calls on one thread.
+  MatmulOptions Opts;
+  Opts.N = CheckMode ? 32 : 48;
+  Opts.Procs = 4;
+  MatmulProblem Prob = buildMatmul(MatmulAlgo::Cannon, Opts);
+  std::vector<TensorVar> Tensors = {Prob.A, Prob.B, Prob.C};
+  const int MaxClients = 64;
+  std::vector<ProblemData> Sets;
+  for (int I = 0; I < MaxClients; ++I)
+    Sets.push_back(makeRegions(Prob.P, Tensors));
+  CompiledPlan CP(Prob.P);
+  // Enough pooled arenas for the default MaxConcurrent and headroom for
+  // every client to have a call outstanding at once.
+  CP.setArenaCacheCap(8);
+  CP.admission().setCapacity(2 * MaxClients);
+  ExecOptions O;
+  O.NumThreads = 1;
+  O.Mode = TraceMode::Off;
+  CP.execute(Sets[0].Regions, O); // Warm instance buffers and the arena.
+
+  int Reps = CheckMode ? 1 : 3;
+  const int TotalCalls = CheckMode ? MaxClients : 512;
+  // Per-execution ms of \p Clients threads driving the admission queue.
+  auto tputMs = [&](int Clients) {
+    int Calls = std::max(1, TotalCalls / Clients);
+    return bestMs(Reps, [&] {
+             std::vector<std::thread> Pool;
+             for (int C = 0; C < Clients; ++C)
+               Pool.emplace_back([&, C] {
+                 for (int It = 0; It < Calls; ++It)
+                   CP.submit(Sets[C].Regions, O,
+                             AdmissionQueue::Dispatch::Deferred)
+                       .wait();
+               });
+             for (std::thread &T : Pool)
+               T.join();
+           }) /
+           (static_cast<double>(std::max(1, TotalCalls / Clients)) * Clients);
+  };
+  // Serial reference: the same per-execution cost without the queue.
+  double SerialMs = bestMs(Reps, [&] {
+                      for (int It = 0; It < TotalCalls; ++It)
+                        CP.execute(Sets[0].Regions, O);
+                    }) /
+                    TotalCalls;
+  double OneMs = tputMs(1);
+  double EightMs = tputMs(8);
+  double ManyMs = tputMs(MaxClients);
+
+  if (CheckMode) {
+    // Every client's bytes must equal the serial reference's.
+    for (int C = 1; C < MaxClients; ++C)
+      if (maxDiff(*Sets[0].Storage[0], *Sets[C].Storage[0]) != 0) {
+        fail("exec_tput client " + std::to_string(C) +
+             " output differs from the serial reference");
+        break;
+      }
+    AdmissionQueue::Stats S = CP.admission().stats();
+    if (S.Rejected != 0)
+      fail("exec_tput admission rejected " + std::to_string(S.Rejected) +
+           " calls; capacity must cover the client count");
+  }
+
+  bool MultiCore = multiCoreHost();
+  std::string Shape = "cannon n=" + std::to_string(Opts.N) +
+                      " procs=4, submit+wait vs serial execute, ";
+  record("exec_tput_1t", SerialMs, OneMs, Shape + "1 client (queue overhead)",
+         /*Gated=*/true);
+  record("exec_tput_8t", SerialMs, EightMs,
+         Shape + "8 clients" + (MultiCore ? "" : " [single-core host: "
+                                                 "ungated]"),
+         /*Gated=*/MultiCore);
+  record("exec_tput_64t", SerialMs, ManyMs,
+         Shape + "64 clients" + (MultiCore ? "" : " [single-core host: "
+                                                  "ungated]"),
+         /*Gated=*/MultiCore);
+  // Concurrent admission must BUY throughput on real cores: 8 clients
+  // >= 1.5x serial, and the 64-client regime (8x oversubscribed beyond
+  // MaxConcurrent, every surplus call queued) must still hold >= 1.3x —
+  // admission, queueing, and arena handoff overhead must not eat the
+  // concurrency win.
+  gateAbsolute("exec_tput_8t", EightMs > 0 ? SerialMs / EightMs : 0, 1.5);
+  gateAbsolute("exec_tput_64t", ManyMs > 0 ? SerialMs / ManyMs : 0, 1.3);
+}
+
 void benchGemmKernel() {
   int64_t N = CheckMode ? 64 : 512;
   std::vector<double> A(N * N), B(N * N), C(N * N, 0);
@@ -854,6 +959,7 @@ int main(int argc, char **argv) {
   benchCoalesceCannon();
   benchSteadyExec();
   benchIterativeEvaluate();
+  benchExecThroughput();
   benchGemmKernel();
   if (!BaselinePath.empty())
     gateAgainstBaseline(BaselinePath, Gate);

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Public-API doc-comment lint, run by the CI docs job.
+
+Every public member function declared in the user-facing headers must
+carry an attached /// doc comment. A single comment block may cover an
+adjacent run of declarations (no blank line in between) -- the common
+idiom for trivially paired accessors.
+
+This is a line-oriented lint, not a C++ parser: it tracks brace depth and
+access specifiers, treats a top-of-class-body line containing '(' as a
+function declaration start, and checks whether a /// block precedes it
+without an intervening blank line. Defaulted/deleted special members and
+lines inside function bodies are exempt.
+
+Exit code 0 when clean, 1 with one line per undocumented declaration.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HEADERS = [
+    "src/api/Tensor.h",
+    "src/runtime/Executor.h",
+    "src/runtime/CompiledPlan.h",
+]
+
+CLASS_RE = re.compile(r"^\s*(template\s*<[^>]*>\s*)?(class|struct)\s+"
+                      r"([A-Za-z_]\w*)\s*(final\s*)?(:[^;{]*)?\{")
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
+# A function declaration start: begins with an identifier-ish token (or
+# ~ for destructors) and contains an opening paren before any '=' that
+# would make it an initialized data member.
+FUNC_RE = re.compile(r"^\s*[~A-Za-z_]")
+
+
+def is_func_decl(stripped):
+    if "(" not in stripped:
+        return False
+    if not FUNC_RE.match(stripped):
+        return False
+    for kw in ("if ", "for ", "while ", "switch ", "return ", "assert",
+               "DISTAL_ASSERT", "static_assert", "using ", "typedef ",
+               "#", "}"):
+        if stripped.startswith(kw):
+            return False
+    if re.search(r"=\s*(default|delete)\s*;", stripped):
+        return False
+    # Initialized data member, e.g. `AdmissionQueue Queue{this};` has no
+    # paren; `int X = f();` does -- treat an '=' before the '(' as data.
+    eq = stripped.find("=")
+    if eq != -1 and eq < stripped.find("("):
+        return False
+    return True
+
+
+def lint(path):
+    problems = []
+    rel = os.path.relpath(path, REPO)
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    depth = 0  # Brace depth.
+    # Stack of (body_depth, access, kind) for each open class/struct.
+    classes = []
+    covered = False  # A /// block attaches to the following decl run.
+    in_block_comment = False
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        stripped = line.strip()
+
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+
+        if stripped.startswith("///"):
+            covered = True
+        elif stripped == "":
+            covered = False
+        elif stripped.startswith("//"):
+            pass  # A plain comment neither grants nor breaks coverage.
+        else:
+            m = CLASS_RE.match(line)
+            at_member_depth = (classes and depth == classes[-1][0]
+                               and classes[-1][1] == "public")
+            if m:
+                pass  # The class itself; members handled once inside.
+            elif ACCESS_RE.match(stripped):
+                classes[-1] = (classes[-1][0], ACCESS_RE.match(stripped)
+                               .group(1), classes[-1][2])
+            elif at_member_depth and is_func_decl(stripped):
+                if not covered:
+                    name = stripped.split("(")[0].strip()
+                    problems.append(f"{rel}:{lineno}: public member "
+                                    f"'{name}' lacks a /// doc comment")
+
+        # Brace accounting (after the checks so a decl-with-body line is
+        # still seen at member depth). Braces in comments/strings are rare
+        # in these headers; the lint is calibrated against them.
+        code = stripped.split("//")[0]
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                m2 = CLASS_RE.match(line)
+                if m2:
+                    classes.append(
+                        (depth, "public" if m2.group(2) == "struct"
+                         else "private", m2.group(3)))
+            elif ch == "}":
+                if classes and depth == classes[-1][0]:
+                    classes.pop()
+                depth -= 1
+
+    return problems
+
+
+def main():
+    problems = []
+    for header in HEADERS:
+        path = os.path.join(REPO, header)
+        if not os.path.exists(path):
+            problems.append(f"{header}: file missing (update HEADERS in "
+                            "scripts/check_api_docs.py)")
+            continue
+        problems.extend(lint(path))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_api_docs: {len(problems)} problem(s)")
+        return 1
+    print(f"check_api_docs: OK ({len(HEADERS)} headers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Offline documentation checks, run by the CI docs job.
+
+1. Link check: every intra-repo markdown link in README.md and docs/*.md
+   must resolve to an existing file (anchors and external URLs are not
+   followed; external links are skipped entirely -- this check must work
+   offline and never flake on network state).
+2. Index completeness: every page under docs/ must be linked from
+   README.md's documentation index, so pages cannot silently fall out of
+   the book.
+
+Exit code 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) -- excluding images handled identically, and skipping
+# fenced code blocks below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def links_in(path):
+    """Yields (lineno, target) for every markdown link outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def main():
+    problems = []
+    linked_from_readme = set()
+
+    for path in markdown_files():
+        rel = os.path.relpath(path, REPO)
+        for lineno, target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # Same-page anchor; nothing to resolve on disk.
+            file_part = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}:{lineno}: broken link '{target}' "
+                                f"(resolves to {os.path.relpath(resolved, REPO)})")
+            elif rel == "README.md":
+                linked_from_readme.add(os.path.relpath(resolved, REPO))
+
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if not name.endswith(".md"):
+                continue
+            rel = os.path.join("docs", name)
+            if rel not in linked_from_readme:
+                problems.append(
+                    f"{rel}: not linked from README.md's documentation index")
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    print("check_docs: OK "
+          f"({len(markdown_files())} files, index complete)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

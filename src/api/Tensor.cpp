@@ -34,6 +34,17 @@ Tensor &lookup(const TensorVar &V) {
   return *It->second;
 }
 
+/// Serializes the evaluate-family front half across all tensors: the
+/// compile-memo writes (MemoKey/MemoMachine) and the Region
+/// materialisation of the statement's tensors are shared mutable state.
+/// Never held during an execution — executions run concurrently through
+/// the artifact's admission queue. Process-wide (not per-tensor) because
+/// one evaluation materialises its *operand* tensors' regions too.
+std::mutex &apiMutex() {
+  static std::mutex M;
+  return M;
+}
+
 } // namespace
 
 TensorAccess::TensorAccess(Tensor &T, std::vector<IndexVar> Indices)
@@ -131,6 +142,11 @@ Plan Tensor::lower(const Machine &M) {
 }
 
 std::shared_ptr<CompiledPlan> Tensor::compile(const Machine &M) {
+  std::lock_guard<std::mutex> Lock(apiMutex());
+  return compileLocked(M);
+}
+
+std::shared_ptr<CompiledPlan> Tensor::compileLocked(const Machine &M) {
   // Steady state: the memoized key skips lowering and fingerprinting but
   // still goes through the PlanCache, so explicit invalidation (or LRU
   // eviction) always forces a true recompile below.
@@ -185,29 +201,80 @@ StatusOr<std::shared_ptr<CompiledPlan>> Tensor::tryCompile(const Machine &M) {
   }
 }
 
+Tensor::PreparedRun Tensor::prepareRun(const Machine &M, TraceMode Mode) {
+  std::lock_guard<std::mutex> Lock(apiMutex());
+  PreparedRun R;
+  R.CP = compileLocked(M);
+  const Assignment &Stmt = R.CP->plan().Nest.Stmt;
+  const TensorVar &Out = Stmt.lhs().tensor();
+  bool OutIsRead = false;
+  for (const Access &A : Stmt.rhsAccesses())
+    OutIsRead |= A.tensor() == Out;
+  for (const TensorVar &T : Stmt.tensors())
+    R.Regions[T] =
+        &lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+  R.Opts = ExecOpts;
+  R.Opts.Mode = Mode;
+  return R;
+}
+
 void Tensor::evaluate(const Machine &M) {
-  runCompiled(*compile(M), M, TraceMode::Off);
+  PreparedRun R = prepareRun(M, TraceMode::Off);
+  // Deferred: we wait immediately, so the claim happens on this thread
+  // unless a concurrent identical request already runs (then we coalesce
+  // and just wait for it).
+  ExecFuture F = R.CP->submit(R.Regions, R.Opts,
+                              AdmissionQueue::Dispatch::Deferred, R.CP);
+  Status S = F.wait();
+  if (!S.ok())
+    throwStatus(std::move(S));
 }
 
 Status Tensor::tryEvaluate(const Machine &M) {
   std::shared_ptr<CompiledPlan> CP;
   try {
-    CP = compile(M);
-    runCompiled(*CP, M, TraceMode::Off);
-    return Status();
+    PreparedRun R = prepareRun(M, TraceMode::Off);
+    CP = R.CP;
+    ExecFuture F = R.CP->submit(R.Regions, R.Opts,
+                                AdmissionQueue::Dispatch::Deferred, R.CP);
+    Status S = F.wait();
+    // Execution failures are contained per-arena; only an explicitly
+    // poisoned artifact is unusable, and it must not stay in the
+    // process-wide cache where the next compile() would find it.
+    if (!S.ok() && CP->poisoned()) {
+      std::lock_guard<std::mutex> Lock(apiMutex());
+      if (!MemoKey.empty())
+        PlanCache::global().invalidate(MemoKey);
+    }
+    return S;
   } catch (...) {
     Status S = statusFromCurrentException();
-    // The execution failure was contained inside the artifact; only a
-    // poisoned artifact (failed quiesce) is unusable, and it must not stay
-    // in the process-wide cache where the next compile() would find it.
-    if (CP && CP->poisoned() && !MemoKey.empty())
-      PlanCache::global().invalidate(MemoKey);
+    if (CP && CP->poisoned()) {
+      std::lock_guard<std::mutex> Lock(apiMutex());
+      if (!MemoKey.empty())
+        PlanCache::global().invalidate(MemoKey);
+    }
     return S;
   }
 }
 
+ExecFuture Tensor::evaluateAsync(const Machine &M) {
+  PreparedRun R = prepareRun(M, TraceMode::Off);
+  // The artifact shared_ptr rides in the future as its lifetime anchor: a
+  // PlanCache eviction (or clear) between submit and wait cannot destroy
+  // the artifact under the pending execution.
+  return R.CP->submit(R.Regions, R.Opts,
+                      AdmissionQueue::Dispatch::Background, R.CP);
+}
+
 Trace Tensor::evaluateWithTrace(const Machine &M) {
-  return runCompiled(*compile(M), M, TraceMode::Full);
+  PreparedRun R = prepareRun(M, TraceMode::Full);
+  ExecFuture F = R.CP->submit(R.Regions, R.Opts,
+                              AdmissionQueue::Dispatch::Deferred, R.CP);
+  Status S = F.wait();
+  if (!S.ok())
+    throwStatus(std::move(S));
+  return F.trace();
 }
 
 Trace Tensor::evaluateUncached(const Machine &M) {

@@ -38,11 +38,14 @@ class Tensor;
 /// records the computation on the accessed tensor.
 class TensorAccess {
 public:
+  /// Built by Tensor::operator(); not constructed directly by users.
   TensorAccess(Tensor &T, std::vector<IndexVar> Indices);
 
   /// Records `tensor(indices) = rhs` as the tensor's computation.
   TensorAccess &operator=(const Expr &Rhs);
 
+  /// An access used on a right-hand side converts to the expression /
+  /// access IR so `A(i, j) = B(i, k) * C(k, j)` reads naturally.
   operator Expr() const;   // NOLINT(google-explicit-constructor)
   operator Access() const; // NOLINT(google-explicit-constructor)
 
@@ -54,12 +57,17 @@ private:
 /// A dense distributed tensor with a format and (once evaluated) data.
 class Tensor {
 public:
+  /// Declares a dense tensor of shape \p Dims with format \p Fmt
+  /// (distribution + memory kind). The name identifies it in plans,
+  /// traces, and the PlanCache key.
   Tensor(std::string Name, std::vector<Coord> Dims, Format Fmt);
   ~Tensor();
   Tensor(const Tensor &) = delete;
   Tensor &operator=(const Tensor &) = delete;
 
+  /// The IR-level variable this tensor declares.
   const TensorVar &var() const { return Var; }
+  /// The declared format (distribution + memory kind).
   const Format &format() const { return Fmt; }
 
   /// Implicit conversion so tensors can be passed to scheduling commands
@@ -120,19 +128,38 @@ public:
 
   /// Compiles (or cache-hits) and runs on real data; operand tensors'
   /// fills are applied. The steady-state path: repeated calls reuse the
-  /// cached artifact, its instance buffers, and this tensor's backing
-  /// Region, and skip trace accounting entirely (TraceMode::Off). Throws
-  /// DistalError on failure; tryEvaluate is the non-throwing form.
+  /// cached artifact, its per-execution arenas, and this tensor's backing
+  /// Region, and skip trace accounting entirely (TraceMode::Off). Routed
+  /// through the artifact's admission queue, so concurrent evaluations of
+  /// one tensor on one machine coalesce onto a single pass while
+  /// evaluations of different tensors (or machines) run concurrently,
+  /// each in its own arena. Thread-safe against other evaluate-family
+  /// calls; the caller must hold input data immutable for the duration.
+  /// Throws DistalError on failure; tryEvaluate is the non-throwing form.
   void evaluate(const Machine &M);
 
-  /// Non-throwing evaluate. A failed execution is contained inside the
-  /// artifact (CompiledPlan's failure contract); if the artifact came back
-  /// poisoned, its PlanCache entry is evicted here so the next
-  /// compile()/evaluate() recompiles instead of serving the dead artifact.
+  /// Non-throwing evaluate. A failed execution is contained inside its
+  /// arena (CompiledPlan's failure contract) — the artifact stays usable;
+  /// if the artifact was explicitly poisoned, its PlanCache entry is
+  /// evicted here so the next compile()/evaluate() recompiles instead of
+  /// serving the dead artifact. Thread-safe like evaluate().
   Status tryEvaluate(const Machine &M);
 
+  /// Asynchronous evaluate: admits the execution to the cached artifact's
+  /// admission queue, dispatches it to the process pool's background lane,
+  /// and returns a future immediately. The future carries the Status
+  /// (never throws) and keeps the artifact alive even across a PlanCache
+  /// eviction, so it may safely outlive everything except this tensor and
+  /// its operands (their Regions back the execution). Identical concurrent
+  /// submissions coalesce; a full admission queue resolves the future with
+  /// ResourceExhausted. Compilation and region materialisation still
+  /// happen synchronously in this call (and may throw, as in evaluate()).
+  /// Thread-safe like evaluate().
+  ExecFuture evaluateAsync(const Machine &M);
+
   /// Like evaluate(), returning the execution trace (precomputed at
-  /// compile time; this copies the cached skeleton).
+  /// compile time; this copies the cached skeleton). Thread-safe like
+  /// evaluate().
   Trace evaluateWithTrace(const Machine &M);
 
   /// Escape hatch: compiles a fresh artifact, bypassing the PlanCache in
@@ -168,6 +195,20 @@ public:
 private:
   Region &materialize(const Machine &M, bool PreserveData = true);
   Trace runCompiled(CompiledPlan &CP, const Machine &M, TraceMode Mode);
+  /// compile() body; caller holds the api mutex (guards the memo fields).
+  std::shared_ptr<CompiledPlan> compileLocked(const Machine &M);
+
+  /// One admission-ready request: the cached artifact, the materialised
+  /// region map over this tensor and its operands, and the snapshotted
+  /// options. Built under the api mutex (compile-memo writes and Region
+  /// materialisation are the shared mutable state); the execution itself
+  /// then runs outside it.
+  struct PreparedRun {
+    std::shared_ptr<CompiledPlan> CP;
+    std::map<TensorVar, Region *> Regions;
+    ExecOptions Opts;
+  };
+  PreparedRun prepareRun(const Machine &M, TraceMode Mode);
 
   TensorVar Var;
   Format Fmt;

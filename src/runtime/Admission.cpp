@@ -1,0 +1,354 @@
+//===- runtime/Admission.cpp ----------------------------------*- C++ -*-===//
+//
+// The admission queue's execution model, in one page: a request is a
+// heap-shared record (AdmissionRequest) holding its key (region map +
+// execute options), its lifecycle flags, and its result. The queue state
+// (AdmissionState) is itself heap-shared so futures and detached dispatch
+// jobs can outlive the AdmissionQueue handle safely: the handle's
+// destructor (i.e. the artifact's) fails unclaimed requests and waits out
+// running ones, after which late-firing dispatch jobs see Shutdown and
+// return without touching the artifact.
+//
+// Claiming is the one race that matters: a request may be run by its
+// background dispatch job, by its own future's wait(), or by a sibling
+// future helping the lane drain. Whoever flips Claimed under the queue
+// mutex runs it; everyone else keeps waiting. Completion latches the
+// result, removes the request from the active set, promotes queued
+// requests into the freed slots, and broadcasts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Admission.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "runtime/CompiledPlan.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+using namespace distal;
+using distal::detail::AdmissionRequest;
+using distal::detail::AdmissionState;
+
+namespace distal {
+namespace detail {
+
+struct AdmissionRequest {
+  // The coalescing key: what to execute and how.
+  std::map<TensorVar, Region *> Regions;
+  ExecOptions Opts;
+  AdmissionQueue::Dispatch D = AdmissionQueue::Dispatch::Background;
+
+  // Lifecycle (guarded by AdmissionState::Mu; Done is additionally an
+  // acquire/release flag so resolved futures read the result lock-free).
+  bool Active = false;  ///< Holds one of the MaxConcurrent slots.
+  bool Claimed = false; ///< Some thread is (about to be) running it.
+  std::atomic<bool> Done{false};
+  Status Result;
+  Trace Out;
+
+  /// Back-reference so a future can pump the queue; one-way once the
+  /// request leaves Active/Queued, so no reference cycle survives
+  /// completion.
+  std::shared_ptr<AdmissionState> State;
+};
+
+struct AdmissionState {
+  std::mutex Mu;
+  std::condition_variable CV;
+  CompiledPlan *CP = nullptr;
+  bool Shutdown = false;
+  int MaxConcurrent = 8;
+  int Capacity = 64;
+  std::vector<std::shared_ptr<AdmissionRequest>> Active;
+  std::deque<std::shared_ptr<AdmissionRequest>> Queued;
+  /// Tickets of dispatched background jobs, destroyed (= drained) in
+  /// batches from submit() and finally by the queue destructor. The jobs
+  /// capture only weak references, so the tickets are the sole owners of
+  /// pool-side state.
+  std::vector<ThreadPool::Ticket> Reap;
+  AdmissionQueue::Stats Counters;
+};
+
+} // namespace detail
+} // namespace distal
+
+namespace {
+
+bool sameKey(const AdmissionRequest &R,
+             const std::map<TensorVar, Region *> &Regions,
+             const ExecOptions &O) {
+  const ExecOptions &A = R.Opts;
+  return A.Ctx == O.Ctx && A.NumThreads == O.NumThreads &&
+         A.ForceTaskWays == O.ForceTaskWays &&
+         A.ForceLeafWays == O.ForceLeafWays && A.Mode == O.Mode &&
+         A.Pipe == O.Pipe && A.ZeroCopyViews == O.ZeroCopyViews &&
+         R.Regions == Regions;
+}
+
+/// Moves queued requests into freed active slots (FIFO). Mu held. Requests
+/// needing a background dispatch are collected for the caller to dispatch
+/// *after* releasing the lock (dispatch may run the job inline on a
+/// sequential pool, and the job locks Mu).
+void pumpLocked(AdmissionState &St,
+                std::vector<std::shared_ptr<AdmissionRequest>> &ToDispatch) {
+  if (St.Shutdown)
+    return;
+  while (static_cast<int>(St.Active.size()) < St.MaxConcurrent &&
+         !St.Queued.empty()) {
+    std::shared_ptr<AdmissionRequest> R = St.Queued.front();
+    St.Queued.pop_front();
+    R->Active = true;
+    St.Active.push_back(R);
+    St.Counters.PeakActive = std::max(
+        St.Counters.PeakActive, static_cast<int>(St.Active.size()));
+    if (R->D == AdmissionQueue::Dispatch::Background)
+      ToDispatch.push_back(R);
+  }
+}
+
+void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
+                        const std::shared_ptr<AdmissionRequest> &R);
+
+/// Runs \p R (whose Claimed flag the caller just set under Mu) and
+/// completes it: latch result, free the slot, promote, broadcast.
+void runRequest(const std::shared_ptr<AdmissionState> &St,
+                const std::shared_ptr<AdmissionRequest> &R) {
+  Trace T;
+  Status S = St->CP->tryExecute(R->Regions, T, R->Opts);
+  std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  {
+    std::lock_guard<std::mutex> L(St->Mu);
+    R->Result = std::move(S);
+    R->Out = std::move(T);
+    R->Done.store(true, std::memory_order_release);
+    auto It = std::find(St->Active.begin(), St->Active.end(), R);
+    if (It != St->Active.end())
+      St->Active.erase(It);
+    pumpLocked(*St, ToDispatch);
+    St->CV.notify_all();
+  }
+  for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
+    dispatchBackground(St, N);
+}
+
+void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
+                        const std::shared_ptr<AdmissionRequest> &R) {
+  // Weak captures only: the job must not keep the queue or the request
+  // alive (the queue's destructor is what breaks every cycle), and a job
+  // firing after shutdown must observe it and stand down.
+  std::weak_ptr<AdmissionState> WS = St;
+  std::weak_ptr<AdmissionRequest> WR = R;
+  ThreadPool::Ticket T = ThreadPool::global().submitAsync([WS, WR] {
+    std::shared_ptr<AdmissionState> St = WS.lock();
+    std::shared_ptr<AdmissionRequest> R = WR.lock();
+    if (!St || !R)
+      return;
+    {
+      std::lock_guard<std::mutex> L(St->Mu);
+      if (St->Shutdown || R->Claimed || !R->Active ||
+          R->Done.load(std::memory_order_relaxed))
+        return;
+      R->Claimed = true;
+    }
+    runRequest(St, R);
+  });
+  std::lock_guard<std::mutex> L(St->Mu);
+  St->Reap.push_back(std::move(T));
+}
+
+} // namespace
+
+ExecFuture::ExecFuture(std::shared_ptr<AdmissionRequest> R,
+                       std::shared_ptr<void> Keeper)
+    : R(std::move(R)), Keeper(std::move(Keeper)) {}
+
+bool ExecFuture::done() const {
+  return R != nullptr && R->Done.load(std::memory_order_acquire);
+}
+
+const Status &ExecFuture::wait() {
+  DISTAL_ASSERT(R != nullptr, "wait() on an invalid ExecFuture");
+  if (R->Done.load(std::memory_order_acquire))
+    return R->Result;
+  std::shared_ptr<AdmissionState> St = R->State;
+  std::unique_lock<std::mutex> L(St->Mu);
+  while (!R->Done.load(std::memory_order_relaxed)) {
+    // Free slots first (a completion may have raced our wake-up).
+    std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+    pumpLocked(*St, ToDispatch);
+    if (!ToDispatch.empty()) {
+      L.unlock();
+      for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
+        dispatchBackground(St, N);
+      L.lock();
+      continue;
+    }
+    // Caller-runs: claim our own admitted request if nobody else has.
+    if (R->Active && !R->Claimed) {
+      R->Claimed = true;
+      L.unlock();
+      runRequest(St, R);
+      L.lock();
+      continue;
+    }
+    // Help an unclaimed sibling — a Deferred request whose future nobody
+    // is waiting on would otherwise hold its slot forever and wedge the
+    // lane behind it.
+    std::shared_ptr<AdmissionRequest> Help;
+    for (const std::shared_ptr<AdmissionRequest> &O : St->Active)
+      if (!O->Claimed && !O->Done.load(std::memory_order_relaxed)) {
+        Help = O;
+        break;
+      }
+    if (Help) {
+      Help->Claimed = true;
+      L.unlock();
+      runRequest(St, Help);
+      L.lock();
+      continue;
+    }
+    St->CV.wait(L);
+  }
+  return R->Result;
+}
+
+const Trace &ExecFuture::trace() {
+  wait();
+  return R->Out;
+}
+
+AdmissionQueue::AdmissionQueue(CompiledPlan *CP)
+    : St(std::make_shared<AdmissionState>()) {
+  St->CP = CP;
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  std::vector<ThreadPool::Ticket> ReapLocal;
+  {
+    std::unique_lock<std::mutex> L(St->Mu);
+    St->Shutdown = true;
+    Status Destroyed(ErrorCode::FailedPrecondition,
+                     "CompiledPlan destroyed before the admitted execution "
+                     "ran");
+    for (const std::shared_ptr<AdmissionRequest> &R : St->Queued) {
+      R->Result = Destroyed;
+      R->Done.store(true, std::memory_order_release);
+    }
+    St->Queued.clear();
+    for (const std::shared_ptr<AdmissionRequest> &R : St->Active)
+      if (!R->Claimed) {
+        R->Result = Destroyed;
+        R->Done.store(true, std::memory_order_release);
+      }
+    St->Active.erase(
+        std::remove_if(St->Active.begin(), St->Active.end(),
+                       [](const std::shared_ptr<AdmissionRequest> &R) {
+                         return R->Done.load(std::memory_order_relaxed);
+                       }),
+        St->Active.end());
+    St->CV.notify_all();
+    // Claimed requests are executing against the artifact right now; the
+    // artifact must not die under them.
+    while (!St->Active.empty())
+      St->CV.wait(L);
+    ReapLocal.swap(St->Reap);
+  }
+  // Drains every dispatched job (late firers see Shutdown and stand down).
+  ReapLocal.clear();
+}
+
+ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
+                                  const ExecOptions &Opts, Dispatch D,
+                                  std::shared_ptr<void> Keeper) {
+  std::shared_ptr<AdmissionRequest> R;
+  bool NeedDispatch = false;
+  std::vector<ThreadPool::Ticket> ReapLocal;
+  {
+    std::unique_lock<std::mutex> L(St->Mu);
+    auto resolved = [&](ErrorCode C, const char *Msg) {
+      auto Rej = std::make_shared<AdmissionRequest>();
+      Rej->Result = Status(C, Msg);
+      Rej->Done.store(true, std::memory_order_release);
+      return ExecFuture(std::move(Rej), std::move(Keeper));
+    };
+    if (St->Shutdown)
+      return resolved(ErrorCode::FailedPrecondition,
+                      "CompiledPlan is shutting down");
+    // Coalesce onto an identical pending or in-flight request: the inputs
+    // are immutable over the window and the pass recomputes the same
+    // output bytes, so piggybacking returns exactly what a second pass
+    // would (see the file comment in Admission.h).
+    for (const std::shared_ptr<AdmissionRequest> &O : St->Active)
+      if (!O->Done.load(std::memory_order_relaxed) &&
+          sameKey(*O, Regions, Opts)) {
+        ++St->Counters.Coalesced;
+        return ExecFuture(O, std::move(Keeper));
+      }
+    for (const std::shared_ptr<AdmissionRequest> &O : St->Queued)
+      if (sameKey(*O, Regions, Opts)) {
+        ++St->Counters.Coalesced;
+        return ExecFuture(O, std::move(Keeper));
+      }
+    if (static_cast<int>(St->Active.size() + St->Queued.size()) >=
+        St->Capacity) {
+      ++St->Counters.Rejected;
+      return resolved(ErrorCode::ResourceExhausted,
+                      "CompiledPlan admission queue is full");
+    }
+    R = std::make_shared<AdmissionRequest>();
+    R->Regions = Regions;
+    R->Opts = Opts;
+    R->D = D;
+    R->State = St;
+    ++St->Counters.Admitted;
+    if (static_cast<int>(St->Active.size()) < St->MaxConcurrent) {
+      R->Active = true;
+      St->Active.push_back(R);
+      St->Counters.PeakActive = std::max(
+          St->Counters.PeakActive, static_cast<int>(St->Active.size()));
+      NeedDispatch = D == Dispatch::Background;
+    } else {
+      St->Queued.push_back(R);
+    }
+    // Bound the ticket graveyard; destruction happens outside the lock
+    // (a not-yet-run job's ticket runs it inline while being destroyed).
+    if (St->Reap.size() > 128)
+      ReapLocal.swap(St->Reap);
+  }
+  if (NeedDispatch)
+    dispatchBackground(St, R);
+  ReapLocal.clear();
+  return ExecFuture(std::move(R), std::move(Keeper));
+}
+
+void AdmissionQueue::setMaxConcurrent(int K) {
+  DISTAL_ASSERT(K >= 1, "admission concurrency must be >= 1");
+  std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  {
+    std::lock_guard<std::mutex> L(St->Mu);
+    St->MaxConcurrent = K;
+    pumpLocked(*St, ToDispatch);
+  }
+  for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
+    dispatchBackground(St, N);
+}
+
+void AdmissionQueue::setCapacity(int N) {
+  DISTAL_ASSERT(N >= 1, "admission capacity must be >= 1");
+  std::lock_guard<std::mutex> L(St->Mu);
+  St->Capacity = N;
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> L(St->Mu);
+  Stats S = St->Counters;
+  S.Active = static_cast<int>(St->Active.size());
+  S.Queued = static_cast<int>(St->Queued.size());
+  return S;
+}

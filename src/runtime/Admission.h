@@ -1,0 +1,148 @@
+//===- runtime/Admission.h - Execution admission + batching ----*- C++ -*-===//
+///
+/// \file
+/// The admission/batching front-end of a CompiledPlan: a bounded
+/// submission queue that admits up to K concurrent executions of one
+/// artifact, coalesces identical requests (same region map, same
+/// execute-time options) onto a single pass, and hands every submitter an
+/// ExecFuture — a StatusOr-carrying handle resolved when the execution
+/// completes.
+///
+/// Why coalescing is sound: executions only read input regions, which the
+/// engine requires to be immutable for the duration of an execution, and
+/// an execution of the same request re-zeroes and fully recomputes the
+/// same output region to the same bytes (the engine's determinism
+/// contract). Attaching a second identical request to an in-flight pass
+/// therefore returns exactly the bytes a second pass would have produced —
+/// under the documented assumption that the caller holds inputs immutable
+/// over the coalescing window. Requests over *different* output regions
+/// never coalesce and run concurrently, each in its own ExecArena.
+///
+/// Execution model: no dedicated dispatcher thread. A Background request
+/// is handed to the process pool's detached (communication) lane; a
+/// Deferred request waits for a claimant. Either way, ExecFuture::wait()
+/// is a worker: the waiting client thread claims and runs its own request
+/// inline when nobody else has (so a sequential host degenerates to
+/// synchronous execution, never a stall), and helps run other unclaimed
+/// admitted requests while its own is queued (so an abandoned future can
+/// never wedge the queue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DISTAL_RUNTIME_ADMISSION_H
+#define DISTAL_RUNTIME_ADMISSION_H
+
+#include <map>
+#include <memory>
+
+#include "lower/Plan.h"
+#include "runtime/Ledger.h"
+#include "support/Status.h"
+
+namespace distal {
+
+class CompiledPlan;
+class Region;
+struct ExecOptions;
+
+namespace detail {
+struct AdmissionState;
+struct AdmissionRequest;
+} // namespace detail
+
+/// Handle to one admitted (or rejected) execution request. Cheap to copy;
+/// all copies resolve to the same result. A default-constructed future is
+/// invalid. Dropping every copy of a pending future does not cancel the
+/// execution — it simply runs (or is failed at artifact destruction) with
+/// nobody reading the result.
+class ExecFuture {
+public:
+  ExecFuture() = default;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return R != nullptr; }
+
+  /// Non-blocking poll: true once the result is available.
+  bool done() const;
+
+  /// Blocks until the execution completes and returns its Status. May run
+  /// the execution inline on the calling thread (caller-runs; see file
+  /// comment). Idempotent — the result is latched. Never throws the
+  /// execution's error.
+  const Status &wait();
+
+  /// wait(), then the execution's trace: the precomputed skeleton under
+  /// TraceMode::Full, empty under TraceMode::Off or on failure.
+  const Trace &trace();
+
+private:
+  friend class AdmissionQueue;
+  ExecFuture(std::shared_ptr<detail::AdmissionRequest> R,
+             std::shared_ptr<void> Keeper);
+  std::shared_ptr<detail::AdmissionRequest> R;
+  /// Optional lifetime anchor (e.g. the shared_ptr<CompiledPlan> of a
+  /// cached artifact) kept alive until the future is destroyed, so a
+  /// PlanCache eviction can never destroy an artifact out from under a
+  /// pending handle.
+  std::shared_ptr<void> Keeper;
+};
+
+/// The per-artifact admission queue (owned by CompiledPlan; reach it via
+/// CompiledPlan::admission()). Thread-safe: every member may be called
+/// concurrently. Destroying the queue (i.e. the artifact) fails all
+/// not-yet-claimed requests with FailedPrecondition and waits for running
+/// executions to finish, so futures always resolve.
+class AdmissionQueue {
+public:
+  /// How a submitted request gets a worker. Background hands the request
+  /// to the process pool's detached lane at admission (true fire-and-forget
+  /// asynchrony — on a sequential host this degenerates to running it
+  /// before submit returns); Deferred leaves it for the first
+  /// ExecFuture::wait() to claim (the right choice when the caller waits
+  /// immediately, avoiding a pointless dispatch round-trip).
+  enum class Dispatch { Background, Deferred };
+
+  explicit AdmissionQueue(CompiledPlan *CP);
+  ~AdmissionQueue();
+  AdmissionQueue(const AdmissionQueue &) = delete;
+  AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+  /// Submits one execution request. Coalesces onto an identical pending or
+  /// in-flight request when one exists (see file comment); otherwise
+  /// admits it if the queue has room (running + queued < capacity) and
+  /// returns a future. A full queue rejects immediately: the returned
+  /// future is already resolved with ResourceExhausted and no execution
+  /// happens. \p Keeper is an optional lifetime anchor stored in the
+  /// future (see ExecFuture::Keeper).
+  ExecFuture submit(const std::map<TensorVar, Region *> &Regions,
+                    const ExecOptions &Opts,
+                    Dispatch D = Dispatch::Background,
+                    std::shared_ptr<void> Keeper = nullptr);
+
+  /// Cap on concurrently *running* executions of this artifact (default
+  /// 8). Admitted requests beyond it queue FIFO. Must be >= 1.
+  void setMaxConcurrent(int K);
+  /// Cap on admitted requests — running plus queued (default 64).
+  /// Submissions beyond it are rejected with ResourceExhausted. Must be
+  /// >= 1; capacity below max-concurrent simply caps concurrency further.
+  void setCapacity(int N);
+
+  /// Counters since construction plus a snapshot of the current state.
+  /// PeakActive is how tests prove executions genuinely overlapped.
+  struct Stats {
+    int64_t Admitted = 0;  ///< Requests that got their own execution.
+    int64_t Coalesced = 0; ///< Requests resolved by piggybacking.
+    int64_t Rejected = 0;  ///< Requests refused with ResourceExhausted.
+    int Active = 0;        ///< Currently admitted-and-activated requests.
+    int Queued = 0;        ///< Currently admitted-but-waiting requests.
+    int PeakActive = 0;    ///< High-water mark of Active.
+  };
+  Stats stats() const;
+
+private:
+  std::shared_ptr<detail::AdmissionState> St;
+};
+
+} // namespace distal
+
+#endif // DISTAL_RUNTIME_ADMISSION_H

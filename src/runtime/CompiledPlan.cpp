@@ -8,6 +8,16 @@
 // and task/leaf split, and across repeated executions. Nothing here touches
 // the trace: it was fully computed at compile time (PlanAnalysis).
 //
+// Reentrancy: everything the walk mutates lives in the execution's own
+// ExecArena — the artifact members read here (Tasks, StepVals, RhsTape,
+// Skeleton, the gather run programs) are immutable after construction, so
+// concurrent executions share them freely. tryExecute is acquire-arena /
+// run / release-or-discard; there is no execution-wide lock. Each
+// execution also claims an ExecutionSlot, dividing the configured thread
+// count by the number of executions in flight so N concurrent executions
+// never oversubscribe the machine (and at budget 1 an execution runs fully
+// inline on its client thread — N clients, N truly parallel walks).
+//
 // Two execution orders produce those identical bytes:
 //
 //  * Pipeline::Off — the bulk-synchronous order: all tasks complete step
@@ -102,17 +112,17 @@ int64_t CompiledPlan::zeroSkipTaskCount() const {
 }
 
 CompiledPlan::OverlapStats CompiledPlan::lastOverlapStats() const {
-  std::lock_guard<std::mutex> Lock(ExecMutex);
+  std::lock_guard<std::mutex> Lock(StateMutex);
   return LastOverlap;
 }
 
-void CompiledPlan::ensureExecState() {
-  if (!Execs.empty() || Tasks.empty())
+void CompiledPlan::ensureExecState(ExecArena &A) const {
+  if (!A.Execs.empty() || Tasks.empty())
     return;
-  Execs.resize(Tasks.size());
+  A.Execs.resize(Tasks.size());
   for (size_t I = 0; I < Tasks.size(); ++I) {
     const CompiledTask &CT = Tasks[I];
-    TaskExec &TE = Execs[I];
+    ExecArena::TaskExec &TE = A.Execs[I];
     TE.FixedVals = CT.DistVals;
     // Size every instance buffer once, at the maximum rectangle volume the
     // compiled program will ever bind it to, so steady-state executions
@@ -128,8 +138,8 @@ void CompiledPlan::ensureExecState() {
   }
 }
 
-void CompiledPlan::ensurePipelineState() {
-  if (PipeReady)
+void CompiledPlan::ensurePipelineState(ExecArena &A) const {
+  if (A.PipeReady)
     return;
   // Back buffers for every tensor the schedule may prefetch, sized like
   // the fronts so steady-state flips never reallocate; plus the per-task
@@ -144,52 +154,57 @@ void CompiledPlan::ensurePipelineState() {
           MaxVol[CG.Tensor] = std::max(MaxVol[CG.Tensor], CG.R.volume());
         }
     for (const auto &[TV, Vol] : MaxVol)
-      Execs[I].OwnedInsts[TV].back().reserve(Vol);
+      A.Execs[I].OwnedInsts[TV].back().reserve(Vol);
   }
-  Progress = std::make_unique<std::atomic<int32_t>[]>(
+  A.Progress = std::make_unique<std::atomic<int32_t>[]>(
       std::max<size_t>(Tasks.size(), 1));
-  PipeReady = true;
+  A.PipeReady = true;
 }
 
 bool CompiledPlan::poisoned() const {
-  std::lock_guard<std::mutex> Lock(ExecMutex);
+  std::lock_guard<std::mutex> Lock(StateMutex);
   return Poisoned;
 }
 
 void CompiledPlan::poisonForTesting() {
-  std::lock_guard<std::mutex> Lock(ExecMutex);
+  std::lock_guard<std::mutex> Lock(StateMutex);
   Poisoned = true;
 }
 
-bool CompiledPlan::quiescePending() {
-  // waitNoThrow consumes a pending exception instead of rethrowing: the
-  // primary error is already in flight, and the detached jobs reference
-  // executeLocked's stack (the overlap counters), so every ticket must be
-  // drained before that frame unwinds. The belt-and-braces catch keeps a
-  // failure here from escaping the containment path — if it fires, the
-  // artifact is poisoned rather than left with live references.
-  try {
-    for (TaskExec &TE : Execs) {
-      for (ThreadPool::Ticket &T : TE.Pending)
-        T.waitNoThrow();
-      TE.Pending.clear();
-      TE.PendingIssued.clear();
+std::unique_ptr<ExecArena> CompiledPlan::acquireArena() {
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (!FreeArenas.empty()) {
+      std::unique_ptr<ExecArena> A = std::move(FreeArenas.back());
+      FreeArenas.pop_back();
+      ++Arenas.Reused;
+      return A;
     }
-    return true;
-  } catch (...) {
-    return false;
+    ++Arenas.Created;
   }
+  return std::make_unique<ExecArena>();
 }
 
-void CompiledPlan::resetExecState() {
-  // Dropping Execs discards every instance front/back/view and leaf
-  // engine; the next execution's ensureExecState/ensurePipelineState
-  // rebuilds them from the immutable compiled program, so a re-execute
-  // after a contained failure is exactly a first run on a fresh artifact.
-  Execs.clear();
-  PipeReady = false;
-  Progress.reset();
-  LastOverlap = OverlapStats{};
+void CompiledPlan::releaseArena(std::unique_ptr<ExecArena> A) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  if (static_cast<int>(FreeArenas.size()) < ArenaCacheCap)
+    FreeArenas.push_back(std::move(A));
+  // Past the cap, A simply dies here — a clean arena holds no detached
+  // work, so destruction is safe.
+}
+
+CompiledPlan::ArenaStats CompiledPlan::arenaStats() const {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ArenaStats S = Arenas;
+  S.Cached = static_cast<int>(FreeArenas.size());
+  return S;
+}
+
+void CompiledPlan::setArenaCacheCap(int N) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ArenaCacheCap = N < 0 ? 0 : N;
+  while (static_cast<int>(FreeArenas.size()) > ArenaCacheCap)
+    FreeArenas.pop_back();
 }
 
 Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
@@ -203,62 +218,63 @@ Trace CompiledPlan::execute(const std::map<TensorVar, Region *> &Regions,
 
 Status CompiledPlan::tryExecute(const std::map<TensorVar, Region *> &Regions,
                                 Trace &Out, const ExecOptions &Opts) {
-  std::lock_guard<std::mutex> Lock(ExecMutex);
-  if (Poisoned)
-    return Status(ErrorCode::FailedPrecondition,
-                  "CompiledPlan is poisoned by an uncontained execution "
-                  "failure; recompile the plan (and evict any PlanCache "
-                  "entry holding it)");
-  // The serialization contract, asserted: concurrent executions of one
-  // artifact queue on ExecMutex above — the reusable instance buffers,
-  // leaf engines, and overlap counters below are artifact state. The
-  // exchange stays outside the assert so an NDEBUG build cannot compile
-  // the check's side effect away.
-  bool WasExecuting = Executing.exchange(true);
-  DISTAL_ASSERT(!WasExecuting,
-                "CompiledPlan::execute entered concurrently; the internal "
-                "mutex must serialize executions");
-  (void)WasExecuting;
-  struct ExecFlagGuard {
-    std::atomic<bool> &F;
-    ~ExecFlagGuard() { F.store(false); }
-  } FlagGuard{Executing};
-
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (Poisoned)
+      return Status(ErrorCode::FailedPrecondition,
+                    "CompiledPlan is poisoned; recompile the plan (and evict "
+                    "any PlanCache entry holding it)");
+  }
+  std::unique_ptr<ExecArena> A = acquireArena();
+  // Census in, budget derived: while this slot is held, sibling executions
+  // see one more active execution and size their thread budgets down.
+  ExecutionSlot Slot;
+  // Per-arena fault scope: this execution's injection-site arrivals are
+  // counted privately, so a configured fault schedule hits THIS execution
+  // deterministically regardless of what sibling arenas are doing.
+  FaultInjector::beginExecution(A->Fault);
   try {
-    Out = executeLocked(Regions, Opts);
+    Out = executeBody(*A, Slot, Regions, Opts);
+    {
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      LastOverlap = OverlapStats{};
+      LastOverlap.PrefetchSeconds =
+          static_cast<double>(A->PrefetchNs.load()) * 1e-9;
+      LastOverlap.SyncSeconds = static_cast<double>(A->SyncNs.load()) * 1e-9;
+      LastOverlap.WaitSeconds = static_cast<double>(A->WaitNs.load()) * 1e-9;
+    }
+    releaseArena(std::move(A));
     return Status();
   } catch (...) {
-    // executeLocked already contained the failure (quiesce + state reset,
-    // or poisoning) before unwinding; here the exception only needs to be
-    // flattened into a Status.
-    return statusFromCurrentException();
-  }
-}
-
-Trace CompiledPlan::executeLocked(const std::map<TensorVar, Region *> &Regions,
-                                  const ExecOptions &Opts) {
-  try {
-    return executeBody(Regions, Opts);
-  } catch (...) {
     Status S = statusFromCurrentException();
-    // Containment, in order: (1) drain every in-flight prefetch ticket —
-    // their jobs reference artifact state (back buffers, the overlap
-    // counters) that resetExecState is about to drop; (2) discard the
-    // reusable execution state so the next run rebuilds it from scratch.
-    // Only if the drain itself fails is the artifact unsalvageable.
-    if (!quiescePending()) {
-      Poisoned = true;
-      S.appendNote("in-flight prefetch work could not be quiesced; "
-                   "artifact poisoned, recompile required");
+    // Containment, per-arena: (1) drain the arena's in-flight prefetch
+    // tickets — their jobs reference arena state (back buffers, overlap
+    // counters); (2) discard the arena instead of returning it to the
+    // pool, so no partially-mutated buffer survives into a later run. The
+    // artifact and sibling executions are untouched either way; only a
+    // failed drain costs more than one arena (quarantine).
+    if (A->quiescePending()) {
+      {
+        std::lock_guard<std::mutex> Lock(StateMutex);
+        ++Arenas.Discarded;
+      }
+      A.reset();
+      S.appendNote("failed execution's arena discarded; the artifact "
+                   "remains reusable");
     } else {
-      resetExecState();
-      S.appendNote("execution state reset; the artifact remains reusable");
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      ++Arenas.Condemned;
+      CondemnedArenas.push_back(std::move(A));
+      S.appendNote("in-flight prefetch work could not be quiesced; the "
+                   "failed arena is quarantined, the artifact remains "
+                   "reusable");
     }
-    throwStatus(std::move(S));
+    return S;
   }
 }
 
-Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
+Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
+                                const std::map<TensorVar, Region *> &Regions,
                                 const ExecOptions &Opts) {
   const TensorVar &Out = P.Nest.Stmt.lhs().tensor();
   for (const TensorVar &TV : P.Nest.Stmt.tensors())
@@ -266,15 +282,25 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
       reportFatalError("no region provided for tensor '" + TV.name() + "'");
   Regions.at(Out)->zero();
 
-  // Resolve the execution context and the task/leaf thread split.
-  ExecContext *Ctx = Opts.Ctx;
-  int Threads = Ctx                   ? Ctx->numThreads()
-                : Opts.NumThreads > 0 ? Opts.NumThreads
-                                      : defaultExecutorThreads();
-  if (!Ctx && Threads > 1) {
-    if (!OwnCtx || OwnCtx->numThreads() != Threads)
-      OwnCtx = std::make_unique<ExecContext>(Threads);
-    Ctx = OwnCtx.get();
+  // Resolve the execution context and the task/leaf thread split. The
+  // configured width is divided by the number of executions in flight
+  // (ExecutionSlot::budget) so concurrent executions share the machine
+  // instead of oversubscribing it; at budget 1 the walk runs fully inline
+  // on the calling thread. The budget only changes scheduling, never
+  // output bytes.
+  int Configured = Opts.Ctx              ? Opts.Ctx->numThreads()
+                   : Opts.NumThreads > 0 ? Opts.NumThreads
+                                         : defaultExecutorThreads();
+  int Threads = Slot.budget(Configured);
+  ExecContext *Ctx = nullptr;
+  if (Threads > 1) {
+    if (Opts.Ctx && Opts.Ctx->numThreads() == Threads) {
+      Ctx = Opts.Ctx;
+    } else {
+      if (!A.OwnCtx || A.OwnCtx->numThreads() != Threads)
+        A.OwnCtx = std::make_unique<ExecContext>(Threads);
+      Ctx = A.OwnCtx.get();
+    }
   }
   // At 1 thread the whole run — including nested BLAS kernels — must stay
   // on this thread.
@@ -324,14 +350,14 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
   // is the seed reference and always copies.
   bool ViewsOn = Opts.ZeroCopyViews && Strategy == LeafStrategy::Compiled;
 
-  ensureExecState();
+  ensureExecState(A);
   if (Pipelined)
-    ensurePipelineState();
+    ensurePipelineState(A);
 
   using Clock = std::chrono::steady_clock;
-  PrefetchNs.store(0, std::memory_order_relaxed);
-  SyncNs.store(0, std::memory_order_relaxed);
-  WaitNs.store(0, std::memory_order_relaxed);
+  A.PrefetchNs.store(0, std::memory_order_relaxed);
+  A.SyncNs.store(0, std::memory_order_relaxed);
+  A.WaitNs.store(0, std::memory_order_relaxed);
   auto nsSince = [](Clock::time_point T0) {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                 T0)
@@ -344,9 +370,9 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
   // storage (no bytes move, no time counted); the rest reset + replay the
   // precomputed coalesced run program. \p Counter, when given, accumulates
   // a copy's wall time.
-  auto syncGather = [&](TaskExec &TE, const CompiledGather &G,
+  auto syncGather = [&](ExecArena::TaskExec &TE, const CompiledGather &G,
                         std::atomic<int64_t> *Counter) {
-    FaultInjector::inject(FaultInjector::Site::Gather);
+    FaultInjector::inject(FaultInjector::Site::Gather, &A.Fault);
     Instance &Inst = TE.OwnedInsts[G.Tensor];
     if (ViewsOn && G.Class == GatherClass::Aliasable) {
       Regions.at(G.Tensor)->bindView(Inst, G.R);
@@ -373,7 +399,7 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
   // cleared, and elides its writeback at the end.
   parallelTasks([&](int64_t I) {
     const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
-    TaskExec &TE = Execs[static_cast<size_t>(I)];
+    ExecArena::TaskExec &TE = A.Execs[static_cast<size_t>(I)];
     for (const CompiledGather &G : CT.LaunchGathers) {
       if (!G.IsOutput) {
         syncGather(TE, G, nullptr);
@@ -398,13 +424,13 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
     for (size_t S = 0; S < StepVals.size(); ++S) {
       parallelTasks([&](int64_t I) {
         const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
-        TaskExec &TE = Execs[static_cast<size_t>(I)];
+        ExecArena::TaskExec &TE = A.Execs[static_cast<size_t>(I)];
         for (const auto &[V, C] : StepVals[S])
           TE.FixedVals[V] = C;
         for (const CompiledGather &G : CT.StepGathers[S])
           syncGather(TE, G, nullptr);
         if (CT.RunLeaf[S]) {
-          FaultInjector::inject(FaultInjector::Site::Leaf);
+          FaultInjector::inject(FaultInjector::Site::Leaf, &A.Fault);
           if (Strategy == LeafStrategy::Compiled)
             leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
                                   LeafLP, OverwriteLeaves && CT.SkipOutputZero);
@@ -416,13 +442,13 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
   } else {
     size_t NumSteps = StepVals.size();
     for (int64_t I = 0; I < NumTasks; ++I)
-      Progress[static_cast<size_t>(I)].store(-1, std::memory_order_relaxed);
+      A.Progress[static_cast<size_t>(I)].store(-1, std::memory_order_relaxed);
     LeafParallelism CommLP =
         CommWays > 1 ? LeafParallelism{Pool, CommWays} : LeafParallelism{};
 
     parallelTasks([&](int64_t TaskIdx) {
       const CompiledTask &CT = Tasks[static_cast<size_t>(TaskIdx)];
-      TaskExec &TE = Execs[static_cast<size_t>(TaskIdx)];
+      ExecArena::TaskExec &TE = A.Execs[static_cast<size_t>(TaskIdx)];
       int64_t PendingStep = -1;
 
       // Issue the prefetchable gathers of step S into back buffers as
@@ -464,7 +490,7 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
           // finished the previous step's gathers. Not yet there: skip the
           // prefetch (never block the chain) and gather synchronously.
           if (Dep >= 0 &&
-              Progress[static_cast<size_t>(Dep)].load(
+              A.Progress[static_cast<size_t>(Dep)].load(
                   std::memory_order_acquire) < static_cast<int64_t>(S) - 1)
             continue;
           const CompiledGather &G = Gs[Gi];
@@ -472,12 +498,15 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
           B.reset(G.R);
           const Region *Src = Regions.at(G.Tensor);
           const GatherRuns *Runs = &G.Runs; // Artifact-lifetime storage.
-          TE.Pending.push_back(Pool->submitAsync([this, &B, Runs, Src,
-                                                  CommLP, nsSince] {
-            FaultInjector::inject(FaultInjector::Site::Prefetch);
+          // The job captures the arena (counters, fault scope, back
+          // buffer), never the execute frame: containment quiesces these
+          // tickets after this frame is gone, and the arena outlives them.
+          TE.Pending.push_back(Pool->submitAsync([&A, &B, Runs, Src, CommLP,
+                                                  nsSince] {
+            FaultInjector::inject(FaultInjector::Site::Prefetch, &A.Fault);
             Clock::time_point T0 = Clock::now();
             Src->gatherCompiled(B, *Runs, CommLP);
-            PrefetchNs.fetch_add(nsSince(T0), std::memory_order_relaxed);
+            A.PrefetchNs.fetch_add(nsSince(T0), std::memory_order_relaxed);
           }));
           TE.PendingIssued[Gi] = 1;
         }
@@ -493,28 +522,28 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
           for (ThreadPool::Ticket &T : TE.Pending)
             T.wait();
           TE.Pending.clear();
-          WaitNs.fetch_add(nsSince(W0), std::memory_order_relaxed);
+          A.WaitNs.fetch_add(nsSince(W0), std::memory_order_relaxed);
           for (size_t Gi = 0; Gi < Gs.size(); ++Gi) {
             if (TE.PendingIssued[Gi]) {
               Instance &Inst = TE.OwnedInsts[Gs[Gi].Tensor];
               Inst.flip();
               TE.Insts[Gs[Gi].Tensor] = &Inst;
             } else {
-              syncGather(TE, Gs[Gi], &SyncNs);
+              syncGather(TE, Gs[Gi], &A.SyncNs);
             }
           }
         } else {
           for (const CompiledGather &G : Gs)
-            syncGather(TE, G, &SyncNs);
+            syncGather(TE, G, &A.SyncNs);
         }
         // Publish: this task's step-S data is materialised. Relay-
         // dependent prefetches of neighbouring chains gate on this.
-        Progress[static_cast<size_t>(TaskIdx)].store(
+        A.Progress[static_cast<size_t>(TaskIdx)].store(
             static_cast<int32_t>(S), std::memory_order_release);
         if (S + 1 < NumSteps)
           issuePrefetch(S + 1);
         if (CT.RunLeaf[S]) {
-          FaultInjector::inject(FaultInjector::Site::Leaf);
+          FaultInjector::inject(FaultInjector::Site::Leaf, &A.Fault);
           leaf::runCompiledLeaf(TE.Leaf, P, TE.FixedVals, TE.Insts, RhsTape,
                                 LeafLP, OverwriteLeaves && CT.SkipOutputZero);
         }
@@ -529,15 +558,15 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
   // no merge order to preserve).
   Region *OutR = Regions.at(Out);
   if (Strategy != LeafStrategy::Compiled) {
-    for (TaskExec &TE : Execs) {
-      FaultInjector::inject(FaultInjector::Site::Writeback);
+    for (ExecArena::TaskExec &TE : A.Execs) {
+      FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
       OutR->reduceBackPointwise(TE.OwnedInsts.at(Out));
     }
   } else if (!Pool || Out.order() == 0) {
-    for (TaskExec &TE : Execs) {
+    for (ExecArena::TaskExec &TE : A.Execs) {
       const Instance &OutInst = TE.OwnedInsts.at(Out);
       if (!OutInst.isView()) {
-        FaultInjector::inject(FaultInjector::Site::Writeback);
+        FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
         OutR->reduceBack(OutInst);
       }
     }
@@ -547,20 +576,14 @@ Trace CompiledPlan::executeBody(const std::map<TensorVar, Region *> &Regions,
     // bitwise-identical to the sequential merge.
     Coord Rows = OutR->shape()[0];
     Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
-      FaultInjector::inject(FaultInjector::Site::Writeback);
-      for (TaskExec &TE : Execs) {
+      FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
+      for (ExecArena::TaskExec &TE : A.Execs) {
         const Instance &OutInst = TE.OwnedInsts.at(Out);
         if (!OutInst.isView())
           OutR->reduceBackRows(OutInst, RowLo, RowHi);
       }
     });
   }
-
-  LastOverlap = OverlapStats{};
-  LastOverlap.PrefetchSeconds =
-      static_cast<double>(PrefetchNs.load()) * 1e-9;
-  LastOverlap.SyncSeconds = static_cast<double>(SyncNs.load()) * 1e-9;
-  LastOverlap.WaitSeconds = static_cast<double>(WaitNs.load()) * 1e-9;
 
   if (Opts.Mode == TraceMode::Off) {
     Trace Empty;

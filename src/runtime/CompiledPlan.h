@@ -12,33 +12,40 @@
 /// Instance buffers sized at compile time and reused across executions, and
 /// the trace is (optionally) the precomputed skeleton, never re-derived.
 ///
-/// This mirrors the paper's separation between compiling a scheduled tensor
-/// statement for a machine and repeatedly executing it: iterative workloads
-/// (power iteration, solver loops, repeated GEMM) pay analysis cost once
-/// and steady-state cost thereafter.
+/// The artifact is immutable after compilation and therefore *reentrant*:
+/// every execution walks the shared compiled program with its own ExecArena
+/// (see runtime/ExecArena.h) holding all the state the walk mutates, so any
+/// number of executions — direct execute() calls or requests admitted
+/// through the per-artifact AdmissionQueue — run concurrently with no
+/// serialization. This mirrors the paper's separation between compiling a
+/// scheduled tensor statement for a machine and repeatedly executing it:
+/// iterative workloads (power iteration, solver loops, repeated GEMM) pay
+/// analysis cost once and steady-state cost thereafter, and a cached
+/// artifact serves many client threads at once.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DISTAL_RUNTIME_COMPILEDPLAN_H
 #define DISTAL_RUNTIME_COMPILEDPLAN_H
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "lower/Plan.h"
+#include "runtime/Admission.h"
+#include "runtime/ExecArena.h"
 #include "runtime/LeafCompiler.h"
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
 #include "support/Status.h"
-#include "support/ThreadPool.h"
 
 namespace distal {
 
 class ExecContext;
+class ExecutionSlot;
 
 /// How leaf kernels execute.
 enum class LeafStrategy {
@@ -76,8 +83,12 @@ enum class Pipeline {
 /// PlanCache key — so one artifact serves every configuration; traces and
 /// output data are bitwise-identical across all of them.
 struct ExecOptions {
-  /// Runs over this context instead of one owned by the artifact (pool
-  /// sharing across plans). Must outlive the execution.
+  /// Runs over this context instead of one owned by the execution (pool
+  /// sharing across plans). Must outlive the execution. Note that under
+  /// concurrent executions the per-execution thread budget (see
+  /// ExecutionSlot) may be smaller than this context's thread count, in
+  /// which case the execution falls back to an arena-owned context of the
+  /// budgeted width.
   ExecContext *Ctx = nullptr;
   /// Threads when \p Ctx is null. 0 uses the process default
   /// (DISTAL_NUM_THREADS or hardware concurrency); 1 forces the fully
@@ -169,26 +180,32 @@ struct CompiledTask {
 
 /// The persistent compile-once / execute-many artifact.
 ///
-/// Thread safety: execute() serializes internally (the reusable instance
-/// buffers and leaf engines are artifact state); concurrent executions of
-/// one artifact are safe but run one at a time. The artifact owns its Plan
-/// copy, so it remains valid after the schedule or lowering inputs change —
-/// staleness is managed by the PlanCache key, not by the artifact.
+/// Thread safety: the artifact is reentrant. The compiled program is
+/// immutable after construction, and every execution carries its mutable
+/// state (instance buffers, leaf engines, prefetch tickets, progress
+/// slots, overlap counters, fault scope) in a per-execution ExecArena —
+/// pooled and reused under a small internal lock, bounded by
+/// setArenaCacheCap so the steady state allocates nothing. Any number of
+/// threads may call execute()/tryExecute()/submit() on one artifact
+/// concurrently; outputs are bitwise-identical to running the same calls
+/// serially. Concurrent executions *of the same region map* should go
+/// through submit() (which coalesces them onto one pass) rather than
+/// direct execute() calls racing on one output region.
 ///
 /// Failure contract (tryExecute): when any step of an execution fails —
 /// a gather, a prefetch ticket, a leaf launch, a writeback stripe, or an
-/// allocation in Instance::reserve/reset — the execution (1) quiesces
-/// every in-flight prefetch ticket (their exceptions are consumed; the
-/// primary error wins), then (2) drops all reusable execution state
-/// (instance fronts/backs/views, leaf engines, step-progress counters) so
-/// the next execution rebuilds it from the immutable compiled program.
-/// The artifact therefore stays reusable: a subsequent clean execute() is
+/// allocation in Instance::reserve/reset — the failure is contained to
+/// that execution's arena: (1) the arena's in-flight prefetch tickets are
+/// quiesced (their exceptions are consumed; the primary error wins), then
+/// (2) the arena is discarded instead of returning to the pool, so no
+/// partially-mutated buffers can leak into a later run. The artifact and
+/// every sibling execution are untouched; a subsequent clean execute() is
 /// bitwise-identical to one against a freshly compiled artifact. Input
 /// regions are never mutated by a failed execution; the output region may
 /// hold partial data but is re-zeroed by every execution. If the quiesce
-/// itself fails the artifact is marked poisoned — every further
-/// tryExecute returns FailedPrecondition and the owner should evict it
-/// from the PlanCache (Tensor::tryEvaluate does).
+/// itself fails, only the failed arena is condemned — quarantined alive
+/// for the artifact's lifetime because detached jobs may still reference
+/// its buffers — and the artifact still remains reusable.
 class CompiledPlan {
 public:
   /// Compiles \p P for repeated execution: runs the full data-independent
@@ -200,12 +217,15 @@ public:
   CompiledPlan(const CompiledPlan &) = delete;
   CompiledPlan &operator=(const CompiledPlan &) = delete;
 
+  /// The artifact's own copy of the compiled Plan (immutable; staleness is
+  /// managed by the PlanCache key, not by the artifact).
   const Plan &plan() const { return P; }
+  /// The leaf strategy this artifact was compiled with.
   LeafStrategy strategy() const { return Strategy; }
 
   /// The precomputed execution trace (messages, work, peak memory) — what
   /// Executor::simulate returns, identical to what every execution
-  /// observes.
+  /// observes. Thread-safe (immutable after construction).
   const Trace &trace() const { return Skeleton; }
 
   /// Aggregate of the compile-time prefetch schedule over all tasks and
@@ -213,6 +233,7 @@ public:
   /// hide). View-elided gathers are not prefetchable — there is no copy to
   /// hide — so they are reported in their own bucket, keeping
   /// overlapFraction() comparable to the Simulator's OverlapFactor.
+  /// Thread-safe (immutable after construction).
   struct PrefetchStats {
     int64_t Free = 0;      ///< Prefetchable with no cross-task dependency.
     int64_t Dependent = 0; ///< Relay-fed, prefetchable behind a task dep.
@@ -225,6 +246,7 @@ public:
   /// assuming views are enabled (the default): what the copy engine moves
   /// versus what alias analysis proved never moves. The benches report
   /// GatheredBytes + ElidedBytes as the "before" (views-off) traffic.
+  /// Thread-safe (immutable after construction).
   struct DataMovementStats {
     int64_t GatheredBytes = 0; ///< Copied by launch + step gathers.
     int64_t ElidedBytes = 0;   ///< Gathers bound as views instead.
@@ -239,12 +261,15 @@ public:
 
   /// Number of tasks whose launch-phase output zero is skipped (the
   /// compile phase proved their leaves fully overwrite the accumulator).
+  /// Thread-safe (immutable after construction).
   int64_t zeroSkipTaskCount() const;
 
-  /// Measured communication/computation overlap of the most recent
-  /// execute() (zeroed by non-pipelined executions). overlapFraction() is
-  /// directly comparable to MachineSpec::OverlapFactor: the fraction of
-  /// total gather time hidden behind leaf compute.
+  /// Measured communication/computation overlap of the most recently
+  /// *completed* execution (zeroed by non-pipelined executions).
+  /// overlapFraction() is directly comparable to MachineSpec::
+  /// OverlapFactor: the fraction of total gather time hidden behind leaf
+  /// compute. Thread-safe; under concurrent executions the last completer
+  /// wins, so read it from a serial measurement run.
   struct OverlapStats {
     double PrefetchSeconds = 0; ///< Gather time spent in async prefetch jobs.
     double SyncSeconds = 0;     ///< Gather time on the critical path.
@@ -264,60 +289,85 @@ public:
   /// Returns the trace skeleton (TraceMode::Full) or an empty trace
   /// (TraceMode::Off). Output data is bitwise-identical for every thread
   /// count and task/leaf split, and to a freshly compiled artifact's.
-  /// Throws DistalError on failure (see the class failure contract);
-  /// tryExecute is the non-throwing form.
+  /// Thread-safe and reentrant — concurrent calls run concurrently, each
+  /// in its own arena (callers racing on the *same* output region should
+  /// use submit() instead, which coalesces them). Throws DistalError on
+  /// failure (see the class failure contract); tryExecute is the
+  /// non-throwing form.
   Trace execute(const std::map<TensorVar, Region *> &Regions,
                 const ExecOptions &Opts = {});
 
   /// Non-throwing execute: on success fills \p Out and returns OK; on
   /// failure returns the error after containing it per the class failure
-  /// contract (in-flight prefetches quiesced, execution state dropped, the
-  /// artifact reusable — or poisoned if the quiesce itself failed).
+  /// contract (the failed arena quiesced and discarded — or condemned —
+  /// with the artifact and all sibling executions untouched). Thread-safe
+  /// and reentrant, like execute().
   Status tryExecute(const std::map<TensorVar, Region *> &Regions, Trace &Out,
                     const ExecOptions &Opts = {});
 
-  /// True once a failed execution could not be contained (quiesce failure):
-  /// every further tryExecute returns FailedPrecondition and the owner
-  /// should drop the artifact (PlanCache::invalidate).
+  /// Submits one execution through the artifact's admission queue: bounded
+  /// concurrency, identical requests coalesced onto one pass, result
+  /// delivered through the returned ExecFuture (see runtime/Admission.h).
+  /// Thread-safe. This is the right entry point when many client threads
+  /// share one artifact.
+  ExecFuture submit(const std::map<TensorVar, Region *> &Regions,
+                    const ExecOptions &Opts = {},
+                    AdmissionQueue::Dispatch D =
+                        AdmissionQueue::Dispatch::Background,
+                    std::shared_ptr<void> Keeper = nullptr) {
+    return Queue.submit(Regions, Opts, D, std::move(Keeper));
+  }
+
+  /// The artifact's admission/batching front-end (tuning knobs + stats).
+  /// Thread-safe.
+  AdmissionQueue &admission() { return Queue; }
+
+  /// Arena-pool counters (see ExecArena): how executions acquired their
+  /// state, and what containment did with failed arenas. Thread-safe.
+  struct ArenaStats {
+    int64_t Created = 0;   ///< Arenas newly allocated.
+    int64_t Reused = 0;    ///< Acquisitions served from the cache.
+    int64_t Discarded = 0; ///< Failed executions' arenas thrown away.
+    int64_t Condemned = 0; ///< Quarantined after a failed quiesce.
+    int Cached = 0;        ///< Currently idle in the cache.
+  };
+  ArenaStats arenaStats() const;
+
+  /// Caps the idle-arena cache (default 4). Executions beyond the cap
+  /// still run — their arenas are simply freed on release instead of
+  /// cached. 0 disables reuse entirely. Thread-safe.
+  void setArenaCacheCap(int N);
+
+  /// True once the artifact was explicitly marked unusable (see
+  /// poisonForTesting): every further tryExecute returns
+  /// FailedPrecondition and the owner should drop the artifact
+  /// (PlanCache::invalidate). Note that execution failures — even failed
+  /// quiesces — no longer poison the artifact; containment is per-arena.
+  /// Thread-safe.
   bool poisoned() const;
-  /// Test hook: marks the artifact poisoned as if a quiesce had failed.
+  /// Test hook: marks the artifact refused-for-execution, exercising the
+  /// owner-side eviction paths (Tensor::tryEvaluate evicts on this).
   void poisonForTesting();
 
 private:
-  /// Reusable per-task execution state: instance buffers sized at compile
-  /// time (max rectangle volume over all phases) and the leaf engine whose
-  /// affine structure persists across steps and executions. Pending holds
-  /// the in-flight prefetch tickets of the task's chain; PendingIssued
-  /// marks which gathers of the pending step were issued asynchronously
-  /// (the rest are gathered synchronously on arrival).
-  struct TaskExec {
-    std::map<IndexVar, Coord> FixedVals;
-    std::map<TensorVar, Instance> OwnedInsts;
-    std::map<TensorVar, Instance *> Insts;
-    leaf::LeafEngine Leaf;
-    std::vector<ThreadPool::Ticket> Pending;
-    std::vector<uint8_t> PendingIssued;
-  };
-
-  void ensureExecState();
-  void ensurePipelineState();
-  /// Containment wrapper around executeBody; runs with ExecMutex held.
-  /// On a throw it quiesces in-flight prefetches and resets the execution
-  /// state (or poisons the artifact), then rethrows as DistalError.
-  Trace executeLocked(const std::map<TensorVar, Region *> &Regions,
-                      const ExecOptions &Opts);
-  /// The execute walk proper; runs with ExecMutex held. Throws on failure.
-  Trace executeBody(const std::map<TensorVar, Region *> &Regions,
+  /// Hands out a pooled arena (or a fresh one) for one execution.
+  std::unique_ptr<ExecArena> acquireArena();
+  /// Returns a successfully-used arena to the cache (or frees it past the
+  /// cap). Failed arenas never come back here — tryExecute discards or
+  /// condemns them.
+  void releaseArena(std::unique_ptr<ExecArena> A);
+  /// Builds \p A's per-task instance buffers / leaf engines on first use
+  /// (idempotent; sized at the compile-time maxima so reuse never
+  /// reallocates).
+  void ensureExecState(ExecArena &A) const;
+  /// Builds \p A's back buffers and progress slots for the pipelined
+  /// order (idempotent).
+  void ensurePipelineState(ExecArena &A) const;
+  /// The execute walk proper, entirely over \p A's state. Throws on
+  /// failure; tryExecute contains it.
+  Trace executeBody(ExecArena &A, const ExecutionSlot &Slot,
+                    const std::map<TensorVar, Region *> &Regions,
                     const ExecOptions &Opts);
-  /// Containment step 1: waits out every in-flight prefetch ticket,
-  /// consuming their exceptions (the primary error is already in flight).
-  /// Returns false if the quiesce itself threw — the artifact must then be
-  /// poisoned, because detached jobs may still reference dead stack frames.
-  bool quiescePending();
-  /// Containment step 2: drops all reusable execution state so the next
-  /// execution rebuilds it from the immutable compiled program, exactly
-  /// like a first run on a fresh artifact.
-  void resetExecState();
 
   Plan P;
   LeafStrategy Strategy;
@@ -328,31 +378,22 @@ private:
   /// step (same across tasks; tasks keep private FixedVals maps).
   std::vector<std::vector<std::pair<IndexVar, Coord>>> StepVals;
 
-  mutable std::mutex ExecMutex;
-  /// Documents-and-asserts the serialization contract: concurrent
-  /// execute() calls on one artifact queue on ExecMutex rather than race
-  /// on the shared instance buffers and leaf engines.
-  std::atomic<bool> Executing{false};
-  std::vector<TaskExec> Execs; ///< Lazily built on first execute, reused.
-  bool PipeReady = false; ///< Back buffers reserved for prefetch.
-  /// Set when a failed execution could not be contained (guarded by
-  /// ExecMutex). See poisoned().
-  bool Poisoned = false;
-  /// Per-task step progress (highest step whose gathers completed),
-  /// published by each chain and read by relay-dependent prefetch issues.
-  std::unique_ptr<std::atomic<int32_t>[]> Progress;
-  /// Measured overlap of the last execution (guarded by ExecMutex; read
-  /// through lastOverlapStats after execute returns).
+  /// Guards the mutable bookkeeping below — never held across an
+  /// execution, only for pool handoffs and stat reads.
+  mutable std::mutex StateMutex;
+  std::vector<std::unique_ptr<ExecArena>> FreeArenas;
+  /// Arenas whose failed quiesce left detached jobs possibly referencing
+  /// their buffers: kept alive, never reused (see the failure contract).
+  std::vector<std::unique_ptr<ExecArena>> CondemnedArenas;
+  int ArenaCacheCap = 4;
+  ArenaStats Arenas;
   OverlapStats LastOverlap;
-  /// Per-execution overlap accumulators, reset at the start of every
-  /// execution. Members rather than execute-frame locals so a detached
-  /// prefetch job can never reference a stack frame that a failure has
-  /// unwound — the containment quiesce runs after executeBody's frame is
-  /// gone, and these must still be alive for stragglers it drains.
-  std::atomic<int64_t> PrefetchNs{0}, SyncNs{0}, WaitNs{0};
-  /// Context owned when none is supplied; rebuilt only when the requested
-  /// thread count changes.
-  std::unique_ptr<ExecContext> OwnCtx;
+  bool Poisoned = false;
+
+  /// The admission front-end. Declared last so it is destroyed *first*:
+  /// its destructor fails unclaimed requests and waits out running
+  /// executions before the compiled program and the arenas above die.
+  AdmissionQueue Queue{this};
 };
 
 } // namespace distal

@@ -1,0 +1,25 @@
+//===- runtime/ExecArena.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/ExecArena.h"
+
+using namespace distal;
+
+bool ExecArena::quiescePending() {
+  // waitNoThrow consumes a pending exception instead of rethrowing: the
+  // primary error is already in flight, and the detached jobs reference
+  // this arena's buffers and counters, so every ticket must be drained
+  // before the arena can be destroyed or reused. The belt-and-braces catch
+  // keeps a failure here from escaping the containment path — if it fires,
+  // the arena is quarantined rather than left with live references.
+  try {
+    for (TaskExec &TE : Execs) {
+      for (ThreadPool::Ticket &T : TE.Pending)
+        T.waitNoThrow();
+      TE.Pending.clear();
+      TE.PendingIssued.clear();
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}

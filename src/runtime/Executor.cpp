@@ -102,6 +102,19 @@ Status Executor::tryRun(const std::map<TensorVar, Region *> &Regions,
   return Result;
 }
 
+ExecFuture Executor::submit(const std::map<TensorVar, Region *> &Regions,
+                            TraceMode Mode) {
+  ExecOptions Opts;
+  Opts.Ctx = ExternalCtx;
+  Opts.NumThreads = NumThreads;
+  Opts.ForceTaskWays = ForceTaskWays;
+  Opts.ForceLeafWays = ForceLeafWays;
+  Opts.Mode = Mode;
+  Opts.Pipe = Pipe;
+  Opts.ZeroCopyViews = ZeroCopyViews;
+  return compiled().submit(Regions, Opts);
+}
+
 Trace Executor::simulate() { return compiled().trace(); }
 
 std::vector<Message> Executor::gatherMessages(const TensorVar &T,

@@ -16,6 +16,13 @@
 ///    memory) for the Simulator to price against a MachineSpec, standing in
 ///    for the 256-node Lassen runs of the paper's evaluation.
 ///
+/// Thread safety: an Executor is a single-client configuration façade —
+/// its knob setters and run()/tryRun() are not synchronized. The compiled
+/// artifact underneath, however, is reentrant (see CompiledPlan): many
+/// threads may execute one artifact concurrently, each execution in its
+/// own arena, and submit() routes through the artifact's admission queue
+/// for bounded, coalescing multi-client execution.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DISTAL_RUNTIME_EXECUTOR_H
@@ -36,7 +43,11 @@ class ExecContext;
 
 class Executor {
 public:
+  /// Wraps \p P for execution; compilation is deferred to the first
+  /// run()/simulate() (or an explicit compiled() call).
   explicit Executor(const Plan &P, const Mapper &Map = defaultMapper());
+  /// Destroying the executor resolves any still-pending submit() futures
+  /// with FailedPrecondition (the artifact dies with the executor).
   ~Executor();
 
   /// Number of threads for the execution engine. 0 (default) uses the
@@ -129,6 +140,18 @@ public:
   /// The attempts of the most recent tryRun/run, in order. Empty after a
   /// first-rung success with no degradation.
   const std::vector<RetryAttempt> &degradationTrail() const { return Trail; }
+
+  /// Submits a run through the compiled artifact's admission queue and
+  /// returns a future immediately: bounded concurrency per artifact,
+  /// identical concurrent requests coalesced onto one pass, the result
+  /// (Status + trace) read via ExecFuture::wait()/trace(). Unlike
+  /// run()/tryRun(), a failed submitted execution is NOT retried down the
+  /// degradation ladder — the future carries the first error. The artifact
+  /// is owned by this executor, so the executor must outlive the returned
+  /// future. Configuration knobs are snapshotted at submit time; changing
+  /// them afterwards does not affect in-flight requests.
+  ExecFuture submit(const std::map<TensorVar, Region *> &Regions,
+                    TraceMode Mode = TraceMode::Full);
 
   /// Returns the trace without touching data (for cost studies).
   Trace simulate();

@@ -77,3 +77,18 @@ PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return S;
 }
+
+AdmissionQueue::Stats PlanCache::admissionStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AdmissionQueue::Stats Agg;
+  for (const Entry &E : LRU) {
+    AdmissionQueue::Stats One = E.second->admission().stats();
+    Agg.Admitted += One.Admitted;
+    Agg.Coalesced += One.Coalesced;
+    Agg.Rejected += One.Rejected;
+    Agg.Active += One.Active;
+    Agg.Queued += One.Queued;
+    Agg.PeakActive += One.PeakActive;
+  }
+  return Agg;
+}

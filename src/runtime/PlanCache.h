@@ -68,6 +68,13 @@ public:
   };
   Stats stats() const;
 
+  /// Aggregated admission-queue counters over every currently cached
+  /// artifact (see AdmissionQueue::Stats): the multi-tenant view — how
+  /// many executions the cache's artifacts admitted, coalesced, and
+  /// rejected, and how many run right now. Evicted artifacts' counters
+  /// leave the aggregate with them.
+  AdmissionQueue::Stats admissionStats() const;
+
 private:
   using Entry = std::pair<std::string, std::shared_ptr<CompiledPlan>>;
 

@@ -36,6 +36,47 @@ struct LeafParallelism {
   bool enabled() const { return Pool != nullptr && Ways > 1; }
 };
 
+/// RAII census of concurrently active plan executions in this process.
+/// Every CompiledPlan execution claims a slot for its duration; the count
+/// at claim time drives the per-execution thread *budget* — with one
+/// active execution the configured thread count is used unchanged, with A
+/// active executions each gets max(1, configured / A) threads, and a
+/// budget of 1 runs the execution fully inline on its client thread. That
+/// is what lets many client threads execute one cached artifact with real
+/// concurrency: at high client counts every execution degrades to an
+/// inline sequential walk (results are bitwise-identical at every thread
+/// count), instead of all of them queueing on one shared pool's top-level
+/// fan-out lock. The census is approximate under racing claims (two
+/// executions claiming simultaneously may both see a low count and
+/// transiently overcommit by a bounded factor); it never affects output
+/// bytes, only how wide each execution fans out.
+class ExecutionSlot {
+public:
+  ExecutionSlot();
+  ~ExecutionSlot();
+  ExecutionSlot(const ExecutionSlot &) = delete;
+  ExecutionSlot &operator=(const ExecutionSlot &) = delete;
+
+  /// The census value observed when this slot was claimed (>= 1, counting
+  /// this execution itself).
+  int activeAtClaim() const { return Claimed; }
+
+  /// The thread budget for this execution when \p ConfiguredThreads are
+  /// configured: max(1, ConfiguredThreads / activeAtClaim()).
+  int budget(int ConfiguredThreads) const;
+
+  /// Currently active executions (for stats and tests).
+  static int activeExecutions();
+  /// High-water mark of concurrently active executions since the last
+  /// resetPeakActiveExecutions() — how tests prove two executions really
+  /// overlapped rather than queued.
+  static int peakActiveExecutions();
+  static void resetPeakActiveExecutions();
+
+private:
+  int Claimed;
+};
+
 class ExecContext {
 public:
   /// \p NumThreads == 0 uses the process default (DISTAL_NUM_THREADS or

@@ -22,6 +22,10 @@ struct InjectorState {
   std::array<std::atomic<int64_t>, FaultInjector::NumSites> Arrivals{};
   std::array<std::atomic<int64_t>, FaultInjector::NumSites> Injected{};
   std::atomic<int64_t> TotalInjected{0};
+  /// Execution sequence numbers handed to ExecutionScopes (see
+  /// beginExecution); reset by configure() so every armed scenario starts
+  /// its executions at sequence 0.
+  std::atomic<uint64_t> ExecCounter{0};
 };
 
 InjectorState &state() {
@@ -101,6 +105,7 @@ void FaultInjector::configure(const Config &C) {
     S.Injected[I].store(0, std::memory_order_relaxed);
   }
   S.TotalInjected.store(0, std::memory_order_relaxed);
+  S.ExecCounter.store(0, std::memory_order_relaxed);
   Armed.store(C.Rate > 0 && C.SiteMask != 0, std::memory_order_release);
 }
 
@@ -122,7 +127,18 @@ FaultInjector::Stats FaultInjector::stats() {
   return St;
 }
 
-void FaultInjector::injectSlow(Site S) {
+void FaultInjector::beginExecution(ExecutionScope &E) {
+  if (!armed()) {
+    E.Active = false;
+    return;
+  }
+  E.ExecSeq = state().ExecCounter.fetch_add(1, std::memory_order_relaxed);
+  for (auto &A : E.Arrivals)
+    A.store(0, std::memory_order_relaxed);
+  E.Active = true;
+}
+
+void FaultInjector::injectSlow(Site S, ExecutionScope *E) {
   InjectorState &St = state();
   // Snapshot the config without the lock: configure() only runs while no
   // execution is in flight (tests, process start), and the fields are
@@ -131,11 +147,22 @@ void FaultInjector::injectSlow(Site S) {
   int SI = static_cast<int>(S);
   if (!(C.SiteMask & (1u << SI)))
     return;
-  int64_t Arrival = St.Arrivals[SI].fetch_add(1, std::memory_order_relaxed);
-  // Deterministic per-(seed, site, arrival) decision, independent of how
-  // threads interleave arrivals.
+  // Scoped sites count arrivals inside their execution (and fold the
+  // execution's sequence number into the hash), so each execution sees the
+  // schedule a serial run of it would — independent of sibling arenas.
+  // The global counter doubles as the index source for unscoped sites and
+  // as the process-wide arrival statistic either way.
+  int64_t GlobalArrival =
+      St.Arrivals[SI].fetch_add(1, std::memory_order_relaxed);
+  bool Scoped = E != nullptr && E->Active;
+  int64_t Arrival =
+      Scoped ? E->Arrivals[SI].fetch_add(1, std::memory_order_relaxed)
+             : GlobalArrival;
+  uint64_t SeqKey = Scoped ? (E->ExecSeq << 28) : 0;
+  // Deterministic per-(seed, site, execution, arrival) decision,
+  // independent of how threads interleave arrivals.
   uint64_t H = splitmix64(C.Seed ^ (static_cast<uint64_t>(SI) << 56) ^
-                          static_cast<uint64_t>(Arrival));
+                          SeqKey ^ static_cast<uint64_t>(Arrival));
   double U = static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
   if (U >= C.Rate)
     return;

@@ -7,12 +7,18 @@
 /// armed, throw DistalError(ErrorCode::Injected) so the containment and
 /// retry machinery can be driven without real hardware faults.
 ///
-/// Determinism: every site keeps an arrival counter, and arrival K at site
-/// S fires iff splitmix64(Seed ^ site ^ K) maps below Rate. The *set* of
-/// firing arrival indices per site is therefore a pure function of
-/// (Seed, Rate), independent of thread interleaving; at Rate = 1 every
-/// arrival fires, which is what the fault-tolerance tests use to hit a
-/// specific site on a specific execution.
+/// Determinism: arrivals are counted per *execution scope* (each
+/// CompiledPlan execution arena owns one; see ExecutionScope below), and
+/// arrival K at site S within execution E fires iff
+/// splitmix64(Seed ^ site ^ execSeq(E) ^ K) maps below Rate. The set of
+/// firing arrivals inside one execution is therefore a pure function of
+/// (Seed, Rate, execution sequence number) — independent of how that
+/// execution's threads interleave AND of what sibling executions running
+/// concurrently in other arenas are doing. At Rate = 1 every arrival
+/// fires, which is what the fault-tolerance tests use to hit a specific
+/// site on a specific execution. Hooks outside any execution scope (the
+/// Region allocation site) fall back to a process-global arrival counter,
+/// which is deterministic for serial runs.
 ///
 /// Arming: programmatically via configure()/ScopedFaultInjection (tests),
 /// or from the environment at process start:
@@ -70,13 +76,34 @@ public:
     return Armed.load(std::memory_order_relaxed);
   }
 
+  /// Per-execution arrival counters — the injector's arena keying. Each
+  /// execution arena owns one scope and opens it with beginExecution() at
+  /// the start of every execution: the scope claims the next process-wide
+  /// execution sequence number and zeroes its counters, so sites keyed by
+  /// the scope see the arrival sequence 0, 1, 2, ... exactly as a serial
+  /// run of that execution would, no matter how many sibling executions
+  /// run concurrently in other arenas. Serial workloads claim sequence
+  /// numbers 0, 1, 2, ... so their injection schedule is reproducible
+  /// run-to-run.
+  struct ExecutionScope {
+    std::array<std::atomic<int64_t>, NumSites> Arrivals{};
+    uint64_t ExecSeq = 0;
+    bool Active = false;
+  };
+
+  /// Opens \p E for one execution: claims the next execution sequence
+  /// number and resets the arrival counters. Disarmed, this is a single
+  /// relaxed load (the scope stays inactive).
+  static void beginExecution(ExecutionScope &E);
+
   /// The hook. Disarmed: one relaxed load. Armed: deterministically decides
   /// whether this arrival fails and, if so, throws
   /// DistalError(ErrorCode::Injected) with the site and arrival index in
-  /// the message.
-  static void inject(Site S) {
+  /// the message. \p E keys the arrival to the calling execution's scope
+  /// (see ExecutionScope); null falls back to the process-global counter.
+  static void inject(Site S, ExecutionScope *E = nullptr) {
     if (armed())
-      injectSlow(S);
+      injectSlow(S, E);
   }
 
   /// Per-site arrival and injection counts since the last configure().
@@ -93,7 +120,7 @@ public:
   static Stats stats();
 
 private:
-  static void injectSlow(Site S);
+  static void injectSlow(Site S, ExecutionScope *E);
   static std::atomic<bool> Armed;
 };
 

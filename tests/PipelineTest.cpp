@@ -312,12 +312,12 @@ TEST(Pipeline, ZeroSkipOverwriteLeaves) {
   EXPECT_EQ(GemmCP.zeroSkipTaskCount(), 0);
 }
 
-TEST(Pipeline, ConcurrentExecutesSerialize) {
-  // The documented contract: concurrent execute() calls on one artifact
-  // queue on the internal mutex rather than race. Two threads execute the
-  // same artifact over distinct region sets; both results must equal the
-  // reference run. (The internal assert fires if the mutex ever admits
-  // two executions at once; TSan covers the memory side.)
+TEST(Pipeline, ConcurrentExecutesAreIndependent) {
+  // The documented contract: the artifact is reentrant — concurrent
+  // execute() calls run concurrently, each in its own ExecArena. Two
+  // threads execute the same artifact over distinct region sets; both
+  // results must equal the reference run. (ConcurrencyTest stresses this
+  // at higher thread counts; TSan covers the memory side.)
   MatmulOptions Opts;
   Opts.N = 24;
   Opts.Procs = 4;
