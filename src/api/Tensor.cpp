@@ -2,8 +2,11 @@
 
 #include "api/Tensor.h"
 
+#include <chrono>
 #include <map>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "lower/Lower.h"
 #include "runtime/PlanCache.h"
@@ -43,6 +46,39 @@ Tensor &lookup(const TensorVar &V) {
 std::mutex &apiMutex() {
   static std::mutex M;
   return M;
+}
+
+/// The RunAnchor of one admitted evaluation: shared ownership of every
+/// Region the execution touches, plus an execution pin on each. Held by
+/// the admission request until the execution completes, so (a) the storage
+/// cannot be freed under the execution by a machine-change rebuild or a
+/// tensor's destruction, and (b) Tensor::materialize can wait for pinned()
+/// to drain before copying data out of a region a pending execution may
+/// still be writing. Deliberately does NOT own the artifact (see the
+/// RunAnchor contract in AdmissionQueue::submit): artifact lifetime across
+/// a pending wait is the future's Keeper's job, and an artifact whose
+/// queue still holds requests shuts the queue down safely on destruction.
+struct RegionHold {
+  std::vector<std::shared_ptr<Region>> Regions;
+
+  void add(std::shared_ptr<Region> R) {
+    R->pin();
+    Regions.push_back(std::move(R));
+  }
+  ~RegionHold() {
+    for (const std::shared_ptr<Region> &R : Regions)
+      R->unpin();
+  }
+};
+
+/// Blocks until no in-flight execution pins \p R. Only called for a region
+/// about to be replaced on a machine change; every Tensor-submitted
+/// execution either runs synchronously under its caller's wait (Deferred)
+/// or was dispatched to the pool at admission (Background), so the pins
+/// always drain without our help.
+void drainPins(const Region &R) {
+  while (R.pinned() > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
 }
 
 } // namespace
@@ -106,7 +142,8 @@ void Tensor::fill(std::function<double(const Point &)> Fn) {
     Reg->fill(PendingFill);
 }
 
-Region &Tensor::materialize(const Machine &M, bool PreserveData) {
+const std::shared_ptr<Region> &Tensor::materialize(const Machine &M,
+                                                   bool PreserveData) {
   // The backing Region persists across repeated evaluations (the
   // steady-state path never reallocates output storage). A machine change
   // rebuilds it for the new home distribution, carrying the element
@@ -116,8 +153,14 @@ Region &Tensor::materialize(const Machine &M, bool PreserveData) {
   // PreserveData = false for a pure output, whose contents are about to
   // be zeroed anyway.
   if (Reg && Reg->machine().str() != M.str()) {
-    std::unique_ptr<Region> Old = std::move(Reg);
-    Reg = std::make_unique<Region>(Var, Fmt, M);
+    std::shared_ptr<Region> Old = std::move(Reg);
+    // In-flight executions may still be writing the old storage; wait for
+    // their pins to drain before reading values out of it. New pins cannot
+    // appear: pinning only happens under the api mutex, which we hold. The
+    // old storage itself stays alive as long as any execution anchors it,
+    // whatever we do with our reference.
+    drainPins(*Old);
+    Reg = std::make_shared<Region>(Var, Fmt, M);
     if (PreserveData)
       Rect::forExtents(Var.shape()).forEachPoint(
           [&](const Point &P) { Reg->at(P) = Old->at(P); });
@@ -125,11 +168,11 @@ Region &Tensor::materialize(const Machine &M, bool PreserveData) {
       Reg->fill(PendingFill);
   }
   if (!Reg) {
-    Reg = std::make_unique<Region>(Var, Fmt, M);
+    Reg = std::make_shared<Region>(Var, Fmt, M);
     if (PendingFill)
       Reg->fill(PendingFill);
   }
-  return *Reg;
+  return Reg;
 }
 
 Plan Tensor::lower(const Machine &M) {
@@ -185,9 +228,19 @@ Trace Tensor::runCompiled(CompiledPlan &CP, const Machine &M,
   for (const Access &A : Stmt.rhsAccesses())
     OutIsRead |= A.tensor() == Out;
   std::map<TensorVar, Region *> Regions;
-  for (const TensorVar &T : Stmt.tensors())
-    Regions[T] =
-        &lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+  // Hold the regions (pinned) for the duration of this synchronous
+  // execution, so a concurrent evaluation's machine change cannot rebuild
+  // them under us; materialisation itself needs the api mutex.
+  RegionHold Hold;
+  {
+    std::lock_guard<std::mutex> Lock(apiMutex());
+    for (const TensorVar &T : Stmt.tensors()) {
+      const std::shared_ptr<Region> &R =
+          lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+      Regions[T] = R.get();
+      Hold.add(R);
+    }
+  }
   ExecOptions Opts = ExecOpts;
   Opts.Mode = Mode;
   return CP.execute(Regions, Opts);
@@ -210,9 +263,14 @@ Tensor::PreparedRun Tensor::prepareRun(const Machine &M, TraceMode Mode) {
   bool OutIsRead = false;
   for (const Access &A : Stmt.rhsAccesses())
     OutIsRead |= A.tensor() == Out;
-  for (const TensorVar &T : Stmt.tensors())
-    R.Regions[T] =
-        &lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+  auto Hold = std::make_shared<RegionHold>();
+  for (const TensorVar &T : Stmt.tensors()) {
+    const std::shared_ptr<Region> &Rg =
+        lookup(T).materialize(M, /*PreserveData=*/T != Out || OutIsRead);
+    R.Regions[T] = Rg.get();
+    Hold->add(Rg);
+  }
+  R.Hold = std::move(Hold);
   R.Opts = ExecOpts;
   R.Opts.Mode = Mode;
   return R;
@@ -224,7 +282,8 @@ void Tensor::evaluate(const Machine &M) {
   // unless a concurrent identical request already runs (then we coalesce
   // and just wait for it).
   ExecFuture F = R.CP->submit(R.Regions, R.Opts,
-                              AdmissionQueue::Dispatch::Deferred, R.CP);
+                              AdmissionQueue::Dispatch::Deferred, R.CP,
+                              R.Hold);
   Status S = F.wait();
   if (!S.ok())
     throwStatus(std::move(S));
@@ -236,7 +295,8 @@ Status Tensor::tryEvaluate(const Machine &M) {
     PreparedRun R = prepareRun(M, TraceMode::Off);
     CP = R.CP;
     ExecFuture F = R.CP->submit(R.Regions, R.Opts,
-                                AdmissionQueue::Dispatch::Deferred, R.CP);
+                                AdmissionQueue::Dispatch::Deferred, R.CP,
+                                R.Hold);
     Status S = F.wait();
     // Execution failures are contained per-arena; only an explicitly
     // poisoned artifact is unusable, and it must not stay in the
@@ -262,15 +322,18 @@ ExecFuture Tensor::evaluateAsync(const Machine &M) {
   PreparedRun R = prepareRun(M, TraceMode::Off);
   // The artifact shared_ptr rides in the future as its lifetime anchor: a
   // PlanCache eviction (or clear) between submit and wait cannot destroy
-  // the artifact under the pending execution.
+  // the artifact under the pending execution. The Hold rides in the
+  // request itself, keeping the Regions alive and pinned until the
+  // execution completes even if every future copy is dropped.
   return R.CP->submit(R.Regions, R.Opts,
-                      AdmissionQueue::Dispatch::Background, R.CP);
+                      AdmissionQueue::Dispatch::Background, R.CP, R.Hold);
 }
 
 Trace Tensor::evaluateWithTrace(const Machine &M) {
   PreparedRun R = prepareRun(M, TraceMode::Full);
   ExecFuture F = R.CP->submit(R.Regions, R.Opts,
-                              AdmissionQueue::Dispatch::Deferred, R.CP);
+                              AdmissionQueue::Dispatch::Deferred, R.CP,
+                              R.Hold);
   Status S = F.wait();
   if (!S.ok())
     throwStatus(std::move(S));

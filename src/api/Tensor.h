@@ -131,11 +131,16 @@ public:
   /// cached artifact, its per-execution arenas, and this tensor's backing
   /// Region, and skip trace accounting entirely (TraceMode::Off). Routed
   /// through the artifact's admission queue, so concurrent evaluations of
-  /// one tensor on one machine coalesce onto a single pass while
-  /// evaluations of different tensors (or machines) run concurrently,
-  /// each in its own arena. Thread-safe against other evaluate-family
-  /// calls; the caller must hold input data immutable for the duration.
-  /// Throws DistalError on failure; tryEvaluate is the non-throwing form.
+  /// one tensor on one machine coalesce onto a single pass (when neither
+  /// has started yet) or serialize behind each other — they never race on
+  /// the shared output region — while evaluations of different tensors run
+  /// concurrently, each in its own arena. Evaluating on a different
+  /// machine than an in-flight evaluation of this tensor (or of a tensor
+  /// reading it) is safe but blocks until the in-flight executions over
+  /// the old Region drain before the Region is rebuilt. Thread-safe
+  /// against other evaluate-family calls; the caller must hold input data
+  /// immutable while any evaluation is in flight. Throws DistalError on
+  /// failure; tryEvaluate is the non-throwing form.
   void evaluate(const Machine &M);
 
   /// Non-throwing evaluate. A failed execution is contained inside its
@@ -149,12 +154,15 @@ public:
   /// admission queue, dispatches it to the process pool's background lane,
   /// and returns a future immediately. The future carries the Status
   /// (never throws) and keeps the artifact alive even across a PlanCache
-  /// eviction, so it may safely outlive everything except this tensor and
-  /// its operands (their Regions back the execution). Identical concurrent
-  /// submissions coalesce; a full admission queue resolves the future with
-  /// ResourceExhausted. Compilation and region materialisation still
-  /// happen synchronously in this call (and may throw, as in evaluate()).
-  /// Thread-safe like evaluate().
+  /// eviction; the admitted request additionally holds the backing Regions
+  /// (shared ownership) until the execution completes, so the future may
+  /// safely outlive this tensor and its operands — even a later machine
+  /// change that rebuilds their Regions waits for the pending execution to
+  /// drain rather than freeing storage under it. Identical concurrent
+  /// submissions coalesce (or serialize; see evaluate()); a full admission
+  /// queue resolves the future with ResourceExhausted. Compilation and
+  /// region materialisation still happen synchronously in this call (and
+  /// may throw, as in evaluate()). Thread-safe like evaluate().
   ExecFuture evaluateAsync(const Machine &M);
 
   /// Like evaluate(), returning the execution trace (precomputed at
@@ -188,32 +196,46 @@ public:
   /// Element access after evaluate().
   double at(const Point &P) const;
   /// The region backing this tensor after evaluate(), if any. Owned by the
-  /// tensor and reused across evaluations on the same machine; evaluating
-  /// on a different machine rebuilds it (re-applying any pending fill).
+  /// tensor (shared with in-flight executions) and reused across
+  /// evaluations on the same machine; evaluating on a different machine
+  /// rebuilds it after in-flight executions drain (re-applying any pending
+  /// fill).
   Region *region() const { return Reg.get(); }
 
 private:
-  Region &materialize(const Machine &M, bool PreserveData = true);
+  /// Ensures the backing Region exists for machine \p M and returns the
+  /// owning pointer (shared so in-flight executions can anchor it). A
+  /// machine change waits for executions pinning the old Region to drain,
+  /// then rebuilds. Caller holds the api mutex.
+  const std::shared_ptr<Region> &materialize(const Machine &M,
+                                             bool PreserveData = true);
   Trace runCompiled(CompiledPlan &CP, const Machine &M, TraceMode Mode);
   /// compile() body; caller holds the api mutex (guards the memo fields).
   std::shared_ptr<CompiledPlan> compileLocked(const Machine &M);
 
   /// One admission-ready request: the cached artifact, the materialised
-  /// region map over this tensor and its operands, and the snapshotted
-  /// options. Built under the api mutex (compile-memo writes and Region
-  /// materialisation are the shared mutable state); the execution itself
-  /// then runs outside it.
+  /// region map over this tensor and its operands, the snapshotted
+  /// options, and the Hold — shared ownership of (and execution pins on)
+  /// every Region in the map, passed to the admission queue as the
+  /// request's RunAnchor so the storage outlives the execution even if a
+  /// tensor dies or re-materialises meanwhile. Built under the api mutex
+  /// (compile-memo writes and Region materialisation are the shared
+  /// mutable state); the execution itself then runs outside it.
   struct PreparedRun {
     std::shared_ptr<CompiledPlan> CP;
     std::map<TensorVar, Region *> Regions;
     ExecOptions Opts;
+    std::shared_ptr<void> Hold;
   };
   PreparedRun prepareRun(const Machine &M, TraceMode Mode);
 
   TensorVar Var;
   Format Fmt;
   std::unique_ptr<Schedule> Sched;
-  std::unique_ptr<Region> Reg;
+  /// Shared, not unique: in-flight executions co-own the Region through
+  /// their request's Hold, so a machine-change rebuild (or this tensor's
+  /// destruction) can never free storage an execution still touches.
+  std::shared_ptr<Region> Reg;
   std::function<double(const Point &)> PendingFill;
   ExecOptions ExecOpts;
   /// Steady-state shortcut past lowering + fingerprinting: the PlanCache

@@ -52,6 +52,14 @@ struct AdmissionRequest {
   Status Result;
   Trace Out;
 
+  /// Request-held lifetime anchor (see AdmissionQueue::submit): released
+  /// when the request completes or is failed, always *outside* the queue
+  /// mutex as hygiene. The anchor must NOT own the artifact — a Background
+  /// request's anchor is released from inside its pool dispatch job, and
+  /// an artifact destroyed there would drain that job's *own* ticket: a
+  /// self-join deadlock. Artifact lifetime is the future Keeper's job.
+  std::shared_ptr<void> RunAnchor;
+
   /// Back-reference so a future can pump the queue; one-way once the
   /// request leaves Active/Queued, so no reference cycle survives
   /// completion.
@@ -62,6 +70,10 @@ struct AdmissionState {
   std::mutex Mu;
   std::condition_variable CV;
   CompiledPlan *CP = nullptr;
+  /// The statement's output tensor — its Region in a request's map is what
+  /// the execution zeroes and writes, and therefore what conflict
+  /// serialization keys on.
+  TensorVar OutVar;
   bool Shutdown = false;
   int MaxConcurrent = 8;
   int Capacity = 64;
@@ -80,18 +92,65 @@ struct AdmissionState {
 
 namespace {
 
-bool sameKey(const AdmissionRequest &R,
-             const std::map<TensorVar, Region *> &Regions,
-             const ExecOptions &O) {
-  const ExecOptions &A = R.Opts;
-  return A.Ctx == O.Ctx && A.NumThreads == O.NumThreads &&
-         A.ForceTaskWays == O.ForceTaskWays &&
-         A.ForceLeafWays == O.ForceLeafWays && A.Mode == O.Mode &&
-         A.Pipe == O.Pipe && A.ZeroCopyViews == O.ZeroCopyViews &&
-         R.Regions == Regions;
+/// Whether a new request (\p Regions, \p O) may piggyback on \p R. Mu
+/// held. Requires: R not yet claimed (a running pass may already have read
+/// inputs the submitter has since overwritten — see the file comment in
+/// Admission.h), the identical region map, and a result-compatible trace
+/// mode (every other ExecOptions knob yields bitwise-identical output, so
+/// it is not part of the key; a Full pass satisfies an Off request but not
+/// vice versa).
+bool coalescibleLocked(const AdmissionRequest &R,
+                       const std::map<TensorVar, Region *> &Regions,
+                       const ExecOptions &O) {
+  if (R.Claimed || R.Done.load(std::memory_order_relaxed))
+    return false;
+  if (R.Regions != Regions)
+    return false;
+  return R.Opts.Mode == O.Mode || R.Opts.Mode == TraceMode::Full;
 }
 
-/// Moves queued requests into freed active slots (FIFO). Mu held. Requests
+/// Whether two requests may run concurrently. Mu held. They may not when
+/// either one's output region appears anywhere in the other's map: an
+/// execution zeroes and rewrites its output region, so a shared output
+/// races byte-for-byte and an output that is another request's *input*
+/// breaks the input-immutability premise. A request missing its output
+/// entry is malformed (tryExecute will fail it); treat it as conflicting
+/// so it at least fails serially.
+bool conflictsLocked(const AdmissionState &St, const AdmissionRequest &A,
+                     const AdmissionRequest &B) {
+  auto ItA = A.Regions.find(St.OutVar);
+  auto ItB = B.Regions.find(St.OutVar);
+  if (ItA == A.Regions.end() || ItB == B.Regions.end())
+    return true;
+  for (const auto &KV : B.Regions)
+    if (KV.second == ItA->second)
+      return true;
+  for (const auto &KV : A.Regions)
+    if (KV.second == ItB->second)
+      return true;
+  return false;
+}
+
+/// Whether \p R must keep waiting: it conflicts with an active request, or
+/// with an earlier queued one (FIFO within a conflict group, so same-output
+/// requests complete in submission order). Mu held. \p UpTo bounds the
+/// queue scan — pass Queued.end() for a new submission.
+bool blockedLocked(const AdmissionState &St, const AdmissionRequest &R,
+                   std::deque<std::shared_ptr<AdmissionRequest>>::const_iterator
+                       UpTo) {
+  for (const std::shared_ptr<AdmissionRequest> &A : St.Active)
+    if (!A->Done.load(std::memory_order_relaxed) &&
+        conflictsLocked(St, *A, R))
+      return true;
+  for (auto It = St.Queued.begin(); It != UpTo; ++It)
+    if (conflictsLocked(St, **It, R))
+      return true;
+  return false;
+}
+
+/// Moves queued requests into freed active slots — FIFO, except that a
+/// request conflicting with an active or earlier-queued one stays queued
+/// (conflict serialization; see the file comment). Mu held. Requests
 /// needing a background dispatch are collected for the caller to dispatch
 /// *after* releasing the lock (dispatch may run the job inline on a
 /// sequential pool, and the job locks Mu).
@@ -99,16 +158,24 @@ void pumpLocked(AdmissionState &St,
                 std::vector<std::shared_ptr<AdmissionRequest>> &ToDispatch) {
   if (St.Shutdown)
     return;
-  while (static_cast<int>(St.Active.size()) < St.MaxConcurrent &&
+  bool Promoted = true;
+  while (Promoted && static_cast<int>(St.Active.size()) < St.MaxConcurrent &&
          !St.Queued.empty()) {
-    std::shared_ptr<AdmissionRequest> R = St.Queued.front();
-    St.Queued.pop_front();
-    R->Active = true;
-    St.Active.push_back(R);
-    St.Counters.PeakActive = std::max(
-        St.Counters.PeakActive, static_cast<int>(St.Active.size()));
-    if (R->D == AdmissionQueue::Dispatch::Background)
-      ToDispatch.push_back(R);
+    Promoted = false;
+    for (auto It = St.Queued.begin(); It != St.Queued.end(); ++It) {
+      if (blockedLocked(St, **It, It))
+        continue;
+      std::shared_ptr<AdmissionRequest> R = *It;
+      St.Queued.erase(It);
+      R->Active = true;
+      St.Active.push_back(R);
+      St.Counters.PeakActive = std::max(
+          St.Counters.PeakActive, static_cast<int>(St.Active.size()));
+      if (R->D == AdmissionQueue::Dispatch::Background)
+        ToDispatch.push_back(R);
+      Promoted = true;
+      break; // The erase invalidated It; rescan from the front.
+    }
   }
 }
 
@@ -122,10 +189,12 @@ void runRequest(const std::shared_ptr<AdmissionState> &St,
   Trace T;
   Status S = St->CP->tryExecute(R->Regions, T, R->Opts);
   std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  std::shared_ptr<void> Anchor;
   {
     std::lock_guard<std::mutex> L(St->Mu);
     R->Result = std::move(S);
     R->Out = std::move(T);
+    Anchor = std::move(R->RunAnchor);
     R->Done.store(true, std::memory_order_release);
     auto It = std::find(St->Active.begin(), St->Active.end(), R);
     if (It != St->Active.end())
@@ -135,6 +204,10 @@ void runRequest(const std::shared_ptr<AdmissionState> &St,
   }
   for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
     dispatchBackground(St, N);
+  // Released last, outside the lock. Note this may run inside the pool
+  // dispatch job, which is why the anchor must never own the artifact
+  // (see the RunAnchor field comment).
+  Anchor.reset();
 }
 
 void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
@@ -226,10 +299,12 @@ const Trace &ExecFuture::trace() {
 AdmissionQueue::AdmissionQueue(CompiledPlan *CP)
     : St(std::make_shared<AdmissionState>()) {
   St->CP = CP;
+  St->OutVar = CP->plan().Nest.Stmt.lhs().tensor();
 }
 
 AdmissionQueue::~AdmissionQueue() {
   std::vector<ThreadPool::Ticket> ReapLocal;
+  std::vector<std::shared_ptr<void>> Anchors;
   {
     std::unique_lock<std::mutex> L(St->Mu);
     St->Shutdown = true;
@@ -238,12 +313,14 @@ AdmissionQueue::~AdmissionQueue() {
                      "ran");
     for (const std::shared_ptr<AdmissionRequest> &R : St->Queued) {
       R->Result = Destroyed;
+      Anchors.push_back(std::move(R->RunAnchor));
       R->Done.store(true, std::memory_order_release);
     }
     St->Queued.clear();
     for (const std::shared_ptr<AdmissionRequest> &R : St->Active)
       if (!R->Claimed) {
         R->Result = Destroyed;
+        Anchors.push_back(std::move(R->RunAnchor));
         R->Done.store(true, std::memory_order_release);
       }
     St->Active.erase(
@@ -261,11 +338,13 @@ AdmissionQueue::~AdmissionQueue() {
   }
   // Drains every dispatched job (late firers see Shutdown and stand down).
   ReapLocal.clear();
+  // Failed requests' anchors release outside the lock (Anchors' dtor).
 }
 
 ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
                                   const ExecOptions &Opts, Dispatch D,
-                                  std::shared_ptr<void> Keeper) {
+                                  std::shared_ptr<void> Keeper,
+                                  std::shared_ptr<void> RunAnchor) {
   std::shared_ptr<AdmissionRequest> R;
   bool NeedDispatch = false;
   std::vector<ThreadPool::Ticket> ReapLocal;
@@ -280,18 +359,20 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     if (St->Shutdown)
       return resolved(ErrorCode::FailedPrecondition,
                       "CompiledPlan is shutting down");
-    // Coalesce onto an identical pending or in-flight request: the inputs
-    // are immutable over the window and the pass recomputes the same
-    // output bytes, so piggybacking returns exactly what a second pass
-    // would (see the file comment in Admission.h).
+    // Coalesce onto a result-compatible request that has not started yet:
+    // its pass will read the inputs after this submission, so piggybacking
+    // returns exactly what a fresh pass would (see the file comment in
+    // Admission.h). A claimed (running) pass is never a target — it may
+    // already have read inputs the caller has since overwritten. The
+    // coalesced submitter's RunAnchor is released on return; the target
+    // request holds its own anchor over the same regions.
     for (const std::shared_ptr<AdmissionRequest> &O : St->Active)
-      if (!O->Done.load(std::memory_order_relaxed) &&
-          sameKey(*O, Regions, Opts)) {
+      if (coalescibleLocked(*O, Regions, Opts)) {
         ++St->Counters.Coalesced;
         return ExecFuture(O, std::move(Keeper));
       }
     for (const std::shared_ptr<AdmissionRequest> &O : St->Queued)
-      if (sameKey(*O, Regions, Opts)) {
+      if (coalescibleLocked(*O, Regions, Opts)) {
         ++St->Counters.Coalesced;
         return ExecFuture(O, std::move(Keeper));
       }
@@ -305,9 +386,15 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     R->Regions = Regions;
     R->Opts = Opts;
     R->D = D;
+    R->RunAnchor = std::move(RunAnchor);
     R->State = St;
     ++St->Counters.Admitted;
-    if (static_cast<int>(St->Active.size()) < St->MaxConcurrent) {
+    // Activate only when a slot is free AND no admitted request conflicts
+    // (shares a region this one writes, or writes one this one reads);
+    // conflicting requests serialize in submission order instead of racing
+    // on shared bytes.
+    if (static_cast<int>(St->Active.size()) < St->MaxConcurrent &&
+        !blockedLocked(*St, *R, St->Queued.end())) {
       R->Active = true;
       St->Active.push_back(R);
       St->Counters.PeakActive = std::max(

@@ -3,20 +3,35 @@
 /// \file
 /// The admission/batching front-end of a CompiledPlan: a bounded
 /// submission queue that admits up to K concurrent executions of one
-/// artifact, coalesces identical requests (same region map, same
-/// execute-time options) onto a single pass, and hands every submitter an
-/// ExecFuture — a StatusOr-carrying handle resolved when the execution
-/// completes.
+/// artifact, coalesces identical requests onto a single pass, serializes
+/// requests that share an output region but cannot coalesce, and hands
+/// every submitter an ExecFuture — a StatusOr-carrying handle resolved
+/// when the execution completes.
 ///
 /// Why coalescing is sound: executions only read input regions, which the
 /// engine requires to be immutable for the duration of an execution, and
-/// an execution of the same request re-zeroes and fully recomputes the
-/// same output region to the same bytes (the engine's determinism
-/// contract). Attaching a second identical request to an in-flight pass
-/// therefore returns exactly the bytes a second pass would have produced —
-/// under the documented assumption that the caller holds inputs immutable
-/// over the coalescing window. Requests over *different* output regions
-/// never coalesce and run concurrently, each in its own ExecArena.
+/// an execution over the same region map re-zeroes and fully recomputes
+/// the same output region to the same bytes (the engine's determinism
+/// contract). Two rules keep that argument airtight:
+///
+///  * A request only coalesces onto one that has **not started yet**
+///    (admitted or queued, but unclaimed). A running pass may already have
+///    read its inputs, so piggybacking on it could return bytes computed
+///    from data older than the submitter's own writes; an unclaimed pass
+///    is guaranteed to read the inputs after the submission, so a caller
+///    that filled data and then submitted always observes its fill.
+///  * The coalescing key is the region map plus *result compatibility*,
+///    not option equality: every ExecOptions knob except the trace mode
+///    produces bitwise-identical output (see ExecOptions), so requests
+///    differing only in threading/pipeline/view options share one pass
+///    (the first submission's options win). A request wanting a trace
+///    never coalesces onto a TraceMode::Off pass.
+///
+/// Requests that share an output region (or read a region another request
+/// writes) and cannot coalesce are **serialized**: the later request
+/// queues behind the in-flight one instead of racing it on the shared
+/// output bytes. Requests over disjoint region sets run concurrently,
+/// each in its own ExecArena.
 ///
 /// Execution model: no dedicated dispatcher thread. A Background request
 /// is handed to the process pool's detached (communication) lane; a
@@ -107,17 +122,28 @@ public:
   AdmissionQueue(const AdmissionQueue &) = delete;
   AdmissionQueue &operator=(const AdmissionQueue &) = delete;
 
-  /// Submits one execution request. Coalesces onto an identical pending or
-  /// in-flight request when one exists (see file comment); otherwise
-  /// admits it if the queue has room (running + queued < capacity) and
-  /// returns a future. A full queue rejects immediately: the returned
-  /// future is already resolved with ResourceExhausted and no execution
-  /// happens. \p Keeper is an optional lifetime anchor stored in the
-  /// future (see ExecFuture::Keeper).
+  /// Submits one execution request. Coalesces onto a result-compatible
+  /// not-yet-started request over the same region map when one exists, and
+  /// queues behind (rather than racing) a conflicting request that shares
+  /// a region this one writes — or writes a region this one reads (see
+  /// file comment); otherwise admits it if the queue has room (running +
+  /// queued < capacity) and returns a future. A full queue rejects
+  /// immediately: the returned future is already resolved with
+  /// ResourceExhausted and no execution happens. \p Keeper is an optional
+  /// lifetime anchor stored in the future (see ExecFuture::Keeper).
+  /// \p RunAnchor is an optional lifetime anchor held by the *request*
+  /// itself and released when the execution completes (or the request is
+  /// rejected/coalesced/failed) — the hook Tensor uses to keep Region
+  /// storage alive and pinned exactly as long as an execution might touch
+  /// it. The RunAnchor must NOT own the artifact (directly or
+  /// transitively): it can be released from inside a background dispatch
+  /// job, and destroying the artifact there would join that job's own
+  /// pool ticket. Use \p Keeper for artifact lifetime.
   ExecFuture submit(const std::map<TensorVar, Region *> &Regions,
                     const ExecOptions &Opts,
                     Dispatch D = Dispatch::Background,
-                    std::shared_ptr<void> Keeper = nullptr);
+                    std::shared_ptr<void> Keeper = nullptr,
+                    std::shared_ptr<void> RunAnchor = nullptr);
 
   /// Cap on concurrently *running* executions of this artifact (default
   /// 8). Admitted requests beyond it queue FIFO. Must be >= 1.

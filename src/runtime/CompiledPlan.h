@@ -188,9 +188,10 @@ struct CompiledTask {
 /// setArenaCacheCap so the steady state allocates nothing. Any number of
 /// threads may call execute()/tryExecute()/submit() on one artifact
 /// concurrently; outputs are bitwise-identical to running the same calls
-/// serially. Concurrent executions *of the same region map* should go
-/// through submit() (which coalesces them onto one pass) rather than
-/// direct execute() calls racing on one output region.
+/// serially. Concurrent executions *that share regions* should go through
+/// submit() — it coalesces result-compatible requests onto one pass and
+/// serializes the rest — rather than direct execute() calls racing on one
+/// output region.
 ///
 /// Failure contract (tryExecute): when any step of an execution fails —
 /// a gather, a prefetch ticket, a leaf launch, a writeback stripe, or an
@@ -291,7 +292,8 @@ public:
   /// count and task/leaf split, and to a freshly compiled artifact's.
   /// Thread-safe and reentrant — concurrent calls run concurrently, each
   /// in its own arena (callers racing on the *same* output region should
-  /// use submit() instead, which coalesces them). Throws DistalError on
+  /// use submit() instead, which coalesces or serializes them). Throws
+  /// DistalError on
   /// failure (see the class failure contract); tryExecute is the
   /// non-throwing form.
   Trace execute(const std::map<TensorVar, Region *> &Regions,
@@ -306,16 +308,21 @@ public:
                     const ExecOptions &Opts = {});
 
   /// Submits one execution through the artifact's admission queue: bounded
-  /// concurrency, identical requests coalesced onto one pass, result
-  /// delivered through the returned ExecFuture (see runtime/Admission.h).
-  /// Thread-safe. This is the right entry point when many client threads
-  /// share one artifact.
+  /// concurrency, result-compatible not-yet-started requests coalesced
+  /// onto one pass, requests that share an output region serialized
+  /// instead of raced, result delivered through the returned ExecFuture
+  /// (see runtime/Admission.h). \p RunAnchor, if set, is held by the
+  /// request until its execution completes (region-lifetime hook; see
+  /// AdmissionQueue::submit). Thread-safe. This is the right entry point
+  /// when many client threads share one artifact.
   ExecFuture submit(const std::map<TensorVar, Region *> &Regions,
                     const ExecOptions &Opts = {},
                     AdmissionQueue::Dispatch D =
                         AdmissionQueue::Dispatch::Background,
-                    std::shared_ptr<void> Keeper = nullptr) {
-    return Queue.submit(Regions, Opts, D, std::move(Keeper));
+                    std::shared_ptr<void> Keeper = nullptr,
+                    std::shared_ptr<void> RunAnchor = nullptr) {
+    return Queue.submit(Regions, Opts, D, std::move(Keeper),
+                        std::move(RunAnchor));
   }
 
   /// The artifact's admission/batching front-end (tuning knobs + stats).

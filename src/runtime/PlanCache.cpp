@@ -2,6 +2,8 @@
 
 #include "runtime/PlanCache.h"
 
+#include <algorithm>
+
 using namespace distal;
 
 PlanCache &PlanCache::global() {
@@ -88,7 +90,9 @@ AdmissionQueue::Stats PlanCache::admissionStats() const {
     Agg.Rejected += One.Rejected;
     Agg.Active += One.Active;
     Agg.Queued += One.Queued;
-    Agg.PeakActive += One.PeakActive;
+    // Per-artifact high-water marks are not additive (they may have been
+    // hit at different times); the meaningful aggregate is the largest.
+    Agg.PeakActive = std::max(Agg.PeakActive, One.PeakActive);
   }
   return Agg;
 }

@@ -71,8 +71,11 @@ public:
   /// Aggregated admission-queue counters over every currently cached
   /// artifact (see AdmissionQueue::Stats): the multi-tenant view — how
   /// many executions the cache's artifacts admitted, coalesced, and
-  /// rejected, and how many run right now. Evicted artifacts' counters
-  /// leave the aggregate with them.
+  /// rejected, and how many run right now. Counts sum across artifacts;
+  /// PeakActive is the *maximum* of the per-artifact high-water marks
+  /// (per-artifact peaks at different times are not additive, so a sum
+  /// would overstate overlap). Evicted artifacts' counters leave the
+  /// aggregate with them.
   AdmissionQueue::Stats admissionStats() const;
 
 private:

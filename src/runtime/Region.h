@@ -14,6 +14,7 @@
 #ifndef DISTAL_RUNTIME_REGION_H
 #define DISTAL_RUNTIME_REGION_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -135,6 +136,32 @@ class Region {
 public:
   Region(TensorVar Var, Format Fmt, Machine M);
 
+  /// Copying or moving a region never transfers execution pins: pins
+  /// attach to one Region *object* (in-flight executions hold pointers to
+  /// it), so the new object starts unpinned and the source keeps its
+  /// count. Copying/moving a pinned region's data is the caller's hazard.
+  Region(const Region &O)
+      : Var(O.Var), Fmt(O.Fmt), M(O.M), Strides(O.Strides), Data(O.Data) {}
+  Region(Region &&O)
+      : Var(std::move(O.Var)), Fmt(std::move(O.Fmt)), M(std::move(O.M)),
+        Strides(std::move(O.Strides)), Data(std::move(O.Data)) {}
+  Region &operator=(const Region &O) {
+    Var = O.Var;
+    Fmt = O.Fmt;
+    M = O.M;
+    Strides = O.Strides;
+    Data = O.Data;
+    return *this;
+  }
+  Region &operator=(Region &&O) {
+    Var = std::move(O.Var);
+    Fmt = std::move(O.Fmt);
+    M = std::move(O.M);
+    Strides = std::move(O.Strides);
+    Data = std::move(O.Data);
+    return *this;
+  }
+
   const TensorVar &var() const { return Var; }
   const Format &format() const { return Fmt; }
   const Machine &machine() const { return M; }
@@ -202,6 +229,16 @@ public:
   double *data() { return Data.data(); }
   const double *data() const { return Data.data(); }
 
+  /// Execution pin: counts in-flight executions reading or writing this
+  /// region's storage. Owners that want to replace or copy out the storage
+  /// (Tensor::materialize on a machine change) must wait for pinned() to
+  /// drop to zero first — pinned storage may be written concurrently by the
+  /// pinning execution. Pins are advisory bookkeeping, not locks: they
+  /// never block the executions themselves.
+  void pin() { Pins.fetch_add(1, std::memory_order_acq_rel); }
+  void unpin() { Pins.fetch_sub(1, std::memory_order_acq_rel); }
+  int pinned() const { return Pins.load(std::memory_order_acquire); }
+
 private:
   int64_t offset(const Point &P) const;
 
@@ -210,6 +247,7 @@ private:
   Machine M;
   std::vector<Coord> Strides;
   std::vector<double> Data;
+  std::atomic<int> Pins{0};
 };
 
 } // namespace distal

@@ -222,6 +222,93 @@ TEST(Concurrency, IdenticalRequestsCoalesceOntoOnePass) {
   EXPECT_EQ(CP.arenaStats().Created + CP.arenaStats().Reused, 2);
 }
 
+// Conflict serialization: two requests over the same region map whose
+// options are NOT result-compatible (a trace-wanting request must not
+// piggyback on a traceless pass) may never run concurrently either — the
+// second queues behind the first instead of racing it on the shared
+// output region.
+TEST(Concurrency, IncompatibleOptionsOnSameOutputSerialize) {
+  MatmulProblem Prob = makeCannon();
+  CompiledPlan CP(Prob.P);
+  ClientRegions Ref(Prob);
+  CP.execute(Ref.Regions, fastOpts(1));
+  const std::vector<double> Expected = Ref.output(Prob.A);
+
+  ClientRegions Set(Prob);
+  ExecOptions Off = fastOpts(2);
+  ExecOptions Full = fastOpts(2);
+  Full.Mode = TraceMode::Full;
+  ExecFuture F1 = CP.submit(Set.Regions, Off,
+                            AdmissionQueue::Dispatch::Deferred);
+  ExecFuture F2 = CP.submit(Set.Regions, Full,
+                            AdmissionQueue::Dispatch::Deferred);
+  AdmissionQueue::Stats S = CP.admission().stats();
+  EXPECT_EQ(S.Admitted, 2) << "trace-incompatible requests must not coalesce";
+  EXPECT_EQ(S.Coalesced, 0);
+  EXPECT_EQ(S.Active, 1) << "the conflicting request must wait its turn";
+  EXPECT_EQ(S.Queued, 1);
+
+  // F2's wait help-runs F1 (the active lane blocker), then its own pass.
+  EXPECT_TRUE(F2.wait().ok()) << F2.wait().str();
+  EXPECT_TRUE(F1.wait().ok()) << F1.wait().str();
+  EXPECT_EQ(F2.trace().NumProcs, CP.trace().NumProcs)
+      << "the traced request must get a real trace, not the Off pass's";
+  EXPECT_EQ(Set.output(Prob.A), Expected);
+}
+
+// The flip side: options that cannot change the output bytes (threading,
+// pipelining, views — everything but the trace mode) are not part of the
+// coalescing key, and a Full pass satisfies an Off request.
+TEST(Concurrency, ResultCompatibleOptionsCoalesce) {
+  MatmulProblem Prob = makeCannon();
+  CompiledPlan CP(Prob.P);
+  ClientRegions Set(Prob);
+  ExecOptions Full = fastOpts(2);
+  Full.Mode = TraceMode::Full;
+  ExecOptions Off = fastOpts(1); // Different thread count AND trace mode.
+  Off.Pipe = Pipeline::Off;
+
+  ExecFuture F1 = CP.submit(Set.Regions, Full,
+                            AdmissionQueue::Dispatch::Deferred);
+  ExecFuture F2 = CP.submit(Set.Regions, Off,
+                            AdmissionQueue::Dispatch::Deferred);
+  AdmissionQueue::Stats S = CP.admission().stats();
+  EXPECT_EQ(S.Admitted, 1);
+  EXPECT_EQ(S.Coalesced, 1);
+  EXPECT_TRUE(F2.wait().ok()) << F2.wait().str();
+  EXPECT_TRUE(F1.done());
+}
+
+// Coalescing must never serve stale bytes: a request only piggybacks on a
+// pass that has not started yet, so data written *before* the submission
+// is always visible to the pass that resolves it. (A running pass may
+// already have read its inputs; attaching to it would time-travel.)
+TEST(Concurrency, CoalescedPassReadsLatestInputs) {
+  MatmulProblem Prob = makeCannon();
+  CompiledPlan CP(Prob.P);
+
+  ClientRegions Set(Prob);
+  ExecOptions Opts = fastOpts(2);
+  ExecFuture F1 = CP.submit(Set.Regions, Opts,
+                            AdmissionQueue::Dispatch::Deferred);
+  // F1 is admitted but unclaimed: nothing has read the inputs yet.
+  // Overwrite them, then submit the identical request.
+  Set.Storage[1]->fillRandom(1001);
+  Set.Storage[2]->fillRandom(2002);
+  ExecFuture F2 = CP.submit(Set.Regions, Opts,
+                            AdmissionQueue::Dispatch::Deferred);
+  EXPECT_EQ(CP.admission().stats().Coalesced, 1);
+  EXPECT_TRUE(F2.wait().ok()) << F2.wait().str();
+
+  // Serial reference over the *new* fills.
+  ClientRegions Ref(Prob);
+  Ref.Storage[1]->fillRandom(1001);
+  Ref.Storage[2]->fillRandom(2002);
+  CP.execute(Ref.Regions, fastOpts(1));
+  EXPECT_EQ(Set.output(Prob.A), Ref.output(Prob.A))
+      << "the coalesced pass must compute from the post-fill inputs";
+}
+
 // The bounded queue: beyond capacity, submission fails fast with an
 // already-resolved ResourceExhausted future; admitted requests still run
 // to completion via the waiters' claim/help protocol.
@@ -405,6 +492,99 @@ TEST(Concurrency, TensorConcurrentEvaluatesCoalesce) {
     }
 }
 
+// The documented thread-safety of the mixed evaluate surfaces: one thread
+// hammers evaluate() (TraceMode::Off) while another hammers
+// evaluateWithTrace() (TraceMode::Full) on the SAME tensor. The requests
+// share the output region but are not trace-compatible, so the admission
+// queue must serialize them — never run two passes zeroing/writing the
+// region at once. Runs under the TSan job, where any such race surfaces.
+TEST(Concurrency, TensorEvaluateAndTraceOnOneTensorDoNotRace) {
+  PlanCache::global().clear();
+  Machine M = Machine::grid({2, 2});
+  Format Tiles({ModeKind::Dense, ModeKind::Dense},
+               TensorDistribution::parse("xy->xy"));
+  Tensor A("A", {16, 16}, Tiles), B("B", {16, 16}, Tiles),
+      C("C", {16, 16}, Tiles);
+  B.fillRandom(13);
+  C.fillRandom(17);
+  IndexVar I("i"), J("j"), K("k");
+  A(I, J) = B(I, K) * C(K, J);
+  IndexVar Io("io"), Ii("ii"), Jo("jo"), Ji("ji"), Ko("ko"), Ki("ki");
+  A.schedule()
+      .distribute({I, J}, {Io, Jo}, {Ii, Ji}, M)
+      .split(K, Ko, Ki, 8)
+      .reorder({Io, Jo, Ko, Ii, Ji, Ki})
+      .communicate(A, Jo)
+      .communicate({B, C}, Ko)
+      .substitute({Ii, Ji, Ki}, LeafKernel::GeMM);
+
+  const int Rounds = 6;
+  std::atomic<int> Failures{0};
+  StartGate Gate(2);
+  std::thread Plain([&] {
+    Gate.arriveAndWait();
+    for (int R = 0; R < Rounds; ++R)
+      if (!A.tryEvaluate(M).ok())
+        ++Failures;
+  });
+  std::thread Traced([&] {
+    Gate.arriveAndWait();
+    for (int R = 0; R < Rounds; ++R) {
+      try {
+        Trace T = A.evaluateWithTrace(M);
+        if (T.NumProcs <= 0)
+          ++Failures;
+      } catch (...) {
+        ++Failures;
+      }
+    }
+  });
+  Plain.join();
+  Traced.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  for (Coord X = 0; X < 16; ++X)
+    for (Coord Y = 0; Y < 16; ++Y) {
+      double Acc = 0;
+      for (Coord Z = 0; Z < 16; ++Z)
+        Acc += B.region()->at(Point({X, Z})) * C.region()->at(Point({Z, Y}));
+      ASSERT_EQ(A.at(Point({X, Y})), Acc) << "(" << X << "," << Y << ")";
+    }
+}
+
+// Machine change under a pending execution: evaluateAsync(M1) reads B's
+// M1 region; evaluating a second tensor that also reads B on M2 rebuilds
+// B's backing Region. The rebuild must wait for the pending execution to
+// drain and the old storage must stay alive until it completes — never a
+// use-after-free (ASan-checked in CI), and both results must be right.
+TEST(Concurrency, MachineChangeDrainsInFlightExecutions) {
+  PlanCache::global().clear();
+  Machine M1 = Machine::grid({2}), M2 = Machine::grid({4});
+  Format V({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  Tensor A("A", {32}, V), B("B", {32}, V), D("D", {32}, V);
+  B.fillRandom(19);
+  IndexVar I("i"), Io("io"), Ii("ii");
+  A(I) = B(I) + 1.0;
+  A.schedule().distribute({I}, {Io}, {Ii}, M1);
+  IndexVar J("j"), Jo("jo"), Ji("ji");
+  D(J) = Expr(B(J)) * Expr(2.0);
+  D.schedule().distribute({J}, {Jo}, {Ji}, M2);
+
+  for (int Round = 0; Round < 4; ++Round) {
+    ExecFuture F = A.evaluateAsync(M1); // Reads B on M1.
+    D.evaluate(M2);                     // Rebuilds B's region for M2.
+    EXPECT_TRUE(F.wait().ok()) << F.wait().str();
+    for (Coord X = 0; X < 32; ++X) {
+      // B's values survived the rebuild, so both outputs check out
+      // against the *current* B region.
+      EXPECT_EQ(A.at(Point({X})), B.region()->at(Point({X})) + 1.0);
+      EXPECT_EQ(D.at(Point({X})), B.region()->at(Point({X})) * 2.0);
+    }
+    ExecFuture Back = A.evaluateAsync(M1); // And back again: B M2 -> M1.
+    EXPECT_TRUE(Back.wait().ok()) << Back.wait().str();
+  }
+}
+
 // evaluateAsync: the future is the result carrier AND the artifact's
 // lifetime anchor — a PlanCache eviction between submit and wait must not
 // destroy the artifact under the pending execution.
@@ -422,6 +602,37 @@ TEST(Concurrency, EvaluateAsyncSurvivesCacheEviction) {
   ASSERT_TRUE(F.valid());
   PlanCache::global().clear(); // Evict: only the future anchors the artifact.
   EXPECT_TRUE(F.wait().ok()) << F.wait().str();
+  for (Coord X = 0; X < 32; ++X)
+    EXPECT_EQ(A.at(Point({X})), B.region()->at(Point({X})) + 1.0);
+}
+
+// Fire-and-forget teardown: drop every future immediately, then clear the
+// cache while background requests may still be pending. The last artifact
+// reference must never be the request's own RunAnchor (released from
+// inside the dispatch job, where destroying the artifact would join the
+// job's own pool ticket — a self-deadlock), so the clear() below tears
+// the artifact down on this thread: unclaimed requests fail, running ones
+// drain, and nothing hangs or touches freed Region storage.
+TEST(Concurrency, AbandonedAsyncFuturesThenCacheClearTearDownCleanly) {
+  PlanCache::global().clear();
+  Machine M = Machine::grid({2});
+  Format V({ModeKind::Dense}, TensorDistribution::parse("x->x"));
+  Tensor A("A", {32}, V), B("B", {32}, V);
+  B.fillRandom(29);
+  IndexVar I("i"), Io("io"), Ii("ii");
+  A(I) = B(I) + 1.0;
+  A.schedule().distribute({I}, {Io}, {Ii}, M);
+
+  for (int Round = 0; Round < 8; ++Round) {
+    A.evaluateAsync(M); // Future dropped on the spot.
+    if (Round % 2 == 1)
+      PlanCache::global().clear();
+  }
+  PlanCache::global().clear();
+
+  // The engine is fully usable afterwards; a fresh evaluation recompiles
+  // and produces the right bytes.
+  A.evaluate(M);
   for (Coord X = 0; X < 32; ++X)
     EXPECT_EQ(A.at(Point({X})), B.region()->at(Point({X})) + 1.0);
 }
