@@ -23,8 +23,10 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 HEADERS = [
     "src/api/Tensor.h",
+    "src/api/Program.h",
     "src/runtime/Executor.h",
     "src/runtime/CompiledPlan.h",
+    "src/runtime/CompiledProgram.h",
 ]
 
 CLASS_RE = re.compile(r"^\s*(template\s*<[^>]*>\s*)?(class|struct)\s+"

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/Program.h"
 #include "lower/Lower.h"
 #include "runtime/PlanCache.h"
 #include "support/Error.h"
@@ -346,6 +347,21 @@ Trace Tensor::evaluateUncached(const Machine &M) {
 }
 
 Trace Tensor::simulateOn(const Machine &M) { return compile(M)->trace(); }
+
+Tensor &Tensor::lookupTensor(const TensorVar &V) { return lookup(V); }
+
+std::mutex &Tensor::apiMu() { return apiMutex(); }
+
+void Tensor::evaluateProgram(const std::vector<Tensor *> &Stmts,
+                             const Machine &M) {
+  Program P;
+  for (Tensor *T : Stmts) {
+    if (!T)
+      reportFatalError("evaluateProgram: null tensor in statement list");
+    P.add(*T);
+  }
+  P.evaluate(M);
+}
 
 double Tensor::at(const Point &P) const {
   if (!Reg)

@@ -179,6 +179,17 @@ public:
   /// studies). Uses the same cached artifact as evaluate().
   Trace simulateOn(const Machine &M);
 
+  /// Evaluates an ordered chain of statements as one linked program (see
+  /// api/Program.h): each tensor in \p Stmts contributes its defined
+  /// computation, in order. Equivalent to (and bitwise-identical with)
+  /// calling evaluate(M) on each tensor in sequence, but compiled into one
+  /// cached CompiledProgram whose tasks run as a single dependency graph —
+  /// cross-statement barriers, interior gathers, and interior writebacks
+  /// are elided where the residency analysis allows. Throws DistalError on
+  /// failure.
+  static void evaluateProgram(const std::vector<Tensor *> &Stmts,
+                              const Machine &M);
+
   /// Execute-time options applied by evaluate()/evaluateWithTrace()/
   /// evaluateUncached(): threading, the task/leaf split, the pipeline
   /// mode (Pipeline::DoubleBuffer by default — the next step's gathers
@@ -203,6 +214,16 @@ public:
   Region *region() const { return Reg.get(); }
 
 private:
+  /// Program builds on the same compile-memo, registry, and
+  /// materialisation internals the evaluate family uses.
+  friend class Program;
+
+  /// Resolves \p V back to its live api::Tensor (fatal when none exists).
+  static Tensor &lookupTensor(const TensorVar &V);
+  /// The process-wide mutex serializing the evaluate-family front half
+  /// (compile memo + region materialisation). Never held during execution.
+  static std::mutex &apiMu();
+
   /// Ensures the backing Region exists for machine \p M and returns the
   /// owning pointer (shared so in-flight executions can anchor it). A
   /// machine change waits for executions pinning the old Region to drain,

@@ -185,3 +185,32 @@ std::string Plan::str() const {
   OS << Nest.str();
   return OS.str();
 }
+
+Status distal::validateProgramPlans(const std::vector<const Plan *> &Plans) {
+  if (Plans.empty())
+    return Status(ErrorCode::InvalidArgument,
+                  "program requires at least one statement");
+  for (size_t I = 0; I < Plans.size(); ++I)
+    if (!Plans[I])
+      return Status(ErrorCode::InvalidArgument,
+                    "program statement " + std::to_string(I) +
+                        " has no plan");
+  std::string M0 = Plans.front()->M.str();
+  for (size_t I = 1; I < Plans.size(); ++I)
+    if (Plans[I]->M.str() != M0)
+      return Status(ErrorCode::InvalidArgument,
+                    "program statement " + std::to_string(I) +
+                        " targets a different machine than statement 0; "
+                        "residency linking requires one machine");
+  return Status();
+}
+
+std::string distal::programFingerprint(const std::vector<const Plan *> &Plans) {
+  std::string FP = "program{";
+  for (const Plan *P : Plans) {
+    FP += P ? P->fingerprint() : "<null>";
+    FP += '|';
+  }
+  FP += '}';
+  return FP;
+}

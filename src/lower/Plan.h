@@ -13,10 +13,12 @@
 #define DISTAL_LOWER_PLAN_H
 
 #include <map>
+#include <vector>
 
 #include "format/Format.h"
 #include "machine/Machine.h"
 #include "schedule/Schedule.h"
+#include "support/Status.h"
 
 namespace distal {
 
@@ -77,6 +79,17 @@ public:
 
   std::string str() const;
 };
+
+/// Validates an ordered statement chain for program-level linking: every
+/// plan non-null and on the same machine (residency linking compares
+/// processor ids across statements, which is only meaningful on one
+/// machine). Returns OK or InvalidArgument naming the offending member.
+Status validateProgramPlans(const std::vector<const Plan *> &Plans);
+
+/// The statement-fingerprint chain of an ordered plan list — the
+/// program-level analogue of Plan::fingerprint. Two chains with equal
+/// program fingerprints link to interchangeable program artifacts.
+std::string programFingerprint(const std::vector<const Plan *> &Plans);
 
 } // namespace distal
 

@@ -224,6 +224,15 @@ public:
   /// The leaf strategy this artifact was compiled with.
   LeafStrategy strategy() const { return Strategy; }
 
+  /// The compiled per-task programs (placement, bounds, gather rectangles,
+  /// prefetch schedule) — immutable after construction. Exposed for
+  /// program-level linking (analyzeProgramLinks) and for tests that check
+  /// the compile-phase classification directly.
+  const std::vector<CompiledTask> &compiledTasks() const { return Tasks; }
+  /// Number of sequential steps of the compiled program (the step-domain
+  /// volume). Immutable after construction.
+  int64_t stepCount() const { return static_cast<int64_t>(StepVals.size()); }
+
   /// The precomputed execution trace (messages, work, peak memory) — what
   /// Executor::simulate returns, identical to what every execution
   /// observes. Thread-safe (immutable after construction).
@@ -357,6 +366,11 @@ public:
   void poisonForTesting();
 
 private:
+  /// CompiledProgram links member artifacts into a whole-program dataflow
+  /// graph: it reuses the per-statement exec-state builders and walks the
+  /// compiled task programs directly, so it needs the internals below.
+  friend class CompiledProgram;
+
   /// Hands out a pooled arena (or a fresh one) for one execution.
   std::unique_ptr<ExecArena> acquireArena();
   /// Returns a successfully-used arena to the cache (or frees it past the

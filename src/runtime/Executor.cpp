@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "runtime/CompiledProgram.h"
 #include "runtime/PlanAnalysis.h"
 #include "support/Error.h"
 
@@ -161,4 +162,17 @@ void distal::referenceExecute(const Assignment &Stmt,
       OutCoords.push_back(Vals.at(V));
     Out->at(Point(OutCoords)) += Eval(Stmt.rhs());
   });
+}
+
+void Executor::runProgram(const std::vector<const Plan *> &Plans,
+                          const std::map<TensorVar, Region *> &Regions,
+                          const ExecOptions &Opts) {
+  Status V = validateProgramPlans(Plans);
+  if (!V.ok())
+    throwStatus(std::move(V));
+  std::vector<std::shared_ptr<CompiledPlan>> Members;
+  Members.reserve(Plans.size());
+  for (const Plan *P : Plans)
+    Members.push_back(std::make_shared<CompiledPlan>(*P));
+  CompiledProgram(std::move(Members)).execute(Regions, Opts);
 }

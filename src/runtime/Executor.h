@@ -156,6 +156,17 @@ public:
   /// Returns the trace without touching data (for cost studies).
   Trace simulate();
 
+  /// Compiles \p Plans (ordered statement chain, validated with
+  /// validateProgramPlans) into a fresh, uncached CompiledProgram and runs
+  /// it once over \p Regions — the raw-plan analogue of Program::evaluate
+  /// for callers below the Tensor API. \p Opts follows the ExecOptions
+  /// contract (execute-time knobs only; results bitwise-identical across
+  /// all settings, and identical to running each plan's Executor in
+  /// sequence). Throws DistalError on validation or execution failure.
+  static void runProgram(const std::vector<const Plan *> &Plans,
+                         const std::map<TensorVar, Region *> &Regions,
+                         const ExecOptions &Opts = {});
+
   /// Messages needed to materialise rectangle \p R of tensor \p T in the
   /// memory of \p DstProc, fetching each piece from the replica nearest the
   /// destination (exposed for testing the communication analysis).

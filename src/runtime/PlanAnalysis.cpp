@@ -464,3 +464,259 @@ PlanAnalysisResult distal::analyzePlan(const Plan &P, const Mapper &Map) {
   }
   return Result;
 }
+
+/// True when every point of \p R lies in some rectangle of \p Cover.
+/// Guillotine recursion: intersect with the first overlapping cover
+/// rectangle, peel the uncovered remainder into disjoint slabs, and require
+/// each slab covered in turn. Terminates because every recursion strictly
+/// shrinks the uncovered volume.
+static bool coveredByUnion(const Rect &R, const std::vector<Rect> &Cover) {
+  if (R.isEmpty())
+    return true;
+  for (const Rect &C : Cover) {
+    Rect O = R.intersect(C);
+    if (O.isEmpty())
+      continue;
+    Rect Core = R;
+    std::vector<Rect> Rest;
+    for (int D = 0; D < R.dim(); ++D) {
+      if (Core.lo()[D] < O.lo()[D]) {
+        std::vector<Coord> Hi = Core.hi().coords();
+        Hi[static_cast<size_t>(D)] = O.lo()[D];
+        Rest.emplace_back(Core.lo(), Point(std::move(Hi)));
+        std::vector<Coord> Lo = Core.lo().coords();
+        Lo[static_cast<size_t>(D)] = O.lo()[D];
+        Core = Rect(Point(std::move(Lo)), Core.hi());
+      }
+      if (Core.hi()[D] > O.hi()[D]) {
+        std::vector<Coord> Lo = Core.lo().coords();
+        Lo[static_cast<size_t>(D)] = O.hi()[D];
+        Rest.emplace_back(Point(std::move(Lo)), Core.hi());
+        std::vector<Coord> Hi = Core.hi().coords();
+        Hi[static_cast<size_t>(D)] = O.hi()[D];
+        Core = Rect(Core.lo(), Point(std::move(Hi)));
+      }
+    }
+    for (const Rect &Piece : Rest)
+      if (!coveredByUnion(Piece, Cover))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+ProgramLinkResult
+distal::analyzeProgramLinks(const std::vector<const CompiledPlan *> &Members) {
+  ProgramLinkResult Result;
+  int NumStmts = static_cast<int>(Members.size());
+  Result.Stmts.resize(static_cast<size_t>(NumStmts));
+
+  auto bytesOf = [](const Rect &R) {
+    return (R.dim() == 0 ? 1 : R.volume()) * 8;
+  };
+
+  /// Statement index of the most recent writer of each tensor.
+  std::map<TensorVar, int> LastWriter;
+  /// Statements touching (reading or writing) each tensor, in order.
+  std::map<TensorVar, std::vector<int32_t>> Touched;
+  /// One recorded consumer gather of an interior tensor, resolved back to
+  /// its elision flag in the tier-B pass.
+  struct ReaderRef {
+    int Stmt, Task;
+    int StepIdx; ///< -1: launch gather.
+    int GatherIdx;
+    Rect R;
+    int64_t ProcId;
+  };
+  /// Consumer gathers per producer statement.
+  std::map<int, std::vector<ReaderRef>> ReadersOf;
+  /// Per statement, per task: intersecting producer tasks per producer
+  /// statement (empty set = ordering against the producer's zero/writeback
+  /// only), resolved into node dependencies in the final pass.
+  std::vector<std::vector<std::map<int, std::set<int32_t>>>> RawDeps(
+      static_cast<size_t>(NumStmts));
+  /// Tier-B candidacy per statement (statement-level preconditions plus
+  /// per-task output-rectangle exclusivity).
+  std::vector<std::vector<uint8_t>> OutCandidate(
+      static_cast<size_t>(NumStmts));
+
+  // Pass 1: consumer-side residency linking (tier A) and dependency
+  // discovery, statements in program order.
+  for (int I = 0; I < NumStmts; ++I) {
+    const CompiledPlan &CP = *Members[static_cast<size_t>(I)];
+    const Plan &P = CP.plan();
+    const Assignment &Stmt = P.Nest.Stmt;
+    const TensorVar &Out = Stmt.lhs().tensor();
+    const std::vector<CompiledTask> &Tasks = CP.compiledTasks();
+    ProgramStmtLinks &SL = Result.Stmts[static_cast<size_t>(I)];
+    SL.Tasks.resize(Tasks.size());
+    RawDeps[static_cast<size_t>(I)].resize(Tasks.size());
+
+    // WAR/WAW on the output tensor: every earlier statement touching it
+    // must fully complete before this statement's region-wide zero.
+    if (auto It = Touched.find(Out); It != Touched.end())
+      SL.ZeroDeps = It->second;
+
+    // Per-processor producer output residency, lazily built per producer.
+    std::map<std::pair<int, int64_t>, std::vector<Rect>> ProducerCover;
+    auto coverFor = [&](int Producer, int64_t ProcId) -> std::vector<Rect> & {
+      auto Key = std::make_pair(Producer, ProcId);
+      auto It = ProducerCover.find(Key);
+      if (It != ProducerCover.end())
+        return It->second;
+      std::vector<Rect> Cover;
+      for (const CompiledTask &PT :
+           Members[static_cast<size_t>(Producer)]->compiledTasks())
+        if (PT.ProcId == ProcId && !PT.OutRect.isEmpty())
+          Cover.push_back(PT.OutRect);
+      return ProducerCover.emplace(Key, std::move(Cover)).first->second;
+    };
+
+    for (size_t T = 0; T < Tasks.size(); ++T) {
+      const CompiledTask &CT = Tasks[T];
+      ProgramTaskLinks &TL = SL.Tasks[T];
+      TL.LaunchView.assign(CT.LaunchGathers.size(), 0);
+      TL.StepView.resize(CT.StepGathers.size());
+      for (size_t S = 0; S < CT.StepGathers.size(); ++S)
+        TL.StepView[S].assign(CT.StepGathers[S].size(), 0);
+
+      // One consumer gather: residency check + dependency + reader record.
+      auto linkGather = [&](const CompiledGather &G, int StepIdx,
+                            int GatherIdx, uint8_t &ViewFlag) {
+        if (G.IsOutput || G.Tensor == Out || G.R.isEmpty())
+          return;
+        auto WIt = LastWriter.find(G.Tensor);
+        if (WIt == LastWriter.end())
+          return; // External input: immutable for the whole program.
+        int Producer = WIt->second;
+        std::set<int32_t> &Intersecting =
+            RawDeps[static_cast<size_t>(I)][T][Producer];
+        for (size_t S = 0;
+             S < Members[static_cast<size_t>(Producer)]->compiledTasks().size();
+             ++S)
+          if (Members[static_cast<size_t>(Producer)]
+                  ->compiledTasks()[S]
+                  .OutRect.overlaps(G.R))
+            Intersecting.insert(static_cast<int32_t>(S));
+        ReadersOf[Producer].push_back(
+            {I, static_cast<int>(T), StepIdx, GatherIdx, G.R, CT.ProcId});
+        // Tier A: the rectangle is covered by the producer's output
+        // residency on this very processor — the bytes are already here,
+        // so the copy downgrades to a zero-copy view of region storage.
+        if (G.Class != GatherClass::Aliasable &&
+            coveredByUnion(G.R, coverFor(Producer, CT.ProcId))) {
+          ViewFlag = 1;
+          ++Result.ElidedGathers;
+          Result.ElidedGatherBytes += bytesOf(G.R);
+        }
+      };
+      for (size_t G = 0; G < CT.LaunchGathers.size(); ++G)
+        linkGather(CT.LaunchGathers[G], -1, static_cast<int>(G),
+                   TL.LaunchView[G]);
+      for (size_t S = 0; S < CT.StepGathers.size(); ++S)
+        for (size_t G = 0; G < CT.StepGathers[S].size(); ++G)
+          linkGather(CT.StepGathers[S][G], static_cast<int>(S),
+                     static_cast<int>(G), TL.StepView[S][G]);
+    }
+
+    // Tier-B candidacy: the same statement-level preconditions as the
+    // per-statement output alias (nothing may read the output region
+    // mid-execution, non-scalar), plus exclusive output rectangles —
+    // without them the copy path's task-ordered merge defines the result
+    // and in-place writes could diverge.
+    bool OutAliasOK = Out.order() > 0;
+    for (const Access &A : Stmt.rhsAccesses())
+      OutAliasOK &= A.tensor() != Out;
+    for (const StepComm &SC : P.stepComms())
+      OutAliasOK &= !(SC.Tensor == Out);
+    OutCandidate[static_cast<size_t>(I)].assign(Tasks.size(), 0);
+    if (OutAliasOK)
+      for (size_t T = 0; T < Tasks.size(); ++T) {
+        bool Exclusive = true;
+        for (size_t J = 0; J < Tasks.size() && Exclusive; ++J)
+          Exclusive = T == J || !Tasks[J].OutRect.overlaps(Tasks[T].OutRect);
+        OutCandidate[static_cast<size_t>(I)][T] = Exclusive ? 1 : 0;
+      }
+
+    for (const TensorVar &TV : Stmt.tensors())
+      Touched[TV].push_back(I);
+    LastWriter[Out] = I;
+  }
+
+  // Pass 2: producer-side writeback elision (tier B). A task writes the
+  // output region in place — eliding its writeback merge — when the
+  // statement allows aliasing, the task owns its rectangle exclusively,
+  // the output is interior (it has at least one later reader), and every
+  // reader gather overlapping the rectangle is a link-elided view on the
+  // same processor (the data never needs to reach its home distribution;
+  // final outputs and tensors with remote or copying readers always
+  // materialise through the deterministic merge).
+  for (int I = 0; I < NumStmts; ++I) {
+    auto RIt = ReadersOf.find(I);
+    if (RIt == ReadersOf.end() || RIt->second.empty())
+      continue; // No later reader: the output is user-facing, keep merging.
+    const std::vector<CompiledTask> &Tasks =
+        Members[static_cast<size_t>(I)]->compiledTasks();
+    for (size_t T = 0; T < Tasks.size(); ++T) {
+      if (!OutCandidate[static_cast<size_t>(I)][T])
+        continue;
+      const CompiledTask &CT = Tasks[T];
+      // The per-statement alias already elides this writeback; count
+      // nothing and leave the statement-level classification in charge.
+      bool AlreadyAliased = false;
+      for (const CompiledGather &G : CT.LaunchGathers)
+        AlreadyAliased |= G.IsOutput && G.Class == GatherClass::Aliasable;
+      if (AlreadyAliased || CT.OutRect.isEmpty())
+        continue;
+      bool AllLocal = true;
+      for (const ReaderRef &R : RIt->second) {
+        if (!R.R.overlaps(CT.OutRect))
+          continue;
+        const ProgramTaskLinks &RL =
+            Result.Stmts[static_cast<size_t>(R.Stmt)]
+                .Tasks[static_cast<size_t>(R.Task)];
+        uint8_t Elided =
+            R.StepIdx < 0
+                ? RL.LaunchView[static_cast<size_t>(R.GatherIdx)]
+                : RL.StepView[static_cast<size_t>(R.StepIdx)]
+                             [static_cast<size_t>(R.GatherIdx)];
+        if (R.ProcId != CT.ProcId || !Elided) {
+          AllLocal = false;
+          break;
+        }
+      }
+      if (!AllLocal)
+        continue;
+      Result.Stmts[static_cast<size_t>(I)].Tasks[T].OutView = 1;
+      ++Result.ElidedWritebackTasks;
+      Result.ElidedWritebackBytes += bytesOf(CT.OutRect);
+    }
+  }
+
+  // Pass 3: resolve dependencies. A consumer task depends on the producer
+  // tasks whose rectangles it reads when ALL of them write the region in
+  // place (their data is final as soon as the task completes); otherwise
+  // it waits for the producer's writeback node. An empty intersection
+  // still orders against the writeback node — the consumer reads zeroes
+  // (or merge results) the producer's zero/merge must have published.
+  for (int I = 0; I < NumStmts; ++I)
+    for (size_t T = 0; T < RawDeps[static_cast<size_t>(I)].size(); ++T) {
+      std::set<ProgramDep> Deps;
+      for (const auto &[Producer, TaskSet] :
+           RawDeps[static_cast<size_t>(I)][T]) {
+        bool AllInPlace = !TaskSet.empty();
+        for (int32_t S : TaskSet)
+          AllInPlace &= Result.Stmts[static_cast<size_t>(Producer)]
+                            .Tasks[static_cast<size_t>(S)]
+                            .OutView != 0;
+        if (AllInPlace)
+          for (int32_t S : TaskSet)
+            Deps.insert({static_cast<int32_t>(Producer), S});
+        else
+          Deps.insert({static_cast<int32_t>(Producer), -1});
+      }
+      Result.Stmts[static_cast<size_t>(I)].Tasks[T].Deps.assign(Deps.begin(),
+                                                                Deps.end());
+    }
+  return Result;
+}

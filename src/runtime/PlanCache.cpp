@@ -55,10 +55,76 @@ bool PlanCache::invalidate(const std::string &Key) {
   return true;
 }
 
+std::string
+PlanCache::programKeyFor(const std::vector<std::string> &MemberKeys) {
+  std::string Key = "program{";
+  for (const std::string &K : MemberKeys) {
+    Key += K;
+    Key += '|';
+  }
+  Key += '}';
+  return Key;
+}
+
+std::shared_ptr<CompiledProgram> PlanCache::findProgram(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ProgramIndex.find(Key);
+  if (It == ProgramIndex.end()) {
+    ++S.ProgramMisses;
+    return nullptr;
+  }
+  ++S.ProgramHits;
+  ProgramLRU.splice(ProgramLRU.begin(), ProgramLRU, It->second);
+  return It->second->second;
+}
+
+void PlanCache::putProgram(const std::string &Key,
+                           std::shared_ptr<CompiledProgram> CP) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ProgramIndex.find(Key);
+  if (It != ProgramIndex.end()) {
+    It->second->second = std::move(CP);
+    ProgramLRU.splice(ProgramLRU.begin(), ProgramLRU, It->second);
+    return;
+  }
+  ProgramLRU.emplace_front(Key, std::move(CP));
+  ProgramIndex[Key] = ProgramLRU.begin();
+  while (ProgramLRU.size() > ProgramCapacity) {
+    ProgramIndex.erase(ProgramLRU.back().first);
+    ProgramLRU.pop_back();
+  }
+}
+
+bool PlanCache::invalidateProgram(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ProgramIndex.find(Key);
+  if (It == ProgramIndex.end())
+    return false;
+  ProgramLRU.erase(It->second);
+  ProgramIndex.erase(It);
+  return true;
+}
+
+size_t PlanCache::programSize() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ProgramLRU.size();
+}
+
+void PlanCache::setProgramCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ProgramCapacity = N > 0 ? N : 1;
+  while (ProgramLRU.size() > ProgramCapacity) {
+    ProgramIndex.erase(ProgramLRU.back().first);
+    ProgramLRU.pop_back();
+  }
+}
+
 void PlanCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   LRU.clear();
   Index.clear();
+  ProgramLRU.clear();
+  ProgramIndex.clear();
 }
 
 size_t PlanCache::size() const {

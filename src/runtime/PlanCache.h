@@ -34,6 +34,7 @@
 #include <string>
 
 #include "runtime/CompiledPlan.h"
+#include "runtime/CompiledProgram.h"
 
 namespace distal {
 
@@ -56,15 +57,43 @@ public:
   /// Drops the entry for \p Key; returns whether one existed.
   bool invalidate(const std::string &Key);
 
-  /// Drops every entry (hit/miss counters survive).
+  /// Drops every entry — plan and program alike (hit/miss counters
+  /// survive).
   void clear();
 
   size_t size() const;
   void setCapacity(size_t N);
 
+  /// The cache key for a linked program over \p MemberKeys (the member
+  /// artifacts' keyFor strings, in program order): the statement-
+  /// fingerprint chain. Two programs share an artifact exactly when their
+  /// statement chains would compile to the same linked graph.
+  static std::string programKeyFor(const std::vector<std::string> &MemberKeys);
+
+  /// Returns the cached program artifact for \p Key (refreshing its LRU
+  /// position), or null. Counts a program hit or miss. Program entries
+  /// live in their own bounded LRU: a program co-owns its member
+  /// CompiledPlans (shared_ptr), so evicting a member plan entry never
+  /// invalidates a cached program — and vice versa.
+  std::shared_ptr<CompiledProgram> findProgram(const std::string &Key);
+
+  /// Inserts (or replaces) the program artifact for \p Key, evicting the
+  /// least recently used program entry beyond the program capacity.
+  void putProgram(const std::string &Key, std::shared_ptr<CompiledProgram> CP);
+
+  /// Drops the program entry for \p Key; returns whether one existed.
+  bool invalidateProgram(const std::string &Key);
+
+  /// Number of cached program artifacts.
+  size_t programSize() const;
+  /// Caps the program LRU (default 16).
+  void setProgramCapacity(size_t N);
+
   struct Stats {
     int64_t Hits = 0;
     int64_t Misses = 0;
+    int64_t ProgramHits = 0;   ///< findProgram hits.
+    int64_t ProgramMisses = 0; ///< findProgram misses.
   };
   Stats stats() const;
 
@@ -80,11 +109,16 @@ public:
 
 private:
   using Entry = std::pair<std::string, std::shared_ptr<CompiledPlan>>;
+  using ProgramEntry =
+      std::pair<std::string, std::shared_ptr<CompiledProgram>>;
 
   mutable std::mutex Mu;
   size_t Capacity = 64;
   std::list<Entry> LRU; ///< Front = most recently used.
   std::map<std::string, std::list<Entry>::iterator> Index;
+  size_t ProgramCapacity = 16;
+  std::list<ProgramEntry> ProgramLRU; ///< Front = most recently used.
+  std::map<std::string, std::list<ProgramEntry>::iterator> ProgramIndex;
   Stats S;
 };
 
