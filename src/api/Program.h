@@ -54,7 +54,10 @@ public:
   /// as Tensor::execOptions(): none participate in the cache key, results
   /// are bitwise-identical across all settings. ZeroCopyViews additionally
   /// gates the program-level residency overrides (off = the conservative
-  /// per-statement reference path).
+  /// per-statement reference path). Cancel carries the
+  /// cancellation/deadline token: the program walk checks it at every node
+  /// boundary (between statements' tasks), a trip is contained like any
+  /// other failure, and a clean re-evaluate stays bitwise-identical.
   ExecOptions &execOptions() { return ExecOpts; }
 
   /// Compiles (or cache-hits) the linked program artifact for machine

@@ -162,7 +162,11 @@ public:
   /// submissions coalesce (or serialize; see evaluate()); a full admission
   /// queue resolves the future with ResourceExhausted. Compilation and
   /// region materialisation still happen synchronously in this call (and
-  /// may throw, as in evaluate()). Thread-safe like evaluate().
+  /// may throw, as in evaluate()). The returned future supports bounded
+  /// waits (ExecFuture::waitFor) and cancellation (ExecFuture::cancel);
+  /// a deadline set via execOptions().Cancel resolves the future
+  /// DeadlineExceeded — without executing if it expires while the request
+  /// is still queued. Thread-safe like evaluate().
   ExecFuture evaluateAsync(const Machine &M);
 
   /// Like evaluate(), returning the execution trace (precomputed at
@@ -193,11 +197,15 @@ public:
   /// Execute-time options applied by evaluate()/evaluateWithTrace()/
   /// evaluateUncached(): threading, the task/leaf split, the pipeline
   /// mode (Pipeline::DoubleBuffer by default — the next step's gathers
-  /// prefetch behind the current leaf), and zero-copy alias views (on by
+  /// prefetch behind the current leaf), zero-copy alias views (on by
   /// default — home-resident gathers bind leaves directly to Region
-  /// storage). None of these participate in the PlanCache key, so
-  /// flipping them costs no recompile and results stay bitwise-identical.
-  /// The trace mode field is overridden per call.
+  /// storage), and the cancellation/deadline token (Cancel; see
+  /// CancelToken — a tripped token stops the evaluation at its next
+  /// cancellation point with Cancelled/DeadlineExceeded, contained like
+  /// any other failure, and a clean re-evaluate stays bitwise-identical).
+  /// None of these participate in the PlanCache key, so flipping them
+  /// costs no recompile and results stay bitwise-identical. The trace
+  /// mode field is overridden per call.
   ExecOptions &execOptions() { return ExecOpts; }
 
   /// The PlanCache key evaluate()/compile() use for machine \p M (for

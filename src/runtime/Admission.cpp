@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "runtime/CompiledPlan.h"
+#include "support/CancelToken.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -39,7 +40,10 @@ namespace distal {
 namespace detail {
 
 struct AdmissionRequest {
-  // The coalescing key: what to execute and how.
+  // The coalescing key: what to execute and how. Opts.Cancel is always a
+  // valid token for an admitted request (submit installs one when the
+  // caller's is invalid); the handle is never reassigned after admission,
+  // so tripping it from any thread is safe concurrently with the runner.
   std::map<TensorVar, Region *> Regions;
   ExecOptions Opts;
   AdmissionQueue::Dispatch D = AdmissionQueue::Dispatch::Background;
@@ -51,6 +55,12 @@ struct AdmissionRequest {
   std::atomic<bool> Done{false};
   Status Result;
   Trace Out;
+
+  /// Live ExecFuture copies referencing this request. Every future is
+  /// constructed while AdmissionState::Mu is held, so the last drop's
+  /// under-lock re-check of Watchers == 0 cannot race a concurrent
+  /// coalesce handing out a new copy (see ExecFuture::drop).
+  std::atomic<int> Watchers{0};
 
   /// Request-held lifetime anchor (see AdmissionQueue::submit): released
   /// when the request completes or is failed, always *outside* the queue
@@ -104,6 +114,10 @@ bool coalescibleLocked(const AdmissionRequest &R,
                        const ExecOptions &O) {
   if (R.Claimed || R.Done.load(std::memory_order_relaxed))
     return false;
+  // Never piggyback on a pass that is already doomed: a tripped token
+  // resolves the target Cancelled/DeadlineExceeded without running.
+  if (R.Opts.Cancel.tripped())
+    return false;
   if (R.Regions != Regions)
     return false;
   return R.Opts.Mode == O.Mode || R.Opts.Mode == TraceMode::Full;
@@ -148,16 +162,68 @@ bool blockedLocked(const AdmissionState &St, const AdmissionRequest &R,
   return false;
 }
 
+/// Resolves an unclaimed request without running it (Mu held): latches
+/// \p S as its result, frees its slot or queue position, and collects its
+/// RunAnchor into \p Anchors for release outside the lock. Counts toward
+/// Stats::Cancelled. Callers pump and broadcast afterwards.
+void resolveLocked(AdmissionState &St,
+                   const std::shared_ptr<AdmissionRequest> &R, Status S,
+                   std::vector<std::shared_ptr<void>> &Anchors) {
+  R->Result = std::move(S);
+  Anchors.push_back(std::move(R->RunAnchor));
+  R->Done.store(true, std::memory_order_release);
+  ++St.Counters.Cancelled;
+  auto It = std::find(St.Active.begin(), St.Active.end(), R);
+  if (It != St.Active.end())
+    St.Active.erase(It);
+  auto Qt = std::find(St.Queued.begin(), St.Queued.end(), R);
+  if (Qt != St.Queued.end())
+    St.Queued.erase(Qt);
+}
+
+/// Resolves every waiting (unclaimed) request whose token has tripped —
+/// the deadline sweep: a queued request past its deadline resolves
+/// DeadlineExceeded here without ever executing and without holding a
+/// slot. Mu held; anchors collected for release outside the lock.
+void sweepTrippedLocked(AdmissionState &St,
+                        std::vector<std::shared_ptr<void>> &Anchors) {
+  for (;;) {
+    std::shared_ptr<AdmissionRequest> Victim;
+    Status S;
+    for (const std::shared_ptr<AdmissionRequest> &R : St.Queued)
+      if (R->Opts.Cancel.tripped(&S)) {
+        Victim = R;
+        break;
+      }
+    if (!Victim)
+      for (const std::shared_ptr<AdmissionRequest> &R : St.Active)
+        if (!R->Claimed && !R->Done.load(std::memory_order_relaxed) &&
+            R->Opts.Cancel.tripped(&S)) {
+          Victim = R;
+          break;
+        }
+    if (!Victim)
+      return;
+    resolveLocked(St, Victim, std::move(S), Anchors);
+  }
+}
+
 /// Moves queued requests into freed active slots — FIFO, except that a
 /// request conflicting with an active or earlier-queued one stays queued
-/// (conflict serialization; see the file comment). Mu held. Requests
-/// needing a background dispatch are collected for the caller to dispatch
-/// *after* releasing the lock (dispatch may run the job inline on a
-/// sequential pool, and the job locks Mu).
+/// (conflict serialization; see the file comment). Sweeps tripped waiting
+/// requests first, so an expired deadline frees its slot at every pump.
+/// Mu held. Requests needing a background dispatch are collected for the
+/// caller to dispatch *after* releasing the lock (dispatch may run the
+/// job inline on a sequential pool, and the job locks Mu); \p Anchors
+/// likewise collects resolved requests' RunAnchors for out-of-lock
+/// release. Callers broadcast when Anchors comes back non-empty (futures
+/// of swept requests must wake).
 void pumpLocked(AdmissionState &St,
-                std::vector<std::shared_ptr<AdmissionRequest>> &ToDispatch) {
+                std::vector<std::shared_ptr<AdmissionRequest>> &ToDispatch,
+                std::vector<std::shared_ptr<void>> &Anchors) {
   if (St.Shutdown)
     return;
+  sweepTrippedLocked(St, Anchors);
   bool Promoted = true;
   while (Promoted && static_cast<int>(St.Active.size()) < St.MaxConcurrent &&
          !St.Queued.empty()) {
@@ -183,31 +249,39 @@ void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
                         const std::shared_ptr<AdmissionRequest> &R);
 
 /// Runs \p R (whose Claimed flag the caller just set under Mu) and
-/// completes it: latch result, free the slot, promote, broadcast.
+/// completes it: latch result, free the slot, promote, broadcast. Every
+/// claim path (background dispatch, caller-runs, sibling help) funnels
+/// through here, so the entry token check is the single choke point that
+/// keeps a request whose token tripped while it waited from executing.
 void runRequest(const std::shared_ptr<AdmissionState> &St,
                 const std::shared_ptr<AdmissionRequest> &R) {
+  Status Pre;
+  bool Tripped = R->Opts.Cancel.tripped(&Pre);
   Trace T;
-  Status S = St->CP->tryExecute(R->Regions, T, R->Opts);
+  Status S = Tripped ? std::move(Pre)
+                     : St->CP->tryExecute(R->Regions, T, R->Opts);
   std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
-  std::shared_ptr<void> Anchor;
+  std::vector<std::shared_ptr<void>> Anchors;
   {
     std::lock_guard<std::mutex> L(St->Mu);
+    if (Tripped)
+      ++St->Counters.Cancelled; // Resolved without executing.
     R->Result = std::move(S);
     R->Out = std::move(T);
-    Anchor = std::move(R->RunAnchor);
+    Anchors.push_back(std::move(R->RunAnchor));
     R->Done.store(true, std::memory_order_release);
     auto It = std::find(St->Active.begin(), St->Active.end(), R);
     if (It != St->Active.end())
       St->Active.erase(It);
-    pumpLocked(*St, ToDispatch);
+    pumpLocked(*St, ToDispatch, Anchors);
     St->CV.notify_all();
   }
   for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
     dispatchBackground(St, N);
   // Released last, outside the lock. Note this may run inside the pool
-  // dispatch job, which is why the anchor must never own the artifact
+  // dispatch job, which is why the anchors must never own the artifact
   // (see the RunAnchor field comment).
-  Anchor.reset();
+  Anchors.clear();
 }
 
 void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
@@ -239,7 +313,121 @@ void dispatchBackground(const std::shared_ptr<AdmissionState> &St,
 
 ExecFuture::ExecFuture(std::shared_ptr<AdmissionRequest> R,
                        std::shared_ptr<void> Keeper)
-    : R(std::move(R)), Keeper(std::move(Keeper)) {}
+    : R(std::move(R)), Keeper(std::move(Keeper)) {
+  if (this->R)
+    this->R->Watchers.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecFuture::ExecFuture(const ExecFuture &O) : R(O.R), Keeper(O.Keeper) {
+  if (R)
+    R->Watchers.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecFuture::ExecFuture(ExecFuture &&O) noexcept
+    : R(std::move(O.R)), Keeper(std::move(O.Keeper)) {}
+
+ExecFuture &ExecFuture::operator=(const ExecFuture &O) {
+  // Copy-and-swap: the temporary takes this handle's old watch and drops
+  // it on scope exit (correct even for self-assignment).
+  ExecFuture Tmp(O);
+  std::swap(R, Tmp.R);
+  std::swap(Keeper, Tmp.Keeper);
+  return *this;
+}
+
+ExecFuture &ExecFuture::operator=(ExecFuture &&O) noexcept {
+  if (this != &O) {
+    drop();
+    R = std::move(O.R);
+    Keeper = std::move(O.Keeper);
+  }
+  return *this;
+}
+
+ExecFuture::~ExecFuture() { drop(); }
+
+void ExecFuture::drop() {
+  if (!R)
+    return;
+  std::shared_ptr<AdmissionRequest> Req = std::move(R);
+  Keeper.reset();
+  if (Req->Watchers.fetch_sub(1, std::memory_order_acq_rel) != 1)
+    return;
+  // Last watcher gone. A resolved or rejected placeholder has no queue
+  // state; anything claimed, done, or Background completes on its own.
+  std::shared_ptr<AdmissionState> St = Req->State;
+  if (!St)
+    return;
+  std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  std::vector<std::shared_ptr<void>> Anchors;
+  {
+    std::lock_guard<std::mutex> L(St->Mu);
+    // Re-check under Mu: every ExecFuture is constructed while Mu is
+    // held, so a concurrent coalesce either bumped Watchers before we got
+    // here (abort — somebody can observe the request again) or will see
+    // Done below and refuse the target.
+    if (St->Shutdown || Req->Claimed ||
+        Req->Done.load(std::memory_order_relaxed) ||
+        Req->D != AdmissionQueue::Dispatch::Deferred ||
+        Req->Watchers.load(std::memory_order_relaxed) != 0)
+      return;
+    resolveLocked(*St, Req,
+                  Status(ErrorCode::Cancelled,
+                         "every ExecFuture copy of the unclaimed request "
+                         "was dropped; execution auto-cancelled"),
+                  Anchors);
+    pumpLocked(*St, ToDispatch, Anchors);
+    St->CV.notify_all();
+  }
+  for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
+    dispatchBackground(St, N);
+  Anchors.clear();
+}
+
+void ExecFuture::cancel() {
+  if (!R)
+    return;
+  std::shared_ptr<AdmissionState> St = R->State;
+  if (!St || R->Done.load(std::memory_order_acquire))
+    return;
+  // Trip the shared token first: if some thread is already running the
+  // pass, this is what stops it (at its next cancellation point).
+  R->Opts.Cancel.cancel();
+  std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  std::vector<std::shared_ptr<void>> Anchors;
+  {
+    std::lock_guard<std::mutex> L(St->Mu);
+    if (St->Shutdown || R->Claimed ||
+        R->Done.load(std::memory_order_relaxed))
+      return; // Running (or already resolved): the token does the rest.
+    Status S;
+    R->Opts.Cancel.tripped(&S);
+    resolveLocked(*St, R, std::move(S), Anchors);
+    pumpLocked(*St, ToDispatch, Anchors);
+    St->CV.notify_all();
+  }
+  for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
+    dispatchBackground(St, N);
+  Anchors.clear();
+}
+
+bool ExecFuture::waitFor(std::chrono::nanoseconds Timeout) {
+  DISTAL_ASSERT(R != nullptr, "waitFor() on an invalid ExecFuture");
+  if (R->Done.load(std::memory_order_acquire))
+    return true;
+  std::shared_ptr<AdmissionState> St = R->State;
+  if (!St)
+    return R->Done.load(std::memory_order_acquire);
+  // Pure observer: unlike wait() this never claims or helps, so it
+  // returns when the timeout elapses even with the execution in flight.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::now() + Timeout;
+  std::unique_lock<std::mutex> L(St->Mu);
+  St->CV.wait_until(L, Deadline, [&] {
+    return R->Done.load(std::memory_order_relaxed);
+  });
+  return R->Done.load(std::memory_order_relaxed);
+}
 
 bool ExecFuture::done() const {
   return R != nullptr && R->Done.load(std::memory_order_acquire);
@@ -252,13 +440,19 @@ const Status &ExecFuture::wait() {
   std::shared_ptr<AdmissionState> St = R->State;
   std::unique_lock<std::mutex> L(St->Mu);
   while (!R->Done.load(std::memory_order_relaxed)) {
-    // Free slots first (a completion may have raced our wake-up).
+    // Free slots first (a completion may have raced our wake-up); the
+    // pump also sweeps tripped waiting requests, which may resolve R
+    // itself (e.g. its deadline expired while queued).
     std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
-    pumpLocked(*St, ToDispatch);
-    if (!ToDispatch.empty()) {
+    std::vector<std::shared_ptr<void>> Anchors;
+    pumpLocked(*St, ToDispatch, Anchors);
+    if (!Anchors.empty())
+      St->CV.notify_all();
+    if (!ToDispatch.empty() || !Anchors.empty()) {
       L.unlock();
       for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
         dispatchBackground(St, N);
+      Anchors.clear();
       L.lock();
       continue;
     }
@@ -346,19 +540,28 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
                                   std::shared_ptr<void> Keeper,
                                   std::shared_ptr<void> RunAnchor) {
   std::shared_ptr<AdmissionRequest> R;
+  ExecFuture Ret;
   bool NeedDispatch = false;
   std::vector<ThreadPool::Ticket> ReapLocal;
   {
     std::unique_lock<std::mutex> L(St->Mu);
-    auto resolved = [&](ErrorCode C, const char *Msg) {
+    auto resolved = [&](Status S) {
       auto Rej = std::make_shared<AdmissionRequest>();
-      Rej->Result = Status(C, Msg);
+      Rej->Result = std::move(S);
       Rej->Done.store(true, std::memory_order_release);
       return ExecFuture(std::move(Rej), std::move(Keeper));
     };
     if (St->Shutdown)
-      return resolved(ErrorCode::FailedPrecondition,
-                      "CompiledPlan is shutting down");
+      return resolved(Status(ErrorCode::FailedPrecondition,
+                             "CompiledPlan is shutting down"));
+    // A token already tripped at submission resolves without admitting —
+    // nothing runs, nothing holds a slot, and a deadline that expired
+    // before submit behaves exactly like one that expires while queued.
+    Status Pre;
+    if (Opts.Cancel.tripped(&Pre)) {
+      ++St->Counters.Cancelled;
+      return resolved(std::move(Pre));
+    }
     // Coalesce onto a result-compatible request that has not started yet:
     // its pass will read the inputs after this submission, so piggybacking
     // returns exactly what a fresh pass would (see the file comment in
@@ -379,12 +582,17 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     if (static_cast<int>(St->Active.size() + St->Queued.size()) >=
         St->Capacity) {
       ++St->Counters.Rejected;
-      return resolved(ErrorCode::ResourceExhausted,
-                      "CompiledPlan admission queue is full");
+      return resolved(Status(ErrorCode::ResourceExhausted,
+                             "CompiledPlan admission queue is full"));
     }
     R = std::make_shared<AdmissionRequest>();
     R->Regions = Regions;
     R->Opts = Opts;
+    // Every admitted request carries a valid token, so ExecFuture::cancel
+    // always has teeth; the quiet-token cost is one relaxed load per
+    // cancellation point (the allowed disarmed budget).
+    if (!R->Opts.Cancel.valid())
+      R->Opts.Cancel = CancelToken::create();
     R->D = D;
     R->RunAnchor = std::move(RunAnchor);
     R->State = St;
@@ -407,23 +615,30 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     // (a not-yet-run job's ticket runs it inline while being destroyed).
     if (St->Reap.size() > 128)
       ReapLocal.swap(St->Reap);
+    // Constructed while Mu is held — the watcher-count invariant every
+    // auto-cancel drop relies on (see AdmissionRequest::Watchers).
+    Ret = ExecFuture(R, std::move(Keeper));
   }
   if (NeedDispatch)
     dispatchBackground(St, R);
   ReapLocal.clear();
-  return ExecFuture(std::move(R), std::move(Keeper));
+  return Ret;
 }
 
 void AdmissionQueue::setMaxConcurrent(int K) {
   DISTAL_ASSERT(K >= 1, "admission concurrency must be >= 1");
   std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
+  std::vector<std::shared_ptr<void>> Anchors;
   {
     std::lock_guard<std::mutex> L(St->Mu);
     St->MaxConcurrent = K;
-    pumpLocked(*St, ToDispatch);
+    pumpLocked(*St, ToDispatch, Anchors);
+    if (!Anchors.empty())
+      St->CV.notify_all();
   }
   for (const std::shared_ptr<AdmissionRequest> &N : ToDispatch)
     dispatchBackground(St, N);
+  Anchors.clear();
 }
 
 void AdmissionQueue::setCapacity(int N) {

@@ -42,11 +42,22 @@
 /// admitted requests while its own is queued (so an abandoned future can
 /// never wedge the queue).
 ///
+/// Deadlines and cancellation: every request carries a CancelToken
+/// (ExecOptions::Cancel; submit installs one when the caller doesn't). A
+/// token tripped before the request is claimed resolves the future
+/// without running — at submission, at claim time, or in the queue pump's
+/// sweep of waiting requests — so a queued request past its deadline
+/// never executes and never holds a slot. A token tripped mid-execution
+/// stops the pass at its next cancellation point and resolves through the
+/// ordinary containment path. Dropping every ExecFuture copy of a
+/// still-unclaimed Deferred request auto-cancels it (see ExecFuture).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DISTAL_RUNTIME_ADMISSION_H
 #define DISTAL_RUNTIME_ADMISSION_H
 
+#include <chrono>
 #include <map>
 #include <memory>
 
@@ -67,12 +78,19 @@ struct AdmissionRequest;
 
 /// Handle to one admitted (or rejected) execution request. Cheap to copy;
 /// all copies resolve to the same result. A default-constructed future is
-/// invalid. Dropping every copy of a pending future does not cancel the
-/// execution — it simply runs (or is failed at artifact destruction) with
-/// nobody reading the result.
+/// invalid. The handles are watcher-counted: destroying the *last* copy of
+/// a still-unclaimed Deferred request auto-cancels it (nobody can ever
+/// claim or observe it, so running it would only leak its queue slot); a
+/// Background request, or one some thread is already running, completes
+/// normally with nobody reading the result.
 class ExecFuture {
 public:
   ExecFuture() = default;
+  ExecFuture(const ExecFuture &O);
+  ExecFuture(ExecFuture &&O) noexcept;
+  ExecFuture &operator=(const ExecFuture &O);
+  ExecFuture &operator=(ExecFuture &&O) noexcept;
+  ~ExecFuture();
 
   /// False for a default-constructed handle.
   bool valid() const { return R != nullptr; }
@@ -86,6 +104,24 @@ public:
   /// execution's error.
   const Status &wait();
 
+  /// Bounded wait: blocks until the result is available or \p Timeout
+  /// elapses, returning done(). Unlike wait() this never claims or helps
+  /// run anything — it is a pure observer, so it returns on time even with
+  /// the execution still in flight. An unclaimed Deferred request makes no
+  /// progress during a waitFor (nobody is working it); claim it with
+  /// wait() or cancel it. Precondition: valid().
+  bool waitFor(std::chrono::nanoseconds Timeout);
+
+  /// Requests cancellation of the underlying pass. An unclaimed request
+  /// resolves Cancelled immediately without ever executing; a running one
+  /// trips its CancelToken and stops at the next cancellation point,
+  /// resolving Cancelled/DeadlineExceeded after containment. Cancelling a
+  /// coalesced future cancels the *shared* pass — siblings that piggybacked
+  /// on it observe the same Cancelled result (submit a fresh request to
+  /// re-run). No-op on an invalid or already-resolved future. Never blocks
+  /// on the execution.
+  void cancel();
+
   /// wait(), then the execution's trace: the precomputed skeleton under
   /// TraceMode::Full, empty under TraceMode::Off or on failure.
   const Trace &trace();
@@ -94,6 +130,9 @@ private:
   friend class AdmissionQueue;
   ExecFuture(std::shared_ptr<detail::AdmissionRequest> R,
              std::shared_ptr<void> Keeper);
+  /// Releases this handle's watch on the request; the last watcher of an
+  /// unclaimed Deferred request auto-cancels it (see class comment).
+  void drop();
   std::shared_ptr<detail::AdmissionRequest> R;
   /// Optional lifetime anchor (e.g. the shared_ptr<CompiledPlan> of a
   /// cached artifact) kept alive until the future is destroyed, so a
@@ -129,7 +168,18 @@ public:
   /// file comment); otherwise admits it if the queue has room (running +
   /// queued < capacity) and returns a future. A full queue rejects
   /// immediately: the returned future is already resolved with
-  /// ResourceExhausted and no execution happens. \p Keeper is an optional
+  /// ResourceExhausted and no execution happens.
+  ///
+  /// Deadlines and cancellation ride in \p Opts.Cancel: a token tripped at
+  /// submission resolves the future Cancelled/DeadlineExceeded without
+  /// admitting anything, a queued request whose deadline expires before it
+  /// runs resolves DeadlineExceeded without ever executing, and a running
+  /// request stops at its next cancellation point. When the caller leaves
+  /// Opts.Cancel invalid, submit installs a fresh token on the admitted
+  /// request so ExecFuture::cancel() always has teeth; requests never
+  /// coalesce onto a pass whose token has already tripped.
+  ///
+  /// \p Keeper is an optional
   /// lifetime anchor stored in the future (see ExecFuture::Keeper).
   /// \p RunAnchor is an optional lifetime anchor held by the *request*
   /// itself and released when the execution completes (or the request is
@@ -159,6 +209,12 @@ public:
     int64_t Admitted = 0;  ///< Requests that got their own execution.
     int64_t Coalesced = 0; ///< Requests resolved by piggybacking.
     int64_t Rejected = 0;  ///< Requests refused with ResourceExhausted.
+    /// Requests resolved Cancelled/DeadlineExceeded *without executing*:
+    /// tripped at submit, cancelled or expired while queued/unclaimed, or
+    /// abandoned (every future copy dropped while unclaimed). A running
+    /// execution cancelled mid-flight is not counted here — it resolves
+    /// through the normal completion path.
+    int64_t Cancelled = 0;
     int Active = 0;        ///< Currently admitted-and-activated requests.
     int Queued = 0;        ///< Currently admitted-but-waiting requests.
     int PeakActive = 0;    ///< High-water mark of Active.

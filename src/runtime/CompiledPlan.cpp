@@ -38,9 +38,11 @@
 
 #include "runtime/CompiledPlan.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <optional>
+#include <sstream>
 
 #include "runtime/PlanAnalysis.h"
 #include "support/Error.h"
@@ -139,7 +141,7 @@ void CompiledPlan::ensureExecState(ExecArena &A) const {
 }
 
 void CompiledPlan::ensurePipelineState(ExecArena &A) const {
-  if (A.PipeReady)
+  if (A.PipeReady.load(std::memory_order_acquire))
     return;
   // Back buffers for every tensor the schedule may prefetch, sized like
   // the fronts so steady-state flips never reallocate; plus the per-task
@@ -158,7 +160,9 @@ void CompiledPlan::ensurePipelineState(ExecArena &A) const {
   }
   A.Progress = std::make_unique<std::atomic<int32_t>[]>(
       std::max<size_t>(Tasks.size(), 1));
-  A.PipeReady = true;
+  // Release store pairs with stuckReport's acquire load: once PipeReady is
+  // observed true, the Progress array pointer above is safely readable.
+  A.PipeReady.store(true, std::memory_order_release);
 }
 
 bool CompiledPlan::poisoned() const {
@@ -200,6 +204,61 @@ CompiledPlan::ArenaStats CompiledPlan::arenaStats() const {
   return S;
 }
 
+std::string CompiledPlan::stuckReport() const {
+  using Clock = std::chrono::steady_clock;
+  int64_t NowNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now().time_since_epoch())
+                      .count();
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  std::ostringstream OS;
+  for (const ExecArena *A : InFlight) {
+    int32_t Phase = A->HbPhase.load(std::memory_order_relaxed);
+    int64_t AgeMs =
+        (NowNs - A->HbStartNs.load(std::memory_order_relaxed)) / 1000000;
+    OS << "execution (age " << AgeMs << " ms): ";
+    switch (Phase) {
+    case 1:
+      OS << "launch gathers";
+      break;
+    case 2: {
+      int32_t Step = A->HbStep.load(std::memory_order_relaxed);
+      if (Step == -2 && !Tasks.empty() &&
+          A->PipeReady.load(std::memory_order_acquire) && A->Progress) {
+        // Pipelined order: per-task watermarks. Min identifies the parked
+        // task(s); max shows how far the fastest chain ran ahead.
+        int32_t Min = INT32_MAX, Max = INT32_MIN;
+        size_t AtMin = 0;
+        for (size_t I = 0; I < Tasks.size(); ++I) {
+          int32_t S = A->Progress[I].load(std::memory_order_relaxed);
+          if (S < Min) {
+            Min = S;
+            AtMin = 1;
+          } else if (S == Min) {
+            ++AtMin;
+          }
+          Max = std::max(Max, S);
+        }
+        OS << "step loop (pipelined), task step watermark min " << Min
+           << " max " << Max << " of " << StepVals.size() << ", " << AtMin
+           << " task(s) parked at min";
+      } else {
+        OS << "step loop, completed step " << Step << " of "
+           << StepVals.size();
+      }
+      break;
+    }
+    case 3:
+      OS << "writeback";
+      break;
+    default:
+      OS << "entering";
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
 void CompiledPlan::setArenaCacheCap(int N) {
   std::lock_guard<std::mutex> Lock(StateMutex);
   ArenaCacheCap = N < 0 ? 0 : N;
@@ -233,8 +292,18 @@ Status CompiledPlan::tryExecute(const std::map<TensorVar, Region *> &Regions,
   // counted privately, so a configured fault schedule hits THIS execution
   // deterministically regardless of what sibling arenas are doing.
   FaultInjector::beginExecution(A->Fault);
+  // Heartbeat registration: stuckReport() renders the arenas on this list.
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    InFlight.push_back(A.get());
+  }
+  auto Unregister = [&] {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    InFlight.erase(std::find(InFlight.begin(), InFlight.end(), A.get()));
+  };
   try {
     Out = executeBody(*A, Slot, Regions, Opts);
+    Unregister();
     {
       std::lock_guard<std::mutex> Lock(StateMutex);
       LastOverlap = OverlapStats{};
@@ -246,6 +315,7 @@ Status CompiledPlan::tryExecute(const std::map<TensorVar, Region *> &Regions,
     releaseArena(std::move(A));
     return Status();
   } catch (...) {
+    Unregister();
     Status S = statusFromCurrentException();
     // Containment, per-arena: (1) drain the arena's in-flight prefetch
     // tickets — their jobs reference arena state (back buffers, overlap
@@ -280,6 +350,17 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
   for (const TensorVar &TV : P.Nest.Stmt.tensors())
     if (!Regions.count(TV))
       reportFatalError("no region provided for tensor '" + TV.name() + "'");
+  // Cancellation gate before any side effect, then heartbeat start. The
+  // token (invalid: a pointer test; quiet: one relaxed load) is re-polled
+  // at every step boundary, prefetch issue, and chunk claim below.
+  Opts.Cancel.check();
+  const CancelToken *Tok = Opts.Cancel.valid() ? &Opts.Cancel : nullptr;
+  A.HbStartNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count(),
+                    std::memory_order_relaxed);
+  A.HbStep.store(-1, std::memory_order_relaxed);
+  A.HbPhase.store(1, std::memory_order_relaxed);
   Regions.at(Out)->zero();
 
   // Resolve the execution context and the task/leaf thread split. The
@@ -332,11 +413,13 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
   }
   auto parallelTasks = [&](const std::function<void(int64_t)> &Fn) {
     if (Pool && Split.TaskWays > 1)
-      Pool->parallelForWays(NumTasks, Split.TaskWays,
-                            [&](int64_t Lo, int64_t Hi) {
-                              for (int64_t I = Lo; I < Hi; ++I)
-                                Fn(I);
-                            });
+      Pool->parallelForWays(
+          NumTasks, Split.TaskWays,
+          [&](int64_t Lo, int64_t Hi) {
+            for (int64_t I = Lo; I < Hi; ++I)
+              Fn(I);
+          },
+          Tok);
     else
       for (int64_t I = 0; I < NumTasks; ++I)
         Fn(I);
@@ -421,7 +504,10 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
   // program (rectangles, residency dedup, leaf activation, and the
   // prefetch schedule were all decided at compile time).
   if (!Pipelined) {
+    A.HbPhase.store(2, std::memory_order_relaxed);
     for (size_t S = 0; S < StepVals.size(); ++S) {
+      // Step boundary: the bulk-synchronous order's cancellation point.
+      Opts.Cancel.check();
       parallelTasks([&](int64_t I) {
         const CompiledTask &CT = Tasks[static_cast<size_t>(I)];
         ExecArena::TaskExec &TE = A.Execs[static_cast<size_t>(I)];
@@ -438,11 +524,17 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
             leaf::runInterpretedLeaf(P, TE.FixedVals, TE.Insts);
         }
       });
+      // Heartbeat: step S is fully done across all tasks.
+      A.HbStep.store(static_cast<int32_t>(S), std::memory_order_relaxed);
     }
   } else {
     size_t NumSteps = StepVals.size();
     for (int64_t I = 0; I < NumTasks; ++I)
       A.Progress[static_cast<size_t>(I)].store(-1, std::memory_order_relaxed);
+    // Pipelined heartbeat: per-task progress lives in A.Progress; HbStep's
+    // -2 sentinel tells stuckReport to read it.
+    A.HbStep.store(-2, std::memory_order_relaxed);
+    A.HbPhase.store(2, std::memory_order_relaxed);
     LeafParallelism CommLP =
         CommWays > 1 ? LeafParallelism{Pool, CommWays} : LeafParallelism{};
 
@@ -454,6 +546,10 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
       // Issue the prefetchable gathers of step S into back buffers as
       // detached jobs; the rest wait for the synchronous path on arrival.
       auto issuePrefetch = [&](size_t S) {
+        // Ticket-issue boundary: never launch new detached work for a
+        // cancelled execution (the throw keeps already-issued tickets
+        // quiescable through the normal containment path).
+        Opts.Cancel.check();
         const std::vector<CompiledGather> &Gs = CT.StepGathers[S];
         TE.PendingIssued.assign(Gs.size(), 0);
         for (size_t Gi = 0; Gi < Gs.size(); ++Gi) {
@@ -514,6 +610,8 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
       };
 
       for (size_t S = 0; S < NumSteps; ++S) {
+        // Per-task step boundary: the pipelined order's cancellation point.
+        Opts.Cancel.check();
         for (const auto &[V, C] : StepVals[S])
           TE.FixedVals[V] = C;
         const std::vector<CompiledGather> &Gs = CT.StepGathers[S];
@@ -557,6 +655,8 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
   // guarantees no other task contributes to those elements, so there is
   // no merge order to preserve).
   Region *OutR = Regions.at(Out);
+  A.HbPhase.store(3, std::memory_order_relaxed);
+  Opts.Cancel.check();
   if (Strategy != LeafStrategy::Compiled) {
     for (ExecArena::TaskExec &TE : A.Execs) {
       FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
@@ -575,15 +675,19 @@ Trace CompiledPlan::executeBody(ExecArena &A, const ExecutionSlot &Slot,
     // still accumulates the tasks in task order, so the result is
     // bitwise-identical to the sequential merge.
     Coord Rows = OutR->shape()[0];
-    Pool->parallelForChunks(Rows, [&](int64_t RowLo, int64_t RowHi) {
-      FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
-      for (ExecArena::TaskExec &TE : A.Execs) {
-        const Instance &OutInst = TE.OwnedInsts.at(Out);
-        if (!OutInst.isView())
-          OutR->reduceBackRows(OutInst, RowLo, RowHi);
-      }
-    });
+    Pool->parallelForChunks(
+        Rows,
+        [&](int64_t RowLo, int64_t RowHi) {
+          FaultInjector::inject(FaultInjector::Site::Writeback, &A.Fault);
+          for (ExecArena::TaskExec &TE : A.Execs) {
+            const Instance &OutInst = TE.OwnedInsts.at(Out);
+            if (!OutInst.isView())
+              OutR->reduceBackRows(OutInst, RowLo, RowHi);
+          }
+        },
+        Tok);
   }
+  A.HbPhase.store(0, std::memory_order_relaxed);
 
   if (Opts.Mode == TraceMode::Off) {
     Trace Empty;

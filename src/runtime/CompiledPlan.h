@@ -40,6 +40,7 @@
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
+#include "support/CancelToken.h"
 #include "support/Status.h"
 
 namespace distal {
@@ -110,6 +111,15 @@ struct ExecOptions {
   /// bitwise-identical either way; like the other knobs here, flipping it
   /// costs no recompile (the classification lives in the artifact).
   bool ZeroCopyViews = true;
+  /// Cooperative cancellation / deadline for this execution. Polled at
+  /// step boundaries, per-statement (program) boundaries, prefetch-ticket
+  /// issue, and thread-pool chunk claims; a trip unwinds through the
+  /// per-arena containment path (quiesce, discard/condemn), so the
+  /// artifact stays reusable and a clean re-execute is bitwise-identical.
+  /// Invalid (the default) costs a pointer test per poll; valid and quiet,
+  /// one relaxed load. submit() installs a fresh token here when the
+  /// caller provides none, so ExecFuture::cancel() always has teeth.
+  CancelToken Cancel;
 };
 
 /// How the execute phase materialises one recorded gather.
@@ -349,6 +359,14 @@ public:
   };
   ArenaStats arenaStats() const;
 
+  /// Hang-diagnosis heartbeat: one line per execution currently inside
+  /// executeBody, rendered off the arenas' progress counters — the phase
+  /// (launch / steps / writeback), the completed-step watermark (plus the
+  /// per-task min/max for the pipelined order), and the execution's age.
+  /// Empty when nothing is in flight. Thread-safe; purely observational
+  /// (relaxed reads of counters the walk publishes anyway).
+  std::string stuckReport() const;
+
   /// Caps the idle-arena cache (default 4). Executions beyond the cap
   /// still run — their arenas are simply freed on release instead of
   /// cached. 0 disables reuse entirely. Thread-safe.
@@ -410,6 +428,10 @@ private:
   ArenaStats Arenas;
   OverlapStats LastOverlap;
   bool Poisoned = false;
+  /// Arenas currently inside executeBody (raw pointers; each is owned by
+  /// its execution frame or a containment container). stuckReport walks
+  /// this to render the heartbeat.
+  std::vector<const ExecArena *> InFlight;
 
   /// The admission front-end. Declared last so it is destroyed *first*:
   /// its destructor fails unclaimed requests and waits out running

@@ -30,9 +30,11 @@
 #include "runtime/CompiledProgram.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <optional>
+#include <sstream>
 
 #include "runtime/LeafCompiler.h"
 #include "support/Error.h"
@@ -220,6 +222,22 @@ CompiledPlan::ArenaStats CompiledProgram::arenaStats() const {
   return S;
 }
 
+std::string CompiledProgram::stuckReport() const {
+  int64_t NowNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  std::ostringstream OS;
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  for (const ProgramArena *PA : InFlight) {
+    int64_t Start = PA->HbStartNs.load(std::memory_order_relaxed);
+    int64_t AgeMs = Start > 0 ? (NowNs - Start) / 1000000 : 0;
+    OS << "program execution (age " << AgeMs << " ms): "
+       << PA->HbDone.load(std::memory_order_relaxed) << " of " << NumNodes
+       << " nodes complete\n";
+  }
+  return OS.str();
+}
+
 void CompiledProgram::setArenaCacheCap(int N) {
   std::lock_guard<std::mutex> Lock(StateMutex);
   ArenaCacheCap = N < 0 ? 0 : N;
@@ -242,11 +260,21 @@ Status CompiledProgram::tryExecute(const std::map<TensorVar, Region *> &Regions,
   // program execution, deterministically per execution.
   ExecutionSlot Slot;
   FaultInjector::beginExecution(PA->Fault);
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    InFlight.push_back(PA.get());
+  }
+  auto Unregister = [&] {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    InFlight.erase(std::find(InFlight.begin(), InFlight.end(), PA.get()));
+  };
   try {
     runBody(*PA, Slot, Regions, Opts);
+    Unregister();
     releaseArena(std::move(PA));
     return Status();
   } catch (...) {
+    Unregister();
     Status S = statusFromCurrentException();
     // Containment, mirroring CompiledPlan::tryExecute. The program walk
     // issues no detached jobs, but member arenas are quiesced anyway in
@@ -303,6 +331,15 @@ void CompiledProgram::runBody(ProgramArena &PA, const ExecutionSlot &Slot,
       if (!Regions.count(TV))
         throwError(ErrorCode::InvalidArgument,
                    "no region provided for tensor '" + TV.name() + "'");
+
+  // A token tripped before the walk starts cancels here, before any node
+  // runs; runNode re-checks at every node boundary.
+  Opts.Cancel.check();
+  PA.HbDone.store(0, std::memory_order_relaxed);
+  PA.HbStartNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
 
   // Per-member execution state, built once per arena and reused across
   // program executions (the same steady-state contract as CompiledPlan's
@@ -367,8 +404,10 @@ void CompiledProgram::runBody(ProgramArena &PA, const ExecutionSlot &Slot,
     // Sequential: program order is a valid topological order because every
     // dependency points to an earlier statement's nodes (or the task's own
     // zero node).
-    for (int32_t Node = 0; Node < NumNodes; ++Node)
+    for (int32_t Node = 0; Node < NumNodes; ++Node) {
       runNode(PA, Node, Regions, Opts, ViewsOn, LeafLP);
+      PA.HbDone.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -408,6 +447,7 @@ void CompiledProgram::runBody(ProgramArena &PA, const ExecutionSlot &Slot,
         CV.notify_all();
         return;
       }
+      PA.HbDone.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> L(Mu);
         --Remaining;
@@ -419,7 +459,8 @@ void CompiledProgram::runBody(ProgramArena &PA, const ExecutionSlot &Slot,
     }
   };
   int64_t W = std::min<int64_t>(Split.TaskWays, NumNodes);
-  Pool->parallelFor(W, [&](int64_t) { worker(); });
+  const CancelToken *Tok = Opts.Cancel.valid() ? &Opts.Cancel : nullptr;
+  Pool->parallelFor(W, [&](int64_t) { worker(); }, Tok);
   if (Error)
     std::rethrow_exception(Error);
 }
@@ -428,7 +469,10 @@ void CompiledProgram::runNode(ProgramArena &PA, int32_t Node,
                               const std::map<TensorVar, Region *> &Regions,
                               const ExecOptions &Opts, bool ViewsOn,
                               const LeafParallelism &LeafLP) {
-  (void)Opts;
+  // Node boundaries are the program walk's cancellation points: a tripped
+  // token stops the graph walk here (between statements' nodes) and the
+  // throw flows through the existing containment path.
+  Opts.Cancel.check();
   // Decode: statements own contiguous node ranges in program order.
   size_t I = static_cast<size_t>(
       std::upper_bound(NodeBase.begin(), NodeBase.end(), Node) -

@@ -145,6 +145,12 @@ public:
   /// arenas. Thread-safe.
   CompiledPlan::ArenaStats arenaStats() const;
 
+  /// Hang-diagnosis heartbeat, mirroring CompiledPlan::stuckReport(): one
+  /// line per program execution currently inside the graph walk — how many
+  /// nodes have completed out of the program total and the execution's
+  /// age. Empty when nothing is in flight. Thread-safe.
+  std::string stuckReport() const;
+
   /// Caps the idle program-arena cache (default 2). Thread-safe.
   void setArenaCacheCap(int N);
 
@@ -157,6 +163,10 @@ private:
     std::vector<std::unique_ptr<ExecArena>> Arenas;
     FaultInjector::ExecutionScope Fault;
     std::unique_ptr<ExecContext> OwnCtx;
+    /// Heartbeat: nodes completed by the execution currently running in
+    /// this arena, and its steady-clock start (ns) — read by stuckReport.
+    std::atomic<int32_t> HbDone{0};
+    std::atomic<int64_t> HbStartNs{0};
   };
 
   /// One dependency graph over the program's nodes (zero / task / end per
@@ -198,6 +208,8 @@ private:
   std::vector<std::unique_ptr<ProgramArena>> CondemnedArenas;
   int ArenaCacheCap = 2;
   CompiledPlan::ArenaStats Arenas;
+  /// Program arenas currently inside runBody (see stuckReport).
+  std::vector<const ProgramArena *> InFlight;
 };
 
 } // namespace distal

@@ -59,7 +59,11 @@ struct ExecArena {
   };
 
   std::vector<TaskExec> Execs; ///< Lazily built on first use, then reused.
-  bool PipeReady = false;      ///< Back buffers reserved for prefetch.
+  /// Back buffers and Progress reserved for prefetch. Atomic (set with a
+  /// release store after Progress is allocated) so stuckReport() can
+  /// acquire-load it and safely read the Progress array of an arena whose
+  /// pipeline state is being built concurrently.
+  std::atomic<bool> PipeReady{false};
   /// Per-task step progress (highest step whose gathers completed),
   /// published by each chain and read by relay-dependent prefetch issues
   /// within this arena's execution.
@@ -74,6 +78,16 @@ struct ExecArena {
   /// arena): a fault schedule inside this execution is independent of
   /// sibling arenas' arrivals.
   FaultInjector::ExecutionScope Fault;
+  /// Progress heartbeat of the execution currently running in this arena,
+  /// published with relaxed stores on the execute walk and read by
+  /// CompiledPlan::stuckReport() to show where a hung execution is parked.
+  /// HbPhase: 0 idle, 1 launch gathers, 2 step loop, 3 writeback.
+  /// HbStep: last fully completed step of the bulk-synchronous order; -2
+  /// marks a pipelined execution (per-task progress lives in Progress).
+  /// HbStartNs: steady-clock ns when the execution entered the body.
+  std::atomic<int32_t> HbPhase{0};
+  std::atomic<int32_t> HbStep{-1};
+  std::atomic<int64_t> HbStartNs{0};
   /// Context owned when the caller supplies none; rebuilt only when the
   /// budgeted thread count changes between this arena's executions.
   std::unique_ptr<ExecContext> OwnCtx;

@@ -49,13 +49,22 @@ Status Executor::tryRun(const std::map<TensorVar, Region *> &Regions,
   Opts.Mode = Mode;
   Opts.Pipe = Pipe;
   Opts.ZeroCopyViews = ZeroCopyViews;
+  Opts.Cancel = Cancel;
+
+  // Bad input fails identically on every rung, and a cancelled or expired
+  // execution must stay cancelled — retrying would override the caller's
+  // explicit stop (or burn the rest of a deadline that already passed).
+  auto NeverRetry = [](const Status &S) {
+    return S.code() == ErrorCode::InvalidArgument ||
+           S.code() == ErrorCode::Cancelled ||
+           S.code() == ErrorCode::DeadlineExceeded;
+  };
 
   Status First = compiled().tryExecute(Regions, Out, Opts);
   if (First.ok())
     return First;
   Trail.push_back({"as-configured", First});
-  // Bad input fails identically on every rung; don't mask it with retries.
-  if (First.code() == ErrorCode::InvalidArgument)
+  if (NeverRetry(First))
     return First;
 
   // The degradation ladder: each rung removes one optimization that
@@ -69,14 +78,14 @@ Status Executor::tryRun(const std::map<TensorVar, Region *> &Regions,
     Opts.Pipe = Pipeline::Off;
     Status S = compiled().tryExecute(Regions, Out, Opts);
     Trail.push_back({"pipeline-off", S});
-    if (S.ok())
+    if (S.ok() || NeverRetry(S))
       return S;
   }
   if (Opts.ZeroCopyViews) {
     Opts.ZeroCopyViews = false;
     Status S = compiled().tryExecute(Regions, Out, Opts);
     Trail.push_back({"zero-copy-views-off", S});
-    if (S.ok())
+    if (S.ok() || NeverRetry(S))
       return S;
   }
   if (Strategy == LeafStrategy::Compiled) {
@@ -90,16 +99,18 @@ Status Executor::tryRun(const std::map<TensorVar, Region *> &Regions,
       S = statusFromCurrentException();
     }
     Trail.push_back({"interpreted-leaves", S});
-    if (S.ok())
+    if (S.ok() || NeverRetry(S))
       return S;
   }
 
   // Every rung failed: surface the original error, annotated with the
-  // trail so the caller sees what degradation was attempted.
+  // full degradation trail (degradationTrail() rendered end to end, the
+  // first attempt included) so the Status alone tells the whole story.
   Status Result = First;
-  for (size_t I = 1; I < Trail.size(); ++I)
-    Result.appendNote("rung '" + Trail[I].Rung +
-                      "': " + Trail[I].Outcome.str());
+  std::string TrailNote = "degradation trail:";
+  for (const RetryAttempt &A : Trail)
+    TrailNote += " rung '" + A.Rung + "': [" + A.Outcome.str() + "]";
+  Result.appendNote(TrailNote);
   return Result;
 }
 
@@ -113,6 +124,7 @@ ExecFuture Executor::submit(const std::map<TensorVar, Region *> &Regions,
   Opts.Mode = Mode;
   Opts.Pipe = Pipe;
   Opts.ZeroCopyViews = ZeroCopyViews;
+  Opts.Cancel = Cancel;
   return compiled().submit(Regions, Opts);
 }
 

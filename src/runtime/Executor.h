@@ -103,6 +103,15 @@ public:
   /// recompile.
   void setZeroCopyViews(bool On) { ZeroCopyViews = On; }
 
+  /// Installs a cancellation/deadline token consulted by every subsequent
+  /// run()/tryRun()/submit() (see CancelToken and ExecOptions::Cancel). A
+  /// tripped token stops the execution at its next cancellation point with
+  /// Cancelled/DeadlineExceeded; the retry ladder never retries either
+  /// code, so a cancelled run stays cancelled. Pass a default-constructed
+  /// token to clear. The disarmed cost is one relaxed load per
+  /// cancellation point.
+  void setCancelToken(CancelToken T) { Cancel = std::move(T); }
+
   /// The compiled artifact, built on first use and reused by every
   /// subsequent run()/simulate() of this executor. A poisoned artifact
   /// (uncontained execution failure) is dropped and recompiled here.
@@ -130,10 +139,12 @@ public:
   /// (1) as configured, (2) Pipeline::Off, (3) additionally zero-copy
   /// views off, (4) interpreted leaves on a temporary artifact (the
   /// compiled artifact is not clobbered) — and returns OK from the first
-  /// rung that succeeds. InvalidArgument failures are not retried: bad
-  /// input fails identically on every rung. If every rung fails, returns
-  /// the *original* Status with one note per attempted rung (the
-  /// degradation trail, also kept in degradationTrail()).
+  /// rung that succeeds. InvalidArgument failures are not retried (bad
+  /// input fails identically on every rung), and neither are Cancelled or
+  /// DeadlineExceeded (a retry would override the caller's explicit stop;
+  /// see setCancelToken). If every rung fails, returns the *original*
+  /// Status with the full degradation trail rendered into one note (also
+  /// kept structured in degradationTrail()).
   Status tryRun(const std::map<TensorVar, Region *> &Regions, Trace &Out,
                 TraceMode Mode = TraceMode::Full);
 
@@ -181,6 +192,7 @@ private:
   LeafStrategy Strategy = LeafStrategy::Compiled;
   Pipeline Pipe = Pipeline::DoubleBuffer;
   bool ZeroCopyViews = true;
+  CancelToken Cancel;
   ExecContext *ExternalCtx = nullptr;
   /// Compile-once artifact, rebuilt only when the leaf strategy changes
   /// or the artifact was poisoned by an uncontained failure.

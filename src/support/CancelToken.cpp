@@ -1,0 +1,91 @@
+//===- support/CancelToken.cpp --------------------------------*- C++ -*-===//
+
+#include "support/CancelToken.h"
+
+using namespace distal;
+
+CancelToken CancelToken::create() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::withDeadline(
+    std::chrono::steady_clock::time_point Deadline) {
+  auto St = std::make_shared<State>();
+  St->Deadline = Deadline;
+  St->Word.store(Armed, std::memory_order_relaxed);
+  return CancelToken(std::move(St));
+}
+
+CancelToken CancelToken::withTimeout(std::chrono::nanoseconds Timeout) {
+  return withDeadline(std::chrono::steady_clock::now() + Timeout);
+}
+
+void CancelToken::cancel() const {
+  if (!S)
+    return;
+  // Quiet/Armed -> CancelledBit; an already-latched trip state stays (the
+  // first trip wins, so a DeadlineExceeded result never flips to Cancelled
+  // under a racing cancel()).
+  uint32_t W = S->Word.load(std::memory_order_relaxed);
+  while (W < CancelledBit &&
+         !S->Word.compare_exchange_weak(W, CancelledBit,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+bool CancelToken::tripped(Status *Out) const {
+  ErrorCode R = reason();
+  if (R == ErrorCode::Ok)
+    return false;
+  if (Out)
+    *Out = Status(R, R == ErrorCode::Cancelled
+                         ? "execution cancelled by the caller"
+                         : "deadline exceeded");
+  return true;
+}
+
+ErrorCode CancelToken::reason() const {
+  if (!S)
+    return ErrorCode::Ok;
+  uint32_t W = S->Word.load(std::memory_order_relaxed);
+  if (W == Armed && std::chrono::steady_clock::now() >= S->Deadline) {
+    // Latch expiry so later polls are a pure load and every observer
+    // agrees on the reason.
+    if (S->Word.compare_exchange_strong(W, ExpiredBit,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed))
+      W = ExpiredBit;
+    // CAS failure means a racing cancel()/latch won; W holds the winner.
+  }
+  if (W == CancelledBit)
+    return ErrorCode::Cancelled;
+  if (W == ExpiredBit)
+    return ErrorCode::DeadlineExceeded;
+  return ErrorCode::Ok;
+}
+
+void CancelToken::throwTripped(uint32_t W) {
+  throwError(W == CancelledBit ? ErrorCode::Cancelled
+                               : ErrorCode::DeadlineExceeded,
+             W == CancelledBit ? "execution cancelled by the caller"
+                               : "deadline exceeded");
+}
+
+void CancelToken::checkSlow(uint32_t W) const {
+  if (W >= CancelledBit)
+    throwTripped(W);
+  // Armed: compare the clock; latch and throw if the deadline has passed.
+  if (std::chrono::steady_clock::now() < S->Deadline)
+    return;
+  if (!S->Word.compare_exchange_strong(W, ExpiredBit,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    // A racing cancel() or latch got there first; W now holds it.
+    if (W < CancelledBit)
+      return; // Spurious: someone reset is impossible, but stay safe.
+  } else {
+    W = ExpiredBit;
+  }
+  throwTripped(W);
+}

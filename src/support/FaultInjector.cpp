@@ -2,9 +2,14 @@
 
 #include "support/FaultInjector.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "support/Status.h"
 
@@ -40,31 +45,127 @@ uint64_t splitmix64(uint64_t X) {
   return X ^ (X >> 31);
 }
 
-FaultInjector::Config configFromEnv() {
-  FaultInjector::Config C;
-  if (const char *Rate = std::getenv("DISTAL_FAULT_RATE"))
-    C.Rate = std::atof(Rate);
-  if (const char *Seed = std::getenv("DISTAL_FAULT_SEED"))
-    C.Seed = std::strtoull(Seed, nullptr, 10);
-  C.SiteMask = FaultInjector::allSites();
-  if (const char *Sites = std::getenv("DISTAL_FAULT_SITES"))
-    C.SiteMask = FaultInjector::parseSites(Sites);
-  if (const char *Max = std::getenv("DISTAL_FAULT_MAX"))
-    C.MaxInjections = std::atoll(Max);
-  return C;
+/// True when \p V is set to a non-empty value — GitHub-Actions-style
+/// matrices export empty strings for absent entries, which must behave
+/// like unset, not like a malformed value.
+bool envSet(const char *V) { return V != nullptr && *V != '\0'; }
+
+void warn(std::string *Warnings, const std::string &Line) {
+  if (Warnings)
+    *Warnings += Line + "\n";
+}
+
+/// Strict full-consume double parse; false on garbage, trailing junk, or
+/// out-of-range representation.
+bool parseDoubleStrict(const char *S, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseU64Strict(const char *S, uint64_t &Out) {
+  // strtoull silently accepts "-1" (wrapping); reject signs up front.
+  if (*S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseI64Strict(const char *S, int64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
 }
 
 /// Installs the environment configuration once, at static-initialization
-/// time, so DISTAL_FAULT_* arms the hooks without any code change.
+/// time, so DISTAL_FAULT_* arms the hooks without any code change. Any
+/// validation warning prints to stderr here — the one place the raw
+/// environment is consumed.
 struct EnvInit {
   EnvInit() {
-    FaultInjector::Config C = configFromEnv();
+    std::string Warnings;
+    FaultInjector::Config C = FaultInjector::parseEnvConfig(
+        std::getenv("DISTAL_FAULT_RATE"), std::getenv("DISTAL_FAULT_SEED"),
+        std::getenv("DISTAL_FAULT_SITES"), std::getenv("DISTAL_FAULT_MAX"),
+        std::getenv("DISTAL_FAULT_ACTION"),
+        std::getenv("DISTAL_FAULT_DELAY_US"), &Warnings);
+    if (!Warnings.empty())
+      std::fputs(Warnings.c_str(), stderr);
     if (C.Rate > 0 && C.SiteMask != 0)
       FaultInjector::configure(C);
   }
 } EnvInitOnce;
 
 } // namespace
+
+FaultInjector::Config FaultInjector::parseEnvConfig(
+    const char *Rate, const char *Seed, const char *Sites, const char *Max,
+    const char *ActionStr, const char *DelayUs, std::string *Warnings) {
+  Config C;
+  if (envSet(Rate)) {
+    double V;
+    if (!parseDoubleStrict(Rate, V) || V < 0 || V > 1)
+      warn(Warnings, std::string("distal: ignoring malformed "
+                                 "DISTAL_FAULT_RATE '") +
+                         Rate + "' (want a probability in [0, 1])");
+    else
+      C.Rate = V;
+  }
+  if (envSet(Seed)) {
+    uint64_t V;
+    if (!parseU64Strict(Seed, V))
+      warn(Warnings, std::string("distal: ignoring malformed "
+                                 "DISTAL_FAULT_SEED '") +
+                         Seed + "' (want an unsigned integer)");
+    else
+      C.Seed = V;
+  }
+  C.SiteMask = allSites();
+  if (envSet(Sites))
+    C.SiteMask = parseSites(Sites, Warnings);
+  if (envSet(Max)) {
+    int64_t V;
+    if (!parseI64Strict(Max, V))
+      warn(Warnings, std::string("distal: ignoring malformed "
+                                 "DISTAL_FAULT_MAX '") +
+                         Max + "' (want an integer; < 0 = unlimited)");
+    else
+      C.MaxInjections = V;
+  }
+  if (envSet(ActionStr)) {
+    if (std::strcmp(ActionStr, "throw") == 0)
+      C.Act = Action::Throw;
+    else if (std::strcmp(ActionStr, "delay") == 0)
+      C.Act = Action::Delay;
+    else
+      warn(Warnings, std::string("distal: ignoring malformed "
+                                 "DISTAL_FAULT_ACTION '") +
+                         ActionStr + "' (want 'throw' or 'delay')");
+  }
+  if (envSet(DelayUs)) {
+    int64_t V;
+    if (!parseI64Strict(DelayUs, V) || V < 0)
+      warn(Warnings, std::string("distal: ignoring malformed "
+                                 "DISTAL_FAULT_DELAY_US '") +
+                         DelayUs + "' (want a non-negative integer)");
+    else
+      C.DelayMicros = V;
+  }
+  return C;
+}
 
 const char *FaultInjector::siteName(Site S) {
   switch (S) {
@@ -82,16 +183,24 @@ const char *FaultInjector::siteName(Site S) {
   unreachable("unknown fault site");
 }
 
-uint32_t FaultInjector::parseSites(const std::string &Spec) {
+uint32_t FaultInjector::parseSites(const std::string &Spec,
+                                   std::string *Warnings) {
   uint32_t Mask = 0;
   std::stringstream SS(Spec);
   std::string Name;
   while (std::getline(SS, Name, ',')) {
     if (Name == "all")
       return allSites();
+    bool Known = false;
     for (int I = 0; I < NumSites; ++I)
-      if (Name == siteName(static_cast<Site>(I)))
+      if (Name == siteName(static_cast<Site>(I))) {
         Mask |= 1u << I;
+        Known = true;
+      }
+    if (!Known)
+      warn(Warnings, "distal: unknown fault site '" + Name +
+                         "' in DISTAL_FAULT_SITES (want "
+                         "gather,prefetch,leaf,writeback,alloc or 'all')");
   }
   return Mask;
 }
@@ -176,6 +285,13 @@ void FaultInjector::injectSlow(Site S, ExecutionScope *E) {
     St.TotalInjected.fetch_add(1, std::memory_order_relaxed);
   }
   St.Injected[SI].fetch_add(1, std::memory_order_relaxed);
+  if (C.Act == Action::Delay) {
+    // A delay injection stalls this arrival and returns: results stay
+    // bitwise-correct, only timing shifts — the substrate for testing
+    // deadline trips and waitFor bounds without wall-clock flakiness.
+    std::this_thread::sleep_for(std::chrono::microseconds(C.DelayMicros));
+    return;
+  }
   throwError(ErrorCode::Injected,
              std::string("injected fault at site '") + siteName(S) +
                  "' (arrival " + std::to_string(Arrival) + ")");

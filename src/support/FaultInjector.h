@@ -20,13 +20,25 @@
 /// Region allocation site) fall back to a process-global arrival counter,
 /// which is deterministic for serial runs.
 ///
+/// Actions: a firing arrival either throws DistalError(Injected) (the
+/// default) or, under Action::Delay, sleeps a configured duration and
+/// returns — a seeded, deterministic slowdown that never corrupts results.
+/// Delay is what makes deadline/cancellation trips testable without
+/// wall-clock flakiness: the delayed execution is guaranteed to still be
+/// in flight when a short deadline expires.
+///
 /// Arming: programmatically via configure()/ScopedFaultInjection (tests),
 /// or from the environment at process start:
-///   DISTAL_FAULT_RATE   fire probability in [0, 1] (0 or unset = disarmed)
-///   DISTAL_FAULT_SEED   determinism seed (default 0)
-///   DISTAL_FAULT_SITES  comma list of gather,prefetch,leaf,writeback,alloc
-///                       or "all" (default all)
-///   DISTAL_FAULT_MAX    stop after this many injections (default unlimited)
+///   DISTAL_FAULT_RATE     fire probability in [0, 1] (0 or unset = disarmed)
+///   DISTAL_FAULT_SEED     determinism seed (default 0)
+///   DISTAL_FAULT_SITES    comma list of gather,prefetch,leaf,writeback,alloc
+///                         or "all" (default all)
+///   DISTAL_FAULT_MAX      stop after this many injections (default unlimited)
+///   DISTAL_FAULT_ACTION   "throw" (default) or "delay"
+///   DISTAL_FAULT_DELAY_US sleep per firing arrival under delay (default 1000)
+/// Malformed values are rejected with a one-line stderr warning and treated
+/// as unset (see parseEnvConfig) — a typo must not silently arm a different
+/// schedule than the one intended.
 ///
 /// Cost: disarmed, every hook is a single relaxed atomic load of one global
 /// flag and a predicted-not-taken branch — nothing the bench gate can see.
@@ -48,6 +60,10 @@ public:
   enum class Site : uint8_t { Gather, Prefetch, Leaf, Writeback, Alloc };
   static constexpr int NumSites = 5;
 
+  /// What a firing arrival does: throw the Injected error, or sleep
+  /// DelayMicros and continue (a deterministic slowdown, results intact).
+  enum class Action : uint8_t { Throw, Delay };
+
   struct Config {
     uint64_t Seed = 0;
     double Rate = 0; ///< Fire probability per arrival; 0 disarms.
@@ -57,13 +73,30 @@ public:
     /// unlimited. MaxInjections = 1 makes exactly the first eligible
     /// arrival fail — the retry-ladder tests' "transient fault".
     int64_t MaxInjections = -1;
+    /// Firing behaviour; Delay sleeps instead of throwing.
+    Action Act = Action::Throw;
+    /// Sleep length per firing arrival under Action::Delay.
+    int64_t DelayMicros = 1000;
   };
 
   static constexpr uint32_t allSites() { return (1u << NumSites) - 1; }
   static uint32_t maskFor(Site S) { return 1u << static_cast<int>(S); }
-  /// Parses "gather,leaf" / "all" into a site mask (unknown names ignored).
-  static uint32_t parseSites(const std::string &Spec);
+  /// Parses "gather,leaf" / "all" into a site mask. Unknown names are
+  /// skipped; when \p Warnings is non-null, one warning line per unknown
+  /// name is appended to it so a typo cannot silently shrink the mask.
+  static uint32_t parseSites(const std::string &Spec,
+                             std::string *Warnings = nullptr);
   static const char *siteName(Site S);
+
+  /// Builds a Config from raw DISTAL_FAULT_* values (null or empty string
+  /// = unset). Strictly validated: a malformed or out-of-range value is
+  /// treated as unset and reported as one warning line appended to
+  /// \p Warnings (the process-start path prints each to stderr). Pure —
+  /// exposed so tests can drive it without touching the environment.
+  static Config parseEnvConfig(const char *Rate, const char *Seed,
+                               const char *Sites, const char *Max,
+                               const char *ActionStr, const char *DelayUs,
+                               std::string *Warnings = nullptr);
 
   /// Installs \p C (Rate > 0 and a non-empty mask arm the hooks) and
   /// resets the arrival counters and stats.
@@ -97,10 +130,11 @@ public:
   static void beginExecution(ExecutionScope &E);
 
   /// The hook. Disarmed: one relaxed load. Armed: deterministically decides
-  /// whether this arrival fails and, if so, throws
+  /// whether this arrival fires and, if so, either throws
   /// DistalError(ErrorCode::Injected) with the site and arrival index in
-  /// the message. \p E keys the arrival to the calling execution's scope
-  /// (see ExecutionScope); null falls back to the process-global counter.
+  /// the message (Action::Throw) or sleeps Config::DelayMicros and returns
+  /// (Action::Delay). \p E keys the arrival to the calling execution's
+  /// scope (see ExecutionScope); null falls back to the global counter.
   static void inject(Site S, ExecutionScope *E = nullptr) {
     if (armed())
       injectSlow(S, E);

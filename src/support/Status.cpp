@@ -18,6 +18,10 @@ const char *distal::toString(ErrorCode Code) {
     return "RESOURCE_EXHAUSTED";
   case ErrorCode::Injected:
     return "INJECTED";
+  case ErrorCode::Cancelled:
+    return "CANCELLED";
+  case ErrorCode::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
   case ErrorCode::Internal:
     return "INTERNAL";
   }

@@ -45,6 +45,15 @@ enum class ErrorCode : uint8_t {
   /// A deterministic fault-injection hook fired (testing only; see
   /// support/FaultInjector.h).
   Injected,
+  /// The caller cancelled the operation through a CancelToken (or by
+  /// dropping every copy of an unclaimed deferred future). Never retried
+  /// by the Executor degradation ladder: the caller asked for the work to
+  /// stop, so re-running it on a fallback rung would be a bug.
+  Cancelled,
+  /// The operation's deadline passed before it completed — either while
+  /// queued (it never ran) or mid-execution (it was quiesced). Like
+  /// Cancelled, never retried by the degradation ladder.
+  DeadlineExceeded,
   /// Everything else that crossed a boundary as an exception.
   Internal,
 };

@@ -85,6 +85,11 @@ void ThreadPool::runOneChunk(Job &J, std::unique_lock<std::mutex> &Lock) {
   // wait() for detached ones.
   std::exception_ptr ChunkError;
   try {
+    // Poll the job's cancellation token at the claim boundary: a tripped
+    // token throws here, before the chunk body, and flows through the
+    // first-exception-wins path below (cancelling the unclaimed chunks).
+    if (J.Cancel)
+      J.Cancel->check();
     (*J.Fn)(Lo, Hi);
   } catch (...) {
     ChunkError = std::current_exception();
@@ -182,10 +187,13 @@ void ThreadPool::submitAndRun(Job &J) {
 }
 
 void ThreadPool::parallelForChunks(
-    int64_t N, const std::function<void(int64_t, int64_t)> &Fn) {
+    int64_t N, const std::function<void(int64_t, int64_t)> &Fn,
+    const CancelToken *Cancel) {
   if (N <= 0)
     return;
   if (mustInline(N)) {
+    if (Cancel)
+      Cancel->check();
     Fn(0, N);
     return;
   }
@@ -195,15 +203,19 @@ void ThreadPool::parallelForChunks(
   J.Chunk = std::max<int64_t>(1, N / (4 * NumThreads));
   J.Remaining = (N + J.Chunk - 1) / J.Chunk;
   J.Fn = &Fn;
+  J.Cancel = Cancel;
   submitAndRun(J);
 }
 
 void ThreadPool::parallelForWays(
-    int64_t N, int Ways, const std::function<void(int64_t, int64_t)> &Fn) {
+    int64_t N, int Ways, const std::function<void(int64_t, int64_t)> &Fn,
+    const CancelToken *Cancel) {
   if (N <= 0)
     return;
   int64_t W = std::min<int64_t>(std::max(Ways, 1), N);
   if (W <= 1 || mustInline(N)) {
+    if (Cancel)
+      Cancel->check();
     Fn(0, N);
     return;
   }
@@ -214,6 +226,7 @@ void ThreadPool::parallelForWays(
   J.Chunk = std::max<int64_t>(1, (N + 2 * W - 1) / (2 * W));
   J.Remaining = (N + J.Chunk - 1) / J.Chunk;
   J.Fn = &Fn;
+  J.Cancel = Cancel;
   submitAndRun(J);
 }
 
@@ -299,11 +312,15 @@ void ThreadPool::Ticket::waitNoThrow(bool LogDropped) {
 }
 
 void ThreadPool::parallelFor(int64_t N,
-                             const std::function<void(int64_t)> &Fn) {
-  parallelForChunks(N, [&](int64_t Lo, int64_t Hi) {
-    for (int64_t I = Lo; I < Hi; ++I)
-      Fn(I);
-  });
+                             const std::function<void(int64_t)> &Fn,
+                             const CancelToken *Cancel) {
+  parallelForChunks(
+      N,
+      [&](int64_t Lo, int64_t Hi) {
+        for (int64_t I = Lo; I < Hi; ++I)
+          Fn(I);
+      },
+      Cancel);
 }
 
 ThreadPool &ThreadPool::global() {

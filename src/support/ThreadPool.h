@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/CancelToken.h"
+
 namespace distal {
 
 class ThreadPool {
@@ -55,12 +57,21 @@ public:
   /// submitting thread once the job is fully quiesced — a worker thread
   /// never terminates the process, and the pool stays usable afterwards.
   /// Later exceptions of the same job are discarded.
-  void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn);
+  ///
+  /// Cancellation: when \p Cancel is non-null it is polled before every
+  /// chunk claim (including the inline path); a tripped token throws
+  /// through the same first-exception-wins machinery, cancelling the job's
+  /// unclaimed chunks. The token must outlive the call. A quiet token
+  /// costs one relaxed load per chunk claim; null costs a pointer test.
+  void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn,
+                   const CancelToken *Cancel = nullptr);
 
   /// Chunked variant: Fn(Lo, Hi) over a partition of [0, N). Lower overhead
-  /// when per-index work is small.
+  /// when per-index work is small. Same cancellation contract as
+  /// parallelFor.
   void parallelForChunks(int64_t N,
-                         const std::function<void(int64_t, int64_t)> &Fn);
+                         const std::function<void(int64_t, int64_t)> &Fn,
+                         const CancelToken *Cancel = nullptr);
 
   /// Bounded fan-out: partitions [0, N) into sub-ranges sized for at most
   /// \p Ways concurrent executors (with mild over-decomposition for load
@@ -68,9 +79,11 @@ public:
   /// the nested-parallelism entry point: the executor's split policy hands
   /// leaf kernels a Ways budget instead of a thread subset, and the shared
   /// job list keeps total live threads bounded by numThreads() no matter
-  /// how task- and leaf-level jobs interleave.
+  /// how task- and leaf-level jobs interleave. Same cancellation contract
+  /// as parallelFor.
   void parallelForWays(int64_t N, int Ways,
-                       const std::function<void(int64_t, int64_t)> &Fn);
+                       const std::function<void(int64_t, int64_t)> &Fn,
+                       const CancelToken *Cancel = nullptr);
 
   /// Handle to one detached job submitted with submitAsync(). wait() blocks
   /// until the job has run; if no worker has claimed it yet, the waiting
@@ -165,6 +178,10 @@ private:
     int64_t Next = 0;      ///< First unclaimed index.
     int64_t Remaining = 0; ///< Chunks claimed or unclaimed but not finished.
     const std::function<void(int64_t, int64_t)> *Fn = nullptr;
+    /// Optional cancellation token polled on every chunk claim. A trip
+    /// throws before the chunk body runs and is captured into Error like
+    /// any other chunk exception (cancelling the unclaimed chunks).
+    const CancelToken *Cancel = nullptr;
     /// First exception thrown by a chunk (guarded by Mtx). Capturing it
     /// cancels the job's unclaimed chunks; submitAndRun (structured) or
     /// Ticket::wait (detached) rethrows it once the job has quiesced.

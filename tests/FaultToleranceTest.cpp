@@ -246,6 +246,12 @@ TEST(FaultTolerance, RetryLadderSurfacesTrailWhenAllRungsFail) {
   EXPECT_EQ(E.degradationTrail()[3].Rung, "interpreted-leaves");
   for (const Executor::RetryAttempt &A : E.degradationTrail())
     EXPECT_FALSE(A.Outcome.ok()) << A.Rung;
+  // The whole trail is rendered into the Status, first attempt included,
+  // so the error alone tells the full degradation story.
+  EXPECT_NE(S.message().find("degradation trail:"), std::string::npos)
+      << S.str();
+  EXPECT_NE(S.message().find("rung 'as-configured'"), std::string::npos)
+      << S.str();
   EXPECT_NE(S.message().find("rung 'interpreted-leaves'"), std::string::npos)
       << S.str();
   {
@@ -397,4 +403,97 @@ TEST(FaultTolerance, DisarmedInjectorIsInert) {
   Trace T;
   ASSERT_TRUE(
       CP.tryExecute(H.Regions, T, optsFor(Pipeline::DoubleBuffer, true)).ok());
+}
+
+// Strict DISTAL_FAULT_* parsing: every malformed value is ignored (the
+// matching Config field keeps its default) and reported as one warning
+// line naming the variable — a typo must not silently arm a different
+// schedule than the matrix row intended. parseEnvConfig is pure, so this
+// drives it directly without touching the environment.
+TEST(FaultTolerance, ParseEnvConfigRejectsMalformedValues) {
+  std::string W;
+  FaultInjector::Config C = FaultInjector::parseEnvConfig(
+      "0.5x", "-3", "gather,bogus", "12junk", "explode", "-5", &W);
+  EXPECT_EQ(C.Rate, 0);
+  EXPECT_EQ(C.Seed, 0u);
+  EXPECT_EQ(C.SiteMask, FaultInjector::maskFor(Site::Gather))
+      << "the known site must survive the unknown sibling";
+  EXPECT_EQ(C.MaxInjections, -1);
+  EXPECT_EQ(C.Act, FaultInjector::Action::Throw);
+  EXPECT_EQ(C.DelayMicros, 1000);
+  for (const char *Var :
+       {"DISTAL_FAULT_RATE", "DISTAL_FAULT_SEED", "DISTAL_FAULT_SITES",
+        "DISTAL_FAULT_MAX", "DISTAL_FAULT_ACTION", "DISTAL_FAULT_DELAY_US"})
+    EXPECT_NE(W.find(Var), std::string::npos)
+        << "no warning names " << Var << "; got:\n"
+        << W;
+
+  // Well-formed values parse with no warnings.
+  W.clear();
+  C = FaultInjector::parseEnvConfig("0.25", "42", "leaf", "7", "delay",
+                                    "1500", &W);
+  EXPECT_TRUE(W.empty()) << W;
+  EXPECT_EQ(C.Rate, 0.25);
+  EXPECT_EQ(C.Seed, 42u);
+  EXPECT_EQ(C.SiteMask, FaultInjector::maskFor(Site::Leaf));
+  EXPECT_EQ(C.MaxInjections, 7);
+  EXPECT_EQ(C.Act, FaultInjector::Action::Delay);
+  EXPECT_EQ(C.DelayMicros, 1500);
+
+  // Empty strings are "unset", not malformed: GH Actions matrix rows pass
+  // "" for the knobs a row does not use.
+  W.clear();
+  C = FaultInjector::parseEnvConfig("", "", "", "", "", "", &W);
+  EXPECT_TRUE(W.empty()) << W;
+  EXPECT_EQ(C.Rate, 0);
+  EXPECT_EQ(C.SiteMask, FaultInjector::allSites());
+
+  // Out-of-range rate is malformed too (probability, not a multiplier).
+  W.clear();
+  C = FaultInjector::parseEnvConfig("1.5", nullptr, nullptr, nullptr, nullptr,
+                                    nullptr, &W);
+  EXPECT_EQ(C.Rate, 0);
+  EXPECT_NE(W.find("DISTAL_FAULT_RATE"), std::string::npos) << W;
+}
+
+// parseSites warns on every unknown name instead of silently shrinking
+// the mask.
+TEST(FaultTolerance, ParseSitesWarnsOnUnknownNames) {
+  std::string W;
+  uint32_t Mask = FaultInjector::parseSites("leaf,gahter,writeback", &W);
+  EXPECT_EQ(Mask, FaultInjector::maskFor(Site::Leaf) |
+                      FaultInjector::maskFor(Site::Writeback));
+  EXPECT_NE(W.find("unknown fault site 'gahter'"), std::string::npos) << W;
+  EXPECT_TRUE(FaultInjector::parseSites("all", &W) ==
+              FaultInjector::allSites());
+}
+
+// The delay action: firing arrivals sleep instead of throwing, so an
+// armed delay schedule stretches time but never corrupts — the execution
+// succeeds and its bytes bitwise-match the uninjected reference. This is
+// the substrate the deadline tests (CancelTest) and the CI delay sweep
+// row stand on.
+TEST(FaultTolerance, DelayActionStretchesTimeWithoutCorruption) {
+  Harness H;
+  CompiledPlan CP(H.Prob.P);
+  CP.execute(H.Regions, optsFor(Pipeline::DoubleBuffer, true));
+  const std::vector<double> Expected = H.output();
+
+  FaultInjector::Config C;
+  C.Seed = envSeed();
+  C.Rate = 1;
+  C.SiteMask = FaultInjector::allSites();
+  C.Act = FaultInjector::Action::Delay;
+  C.DelayMicros = 200;
+  int64_t Fired = 0;
+  {
+    ScopedFaultInjection Inject(C);
+    Trace T;
+    Status S = CP.tryExecute(H.Regions, T, optsFor(Pipeline::DoubleBuffer,
+                                                   true));
+    ASSERT_TRUE(S.ok()) << "delays must never fail an execution: " << S.str();
+    Fired = FaultInjector::stats().totalInjected();
+  }
+  EXPECT_GT(Fired, 0) << "the schedule must actually have fired";
+  EXPECT_EQ(H.output(), Expected) << "delays must not change any byte";
 }
