@@ -27,6 +27,7 @@ HEADERS = [
     "src/runtime/Executor.h",
     "src/runtime/CompiledPlan.h",
     "src/runtime/CompiledProgram.h",
+    "src/support/ResourceGovernor.h",
 ]
 
 CLASS_RE = re.compile(r"^\s*(template\s*<[^>]*>\s*)?(class|struct)\s+"

@@ -166,7 +166,12 @@ public:
   /// waits (ExecFuture::waitFor) and cancellation (ExecFuture::cancel);
   /// a deadline set via execOptions().Cancel resolves the future
   /// DeadlineExceeded — without executing if it expires while the request
-  /// is still queued. Thread-safe like evaluate().
+  /// is still queued. Under memory pressure (Executor::setMemoryBudget /
+  /// DISTAL_MEM_BUDGET) the admission may be degraded to Pipeline::Off
+  /// (output bytes unaffected; noted on the Status), shed with
+  /// ResourceExhausted carrying a retry-after hint, or refused
+  /// FailedPrecondition by the artifact's circuit breaker — see
+  /// support/ResourceGovernor.h. Thread-safe like evaluate().
   ExecFuture evaluateAsync(const Machine &M);
 
   /// Like evaluate(), returning the execution trace (precomputed at

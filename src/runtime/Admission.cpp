@@ -30,6 +30,7 @@
 #include "runtime/CompiledPlan.h"
 #include "support/CancelToken.h"
 #include "support/Error.h"
+#include "support/ResourceGovernor.h"
 #include "support/ThreadPool.h"
 
 using namespace distal;
@@ -52,6 +53,13 @@ struct AdmissionRequest {
   // acquire/release flag so resolved futures read the result lock-free).
   bool Active = false;  ///< Holds one of the MaxConcurrent slots.
   bool Claimed = false; ///< Some thread is (about to be) running it.
+  /// The half-open breaker's single probe execution: its outcome decides
+  /// whether the breaker closes (success) or reopens (non-user-error
+  /// failure); any other resolution releases the probe slot.
+  bool Canary = false;
+  /// Admitted under soft memory pressure with pipelining forced off; the
+  /// completion path appends the degradation note to the Status.
+  bool Degraded = false;
   std::atomic<bool> Done{false};
   Status Result;
   Trace Out;
@@ -87,6 +95,17 @@ struct AdmissionState {
   bool Shutdown = false;
   int MaxConcurrent = 8;
   int Capacity = 64;
+  /// Circuit-breaker state (all guarded by Mu). BreakerK <= 0 disables
+  /// the breaker. The cooldown is counted in *rejected submissions* — a
+  /// deterministic, injectable clock, so tests drive the state machine by
+  /// submitting instead of sleeping.
+  enum class BreakerPhase { Closed, Open, HalfOpen };
+  int BreakerK = 5;
+  int64_t BreakerCooldown = 8;
+  BreakerPhase Breaker = BreakerPhase::Closed;
+  int ConsecFailures = 0;
+  int64_t CooldownLeft = 0;
+  bool ProbeInFlight = false;
   std::vector<std::shared_ptr<AdmissionRequest>> Active;
   std::deque<std::shared_ptr<AdmissionRequest>> Queued;
   /// Tickets of dispatched background jobs, destroyed (= drained) in
@@ -163,22 +182,35 @@ bool blockedLocked(const AdmissionState &St, const AdmissionRequest &R,
 }
 
 /// Resolves an unclaimed request without running it (Mu held): latches
-/// \p S as its result, frees its slot or queue position, and collects its
-/// RunAnchor into \p Anchors for release outside the lock. Counts toward
-/// Stats::Cancelled. Callers pump and broadcast afterwards.
-void resolveLocked(AdmissionState &St,
-                   const std::shared_ptr<AdmissionRequest> &R, Status S,
-                   std::vector<std::shared_ptr<void>> &Anchors) {
+/// \p S as its result, frees its slot or queue position, releases a
+/// canary's probe slot (so a resolved probe can never wedge the breaker
+/// half-open), and collects its RunAnchor into \p Anchors for release
+/// outside the lock. Counts nothing — callers pick the counter (Cancelled
+/// for cancellation paths, Shed for load shedding), then pump and
+/// broadcast.
+void finishLocked(AdmissionState &St,
+                  const std::shared_ptr<AdmissionRequest> &R, Status S,
+                  std::vector<std::shared_ptr<void>> &Anchors) {
   R->Result = std::move(S);
   Anchors.push_back(std::move(R->RunAnchor));
   R->Done.store(true, std::memory_order_release);
-  ++St.Counters.Cancelled;
+  if (R->Canary)
+    St.ProbeInFlight = false;
   auto It = std::find(St.Active.begin(), St.Active.end(), R);
   if (It != St.Active.end())
     St.Active.erase(It);
   auto Qt = std::find(St.Queued.begin(), St.Queued.end(), R);
   if (Qt != St.Queued.end())
     St.Queued.erase(Qt);
+}
+
+/// finishLocked counting toward Stats::Cancelled — the cancellation and
+/// deadline paths.
+void resolveLocked(AdmissionState &St,
+                   const std::shared_ptr<AdmissionRequest> &R, Status S,
+                   std::vector<std::shared_ptr<void>> &Anchors) {
+  finishLocked(St, R, std::move(S), Anchors);
+  ++St.Counters.Cancelled;
 }
 
 /// Resolves every waiting (unclaimed) request whose token has tripped —
@@ -260,12 +292,47 @@ void runRequest(const std::shared_ptr<AdmissionState> &St,
   Trace T;
   Status S = Tripped ? std::move(Pre)
                      : St->CP->tryExecute(R->Regions, T, R->Opts);
+  if (!Tripped && R->Degraded)
+    S.appendNote("admitted with pipelining off under memory pressure "
+                 "(governor soft watermark); output bytes are unaffected");
+  ErrorCode EC = S.code();
   std::vector<std::shared_ptr<AdmissionRequest>> ToDispatch;
   std::vector<std::shared_ptr<void>> Anchors;
   {
     std::lock_guard<std::mutex> L(St->Mu);
     if (Tripped)
       ++St->Counters.Cancelled; // Resolved without executing.
+    // Breaker accounting. Only Internal/Injected count as failures —
+    // user errors (InvalidArgument), cancellations, and deadline trips
+    // say nothing about the artifact's health. A canary's outcome decides
+    // the half-open verdict; a neutral canary outcome just releases the
+    // probe slot so the next submission can probe again.
+    if (St->BreakerK > 0) {
+      bool Okay = !Tripped && EC == ErrorCode::Ok;
+      bool Fail = !Tripped &&
+                  (EC == ErrorCode::Internal || EC == ErrorCode::Injected);
+      if (Okay) {
+        St->ConsecFailures = 0;
+        if (R->Canary) {
+          St->Breaker = AdmissionState::BreakerPhase::Closed;
+          St->ProbeInFlight = false;
+        }
+      } else if (Fail) {
+        if (R->Canary) {
+          St->Breaker = AdmissionState::BreakerPhase::Open;
+          St->CooldownLeft = St->BreakerCooldown;
+          St->ProbeInFlight = false;
+          St->ConsecFailures = 0;
+        } else if (St->Breaker == AdmissionState::BreakerPhase::Closed &&
+                   ++St->ConsecFailures >= St->BreakerK) {
+          St->Breaker = AdmissionState::BreakerPhase::Open;
+          St->CooldownLeft = St->BreakerCooldown;
+          St->ConsecFailures = 0;
+        }
+      } else if (R->Canary) {
+        St->ProbeInFlight = false;
+      }
+    }
     R->Result = std::move(S);
     R->Out = std::move(T);
     Anchors.push_back(std::move(R->RunAnchor));
@@ -494,6 +561,9 @@ AdmissionQueue::AdmissionQueue(CompiledPlan *CP)
     : St(std::make_shared<AdmissionState>()) {
   St->CP = CP;
   St->OutVar = CP->plan().Nest.Stmt.lhs().tensor();
+  ResourceGovernor::BreakerConfig B = ResourceGovernor::breakerDefaults();
+  St->BreakerK = B.Failures;
+  St->BreakerCooldown = B.CooldownRejections;
 }
 
 AdmissionQueue::~AdmissionQueue() {
@@ -543,6 +613,9 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
   ExecFuture Ret;
   bool NeedDispatch = false;
   std::vector<ThreadPool::Ticket> ReapLocal;
+  // Declared before the lock block so shed requests' RunAnchors release
+  // after Mu is dropped, even on the early-return reject paths.
+  std::vector<std::shared_ptr<void>> ShedAnchors;
   {
     std::unique_lock<std::mutex> L(St->Mu);
     auto resolved = [&](Status S) {
@@ -561,6 +634,58 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     if (Opts.Cancel.tripped(&Pre)) {
       ++St->Counters.Cancelled;
       return resolved(std::move(Pre));
+    }
+    // Circuit breaker. Open: fail fast, counting this rejection against
+    // the cooldown (the cooldown clock is rejected submissions, not wall
+    // time); once the cooldown is spent the breaker half-opens and the
+    // *next* submission is admitted as the single canary probe. Half-open
+    // with the probe already in flight: fail fast too — exactly one
+    // canary at a time.
+    if (St->BreakerK > 0) {
+      if (St->Breaker == AdmissionState::BreakerPhase::Open &&
+          St->CooldownLeft <= 0)
+        St->Breaker = AdmissionState::BreakerPhase::HalfOpen;
+      if (St->Breaker == AdmissionState::BreakerPhase::Open) {
+        ++St->Counters.BreakerOpen;
+        --St->CooldownLeft;
+        return resolved(
+            Status(ErrorCode::FailedPrecondition,
+                   "circuit breaker is open: this artifact failed " +
+                       std::to_string(St->BreakerK) +
+                       " consecutive executions; cooling down"));
+      }
+      if (St->Breaker == AdmissionState::BreakerPhase::HalfOpen &&
+          St->ProbeInFlight) {
+        ++St->Counters.BreakerOpen;
+        return resolved(Status(ErrorCode::FailedPrecondition,
+                               "circuit breaker is half-open: a canary "
+                               "execution is already probing"));
+      }
+    }
+    // Hard memory pressure: shed the queued unclaimed requests newest-
+    // first (claimed/running executions are never touched — their work
+    // completes), then reject this submission the same way. Every shed
+    // status carries the machine-readable retry-after hint.
+    if (ResourceGovernor::pressure() == ResourceGovernor::Pressure::Hard) {
+      Status SheddingS(ErrorCode::ResourceExhausted,
+                       "memory budget exceeded: load shed under the hard "
+                       "watermark (" +
+                           ResourceGovernor::retryAfterNote() + ")");
+      bool ShedAny = false;
+      while (!St->Queued.empty()) {
+        // Queued requests are unclaimed by invariant (claiming activates
+        // them first); back() is the newest submission.
+        std::shared_ptr<AdmissionRequest> Victim = St->Queued.back();
+        finishLocked(*St, Victim, SheddingS, ShedAnchors);
+        ++St->Counters.Shed;
+        ResourceGovernor::noteShed();
+        ShedAny = true;
+      }
+      ++St->Counters.Shed;
+      ResourceGovernor::noteShed();
+      if (ShedAny)
+        St->CV.notify_all();
+      return resolved(std::move(SheddingS));
     }
     // Coalesce onto a result-compatible request that has not started yet:
     // its pass will read the inputs after this submission, so piggybacking
@@ -596,6 +721,24 @@ ExecFuture AdmissionQueue::submit(const std::map<TensorVar, Region *> &Regions,
     R->D = D;
     R->RunAnchor = std::move(RunAnchor);
     R->State = St;
+    // Half-open breaker with a free probe slot: this request is the
+    // canary (admitted normally; its outcome decides the verdict).
+    if (St->BreakerK > 0 &&
+        St->Breaker == AdmissionState::BreakerPhase::HalfOpen &&
+        !St->ProbeInFlight) {
+      R->Canary = true;
+      St->ProbeInFlight = true;
+    }
+    // Soft memory pressure: degrade the admission to the bulk-synchronous
+    // order — no back buffers, roughly half the per-execution footprint,
+    // bitwise-identical output by the Pipeline contract. Recorded in the
+    // governor stats and, at completion, in the Status note.
+    if (ResourceGovernor::pressure() == ResourceGovernor::Pressure::Soft &&
+        R->Opts.Pipe != Pipeline::Off) {
+      R->Opts.Pipe = Pipeline::Off;
+      R->Degraded = true;
+      ResourceGovernor::noteDegradedAdmission();
+    }
     ++St->Counters.Admitted;
     // Activate only when a slot is free AND no admitted request conflicts
     // (shares a region this one writes, or writes one this one reads);
@@ -645,6 +788,16 @@ void AdmissionQueue::setCapacity(int N) {
   DISTAL_ASSERT(N >= 1, "admission capacity must be >= 1");
   std::lock_guard<std::mutex> L(St->Mu);
   St->Capacity = N;
+}
+
+void AdmissionQueue::setBreaker(int Failures, int64_t CooldownRejections) {
+  std::lock_guard<std::mutex> L(St->Mu);
+  St->BreakerK = Failures;
+  St->BreakerCooldown = CooldownRejections > 0 ? CooldownRejections : 0;
+  St->Breaker = AdmissionState::BreakerPhase::Closed;
+  St->ConsecFailures = 0;
+  St->CooldownLeft = 0;
+  St->ProbeInFlight = false;
 }
 
 AdmissionQueue::Stats AdmissionQueue::stats() const {

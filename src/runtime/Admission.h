@@ -52,6 +52,28 @@
 /// ordinary containment path. Dropping every ExecFuture copy of a
 /// still-unclaimed Deferred request auto-cancels it (see ExecFuture).
 ///
+/// Memory pressure (see support/ResourceGovernor.h): under the governor's
+/// *soft* watermark, new admissions are degraded to Pipeline::Off (no
+/// back buffers; output bytes are bitwise-identical by the Pipeline
+/// contract) and the degradation is recorded in the execution's Status
+/// note. Under the *hard* watermark, submit() sheds every queued
+/// *unclaimed* request newest-first — running executions are never
+/// touched — and rejects the new submission, all with ResourceExhausted
+/// carrying a machine-readable "retry-after-ms=N" hint
+/// (ResourceGovernor::parseRetryAfterMs reads it back). Both are counted
+/// in Stats::Shed.
+///
+/// Circuit breaker: K consecutive non-user-error execution failures
+/// (Internal/Injected — not InvalidArgument, Cancelled, or deadline
+/// trips) open a per-artifact breaker, after which submissions fail fast
+/// with FailedPrecondition (counted in Stats::BreakerOpen). After a
+/// configured number of rejected submissions — a deterministic cooldown,
+/// no wall clock — the breaker goes half-open and admits exactly one
+/// canary execution: success closes it, another non-user-error failure
+/// reopens it. Defaults come from ResourceGovernor::breakerDefaults()
+/// (DISTAL_BREAKER_*); setBreaker overrides per artifact, and a
+/// threshold of 0 disables the breaker entirely.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DISTAL_RUNTIME_ADMISSION_H
@@ -202,6 +224,11 @@ public:
   /// Submissions beyond it are rejected with ResourceExhausted. Must be
   /// >= 1; capacity below max-concurrent simply caps concurrency further.
   void setCapacity(int N);
+  /// Reconfigures this artifact's circuit breaker (see the file comment):
+  /// \p Failures consecutive non-user-error failures open it (0 disables),
+  /// and \p CooldownRejections rejected submissions later it half-opens
+  /// for one canary. Resets the breaker to closed with fresh counters.
+  void setBreaker(int Failures, int64_t CooldownRejections);
 
   /// Counters since construction plus a snapshot of the current state.
   /// PeakActive is how tests prove executions genuinely overlapped.
@@ -215,10 +242,21 @@ public:
     /// execution cancelled mid-flight is not counted here — it resolves
     /// through the normal completion path.
     int64_t Cancelled = 0;
+    /// Requests shed by hard memory pressure: queued unclaimed requests
+    /// resolved ResourceExhausted newest-first, plus new submissions
+    /// rejected while the governor reports hard pressure. Each carries a
+    /// "retry-after-ms=N" hint in its Status message.
+    int64_t Shed = 0;
+    /// Submissions refused fast with FailedPrecondition because the
+    /// circuit breaker was open (or half-open with the canary already in
+    /// flight).
+    int64_t BreakerOpen = 0;
     int Active = 0;        ///< Currently admitted-and-activated requests.
     int Queued = 0;        ///< Currently admitted-but-waiting requests.
     int PeakActive = 0;    ///< High-water mark of Active.
   };
+  /// Snapshot of the counters above, all read under one lock — a single
+  /// coherent picture, never a torn mix of before/after a completion.
   Stats stats() const;
 
 private:

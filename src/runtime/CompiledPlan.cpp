@@ -122,6 +122,10 @@ void CompiledPlan::ensureExecState(ExecArena &A) const {
   if (!A.Execs.empty() || Tasks.empty())
     return;
   A.Execs.resize(Tasks.size());
+  // The reserved capacities are charged against the governor in one sum —
+  // Instance::reserve only reserves capacity, so the ledger records the
+  // compile-time maxima the buffers will grow to.
+  int64_t Sum = 0;
   for (size_t I = 0; I < Tasks.size(); ++I) {
     const CompiledTask &CT = Tasks[I];
     ExecArena::TaskExec &TE = A.Execs[I];
@@ -135,9 +139,12 @@ void CompiledPlan::ensureExecState(ExecArena &A) const {
     for (const auto &Step : CT.StepGathers)
       for (const CompiledGather &G : Step)
         MaxVol[G.Tensor] = std::max(MaxVol[G.Tensor], G.R.volume());
-    for (const auto &[TV, Vol] : MaxVol)
+    for (const auto &[TV, Vol] : MaxVol) {
       TE.OwnedInsts[TV].reserve(Vol);
+      Sum += std::max<int64_t>(Vol, 1) * 8;
+    }
   }
+  A.MemCharge.add(Sum);
 }
 
 void CompiledPlan::ensurePipelineState(ExecArena &A) const {
@@ -145,7 +152,10 @@ void CompiledPlan::ensurePipelineState(ExecArena &A) const {
     return;
   // Back buffers for every tensor the schedule may prefetch, sized like
   // the fronts so steady-state flips never reallocate; plus the per-task
-  // progress slots the relay dependencies read.
+  // progress slots the relay dependencies read. The back-buffer bytes are
+  // charged against the governor here (the fronts were charged by
+  // ensureExecState).
+  int64_t Sum = 0;
   for (size_t I = 0; I < Tasks.size(); ++I) {
     const CompiledTask &CT = Tasks[I];
     std::map<TensorVar, int64_t> MaxVol;
@@ -155,9 +165,14 @@ void CompiledPlan::ensurePipelineState(ExecArena &A) const {
           const CompiledGather &CG = CT.StepGathers[S][G];
           MaxVol[CG.Tensor] = std::max(MaxVol[CG.Tensor], CG.R.volume());
         }
-    for (const auto &[TV, Vol] : MaxVol)
+    for (const auto &[TV, Vol] : MaxVol) {
       A.Execs[I].OwnedInsts[TV].back().reserve(Vol);
+      Sum += std::max<int64_t>(Vol, 1) * 8;
+    }
   }
+  Sum += static_cast<int64_t>(std::max<size_t>(Tasks.size(), 1)) *
+         sizeof(std::atomic<int32_t>);
+  A.MemCharge.add(Sum);
   A.Progress = std::make_unique<std::atomic<int32_t>[]>(
       std::max<size_t>(Tasks.size(), 1));
   // Release store pairs with stuckReport's acquire load: once PipeReady is
@@ -190,11 +205,18 @@ std::unique_ptr<ExecArena> CompiledPlan::acquireArena() {
 }
 
 void CompiledPlan::releaseArena(std::unique_ptr<ExecArena> A) {
+  // Under memory pressure the pool stops caching: the idle arena's buffers
+  // are freed immediately (its Charge releases their bytes), draining
+  // usage instead of parking it. Clean arenas hold no detached work, so
+  // destruction is safe.
+  if (ResourceGovernor::pressure() != ResourceGovernor::Pressure::None) {
+    ResourceGovernor::noteArenaCacheBypass();
+    return;
+  }
   std::lock_guard<std::mutex> Lock(StateMutex);
   if (static_cast<int>(FreeArenas.size()) < ArenaCacheCap)
     FreeArenas.push_back(std::move(A));
-  // Past the cap, A simply dies here — a clean arena holds no detached
-  // work, so destruction is safe.
+  // Past the cap, A simply dies here.
 }
 
 CompiledPlan::ArenaStats CompiledPlan::arenaStats() const {
@@ -202,6 +224,25 @@ CompiledPlan::ArenaStats CompiledPlan::arenaStats() const {
   ArenaStats S = Arenas;
   S.Cached = static_cast<int>(FreeArenas.size());
   return S;
+}
+
+int64_t CompiledPlan::footprintBytes() const {
+  // An estimate of the artifact's resident metadata: the dominant terms
+  // are the per-task gather programs and the prefetch schedule. Exact
+  // malloc accounting is not the goal — the PlanCache only needs a
+  // consistent measure to charge cached artifacts with.
+  int64_t Sum = static_cast<int64_t>(sizeof(*this));
+  for (const CompiledTask &CT : Tasks) {
+    Sum += static_cast<int64_t>(sizeof(CompiledTask));
+    Sum += static_cast<int64_t>(CT.LaunchGathers.size() *
+                                sizeof(CompiledGather));
+    for (const auto &Step : CT.StepGathers)
+      Sum += static_cast<int64_t>(Step.size() * sizeof(CompiledGather));
+    for (const auto &Step : CT.PrefetchDeps)
+      Sum += static_cast<int64_t>(Step.size() * sizeof(int32_t));
+    Sum += static_cast<int64_t>(CT.RunLeaf.size());
+  }
+  return Sum;
 }
 
 std::string CompiledPlan::stuckReport() const {

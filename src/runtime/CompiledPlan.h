@@ -359,6 +359,13 @@ public:
   };
   ArenaStats arenaStats() const;
 
+  /// Estimated resident bytes of the artifact itself (compiled tasks,
+  /// gather programs, prefetch schedule) — what the PlanCache charges
+  /// against the ResourceGovernor budget per cached plan. Arena and Region
+  /// bytes are accounted by their own ledgers, not here, so nothing is
+  /// double-counted. Thread-safe (pure walk of immutable state).
+  int64_t footprintBytes() const;
+
   /// Hang-diagnosis heartbeat: one line per execution currently inside
   /// executeBody, rendered off the arenas' progress counters — the phase
   /// (launch / steps / writeback), the completed-step watermark (plus the

@@ -210,6 +210,13 @@ std::unique_ptr<CompiledProgram::ProgramArena> CompiledProgram::acquireArena() {
 }
 
 void CompiledProgram::releaseArena(std::unique_ptr<ProgramArena> PA) {
+  // Under memory pressure the pool stops caching (mirroring
+  // CompiledPlan::releaseArena): the member arenas' buffers free now and
+  // their governor charges release, draining usage.
+  if (ResourceGovernor::pressure() != ResourceGovernor::Pressure::None) {
+    ResourceGovernor::noteArenaCacheBypass();
+    return;
+  }
   std::lock_guard<std::mutex> Lock(StateMutex);
   if (static_cast<int>(FreeArenas.size()) < ArenaCacheCap)
     FreeArenas.push_back(std::move(PA));
@@ -220,6 +227,29 @@ CompiledPlan::ArenaStats CompiledProgram::arenaStats() const {
   CompiledPlan::ArenaStats S = Arenas;
   S.Cached = static_cast<int>(FreeArenas.size());
   return S;
+}
+
+int64_t CompiledProgram::footprintBytes() const {
+  // Linking overhead only: the member artifacts are charged by their own
+  // cache entries, so a program entry adds just the graphs and link
+  // records it built on top of them.
+  int64_t Sum = static_cast<int64_t>(sizeof(*this));
+  Sum += static_cast<int64_t>(NodeBase.size() * sizeof(int32_t));
+  for (const Graph *G : {&Linked, &Barrier}) {
+    Sum += static_cast<int64_t>(G->InDeg.size() * sizeof(int32_t));
+    for (const auto &Succ : G->Succs)
+      Sum += static_cast<int64_t>(sizeof(std::vector<int32_t>) +
+                                  Succ.size() * sizeof(int32_t));
+  }
+  for (const ProgramStmtLinks &SL : Link.Stmts)
+    for (const ProgramTaskLinks &TL : SL.Tasks) {
+      Sum += static_cast<int64_t>(sizeof(ProgramTaskLinks));
+      Sum += static_cast<int64_t>(TL.Deps.size() * sizeof(ProgramDep));
+      Sum += static_cast<int64_t>(TL.LaunchView.size());
+      for (const auto &Step : TL.StepView)
+        Sum += static_cast<int64_t>(Step.size());
+    }
+  return Sum;
 }
 
 std::string CompiledProgram::stuckReport() const {

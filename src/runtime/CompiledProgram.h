@@ -145,6 +145,13 @@ public:
   /// arenas. Thread-safe.
   CompiledPlan::ArenaStats arenaStats() const;
 
+  /// Estimated resident bytes of the linking overhead (dependency graphs,
+  /// node numbering, link records) — what the PlanCache charges per cached
+  /// program. Member artifacts are charged by their own cache entries and
+  /// arenas by their own ledgers, so nothing is double-counted.
+  /// Thread-safe (pure walk of immutable state).
+  int64_t footprintBytes() const;
+
   /// Hang-diagnosis heartbeat, mirroring CompiledPlan::stuckReport(): one
   /// line per program execution currently inside the graph walk — how many
   /// nodes have completed out of the program total and the execution's

@@ -35,6 +35,7 @@
 #include "runtime/Region.h"
 #include "support/ExecContext.h"
 #include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
 #include "support/ThreadPool.h"
 
 namespace distal {
@@ -91,6 +92,10 @@ struct ExecArena {
   /// Context owned when the caller supplies none; rebuilt only when the
   /// budgeted thread count changes between this arena's executions.
   std::unique_ptr<ExecContext> OwnCtx;
+  /// Governor ledger for this arena's instance and back buffers, charged
+  /// when ensureExecState/ensurePipelineState size them and released when
+  /// the arena dies — so pooled-arena memory shows up in usedBytes().
+  ResourceGovernor::Charge MemCharge;
 
   /// Containment step of a failed execution: waits out every in-flight
   /// prefetch ticket, consuming their exceptions (the primary error is

@@ -36,6 +36,7 @@
 #include "runtime/Ledger.h"
 #include "runtime/Mapper.h"
 #include "runtime/Region.h"
+#include "support/ResourceGovernor.h"
 
 namespace distal {
 
@@ -166,6 +167,23 @@ public:
 
   /// Returns the trace without touching data (for cost studies).
   Trace simulate();
+
+  /// Arms (or, with 0, disarms) the process-wide memory budget — the
+  /// programmatic twin of DISTAL_MEM_BUDGET (see support/ResourceGovernor.h
+  /// for the watermarks and pressure responses). Affects every executor in
+  /// the process; soft/hard fractions keep their current values. A
+  /// disarmed governor costs one relaxed load per accounting site and
+  /// changes no behavior.
+  static void setMemoryBudget(int64_t Bytes) {
+    ResourceGovernor::setBudget(Bytes);
+  }
+
+  /// Snapshot of the process-wide governor counters: budget, accounted and
+  /// peak bytes, and how often each pressure response fired (degraded
+  /// admissions, shed requests, cache shrinks, arena-cache bypasses).
+  static ResourceGovernor::Stats governorStats() {
+    return ResourceGovernor::stats();
+  }
 
   /// Compiles \p Plans (ordered statement chain, validated with
   /// validateProgramPlans) into a fresh, uncached CompiledProgram and runs

@@ -17,6 +17,31 @@ std::string PlanCache::keyFor(const Plan &P, LeafStrategy Strategy) {
                                              : ";leaf=interpreted");
 }
 
+void PlanCache::evictLocked() {
+  // Under memory pressure the LRUs shrink to their floors: cached
+  // artifacts are the cheapest memory to give back (recompilable on
+  // demand), so they go first when the governor reports pressure.
+  // Evictions the configured capacity alone would not have forced are
+  // counted as cache shrinks.
+  bool Pressured =
+      ResourceGovernor::pressure() != ResourceGovernor::Pressure::None;
+  size_t Cap = Pressured ? std::min(Capacity, PlanFloor) : Capacity;
+  while (LRU.size() > Cap) {
+    if (LRU.size() <= Capacity)
+      ResourceGovernor::noteCacheShrink();
+    Index.erase(LRU.back().Key);
+    LRU.pop_back();
+  }
+  size_t PCap =
+      Pressured ? std::min(ProgramCapacity, ProgramFloor) : ProgramCapacity;
+  while (ProgramLRU.size() > PCap) {
+    if (ProgramLRU.size() <= ProgramCapacity)
+      ResourceGovernor::noteCacheShrink();
+    ProgramIndex.erase(ProgramLRU.back().Key);
+    ProgramLRU.pop_back();
+  }
+}
+
 std::shared_ptr<CompiledPlan> PlanCache::find(const std::string &Key) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Index.find(Key);
@@ -26,23 +51,27 @@ std::shared_ptr<CompiledPlan> PlanCache::find(const std::string &Key) {
   }
   ++S.Hits;
   LRU.splice(LRU.begin(), LRU, It->second);
-  return It->second->second;
+  std::shared_ptr<CompiledPlan> CP = It->second->CP;
+  evictLocked(); // The found entry sits at the front; floors are >= 1.
+  return CP;
 }
 
 void PlanCache::put(const std::string &Key, std::shared_ptr<CompiledPlan> CP) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Index.find(Key);
   if (It != Index.end()) {
-    It->second->second = std::move(CP);
+    It->second->CP = std::move(CP);
+    It->second->Mem.reset();
+    It->second->Mem.add(It->second->CP->footprintBytes());
     LRU.splice(LRU.begin(), LRU, It->second);
     return;
   }
-  LRU.emplace_front(Key, std::move(CP));
+  LRU.emplace_front();
+  LRU.front().Key = Key;
+  LRU.front().CP = std::move(CP);
+  LRU.front().Mem.add(LRU.front().CP->footprintBytes());
   Index[Key] = LRU.begin();
-  while (LRU.size() > Capacity) {
-    Index.erase(LRU.back().first);
-    LRU.pop_back();
-  }
+  evictLocked();
 }
 
 bool PlanCache::invalidate(const std::string &Key) {
@@ -75,7 +104,9 @@ std::shared_ptr<CompiledProgram> PlanCache::findProgram(const std::string &Key) 
   }
   ++S.ProgramHits;
   ProgramLRU.splice(ProgramLRU.begin(), ProgramLRU, It->second);
-  return It->second->second;
+  std::shared_ptr<CompiledProgram> CP = It->second->CP;
+  evictLocked();
+  return CP;
 }
 
 void PlanCache::putProgram(const std::string &Key,
@@ -83,16 +114,18 @@ void PlanCache::putProgram(const std::string &Key,
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = ProgramIndex.find(Key);
   if (It != ProgramIndex.end()) {
-    It->second->second = std::move(CP);
+    It->second->CP = std::move(CP);
+    It->second->Mem.reset();
+    It->second->Mem.add(It->second->CP->footprintBytes());
     ProgramLRU.splice(ProgramLRU.begin(), ProgramLRU, It->second);
     return;
   }
-  ProgramLRU.emplace_front(Key, std::move(CP));
+  ProgramLRU.emplace_front();
+  ProgramLRU.front().Key = Key;
+  ProgramLRU.front().CP = std::move(CP);
+  ProgramLRU.front().Mem.add(ProgramLRU.front().CP->footprintBytes());
   ProgramIndex[Key] = ProgramLRU.begin();
-  while (ProgramLRU.size() > ProgramCapacity) {
-    ProgramIndex.erase(ProgramLRU.back().first);
-    ProgramLRU.pop_back();
-  }
+  evictLocked();
 }
 
 bool PlanCache::invalidateProgram(const std::string &Key) {
@@ -114,7 +147,7 @@ void PlanCache::setProgramCapacity(size_t N) {
   std::lock_guard<std::mutex> Lock(Mu);
   ProgramCapacity = N > 0 ? N : 1;
   while (ProgramLRU.size() > ProgramCapacity) {
-    ProgramIndex.erase(ProgramLRU.back().first);
+    ProgramIndex.erase(ProgramLRU.back().Key);
     ProgramLRU.pop_back();
   }
 }
@@ -136,7 +169,7 @@ void PlanCache::setCapacity(size_t N) {
   std::lock_guard<std::mutex> Lock(Mu);
   Capacity = N > 0 ? N : 1;
   while (LRU.size() > Capacity) {
-    Index.erase(LRU.back().first);
+    Index.erase(LRU.back().Key);
     LRU.pop_back();
   }
 }
@@ -150,10 +183,13 @@ AdmissionQueue::Stats PlanCache::admissionStats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   AdmissionQueue::Stats Agg;
   for (const Entry &E : LRU) {
-    AdmissionQueue::Stats One = E.second->admission().stats();
+    AdmissionQueue::Stats One = E.CP->admission().stats();
     Agg.Admitted += One.Admitted;
     Agg.Coalesced += One.Coalesced;
     Agg.Rejected += One.Rejected;
+    Agg.Cancelled += One.Cancelled;
+    Agg.Shed += One.Shed;
+    Agg.BreakerOpen += One.BreakerOpen;
     Agg.Active += One.Active;
     Agg.Queued += One.Queued;
     // Per-artifact high-water marks are not additive (they may have been

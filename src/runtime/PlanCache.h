@@ -35,6 +35,7 @@
 
 #include "runtime/CompiledPlan.h"
 #include "runtime/CompiledProgram.h"
+#include "support/ResourceGovernor.h"
 
 namespace distal {
 
@@ -99,18 +100,41 @@ public:
 
   /// Aggregated admission-queue counters over every currently cached
   /// artifact (see AdmissionQueue::Stats): the multi-tenant view — how
-  /// many executions the cache's artifacts admitted, coalesced, and
-  /// rejected, and how many run right now. Counts sum across artifacts;
-  /// PeakActive is the *maximum* of the per-artifact high-water marks
-  /// (per-artifact peaks at different times are not additive, so a sum
-  /// would overstate overlap). Evicted artifacts' counters leave the
-  /// aggregate with them.
+  /// many executions the cache's artifacts admitted, coalesced, rejected,
+  /// cancelled, and shed, how many submissions an open breaker refused,
+  /// and how many run right now. Counts sum across artifacts; PeakActive
+  /// is the *maximum* of the per-artifact high-water marks (per-artifact
+  /// peaks at different times are not additive, so a sum would overstate
+  /// overlap). Evicted artifacts' counters leave the aggregate with them.
   AdmissionQueue::Stats admissionStats() const;
 
+  /// Memory-pressure floors: while ResourceGovernor::pressure() is
+  /// non-None, both LRUs evict down to these sizes instead of their
+  /// configured capacities (cached artifacts are the shed-last tier —
+  /// cheap to recompile, expensive to keep under pressure). Each eviction
+  /// beyond what the configured capacity required is counted by
+  /// ResourceGovernor::noteCacheShrink().
+  static constexpr size_t PlanFloor = 4;
+  /// Pressure floor of the program LRU (see PlanFloor).
+  static constexpr size_t ProgramFloor = 2;
+
 private:
-  using Entry = std::pair<std::string, std::shared_ptr<CompiledPlan>>;
-  using ProgramEntry =
-      std::pair<std::string, std::shared_ptr<CompiledProgram>>;
+  struct Entry {
+    std::string Key;
+    std::shared_ptr<CompiledPlan> CP;
+    /// Governor ledger for the artifact's footprintBytes().
+    ResourceGovernor::Charge Mem;
+  };
+  struct ProgramEntry {
+    std::string Key;
+    std::shared_ptr<CompiledProgram> CP;
+    /// Governor ledger for the program's linking-overhead footprint.
+    ResourceGovernor::Charge Mem;
+  };
+
+  /// Evicts LRU tails down to the effective capacities (the pressure
+  /// floors under non-None pressure). Callers hold Mu.
+  void evictLocked();
 
   mutable std::mutex Mu;
   size_t Capacity = 64;

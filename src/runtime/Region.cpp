@@ -201,6 +201,7 @@ Region::Region(TensorVar Var, Format Fmt, Machine M)
   for (Coord D : shape())
     Vol *= D;
   Data.assign(static_cast<size_t>(Vol), 0.0);
+  MemCharge.add(Vol * 8);
 }
 
 int64_t Region::volume() const { return static_cast<int64_t>(Data.size()); }

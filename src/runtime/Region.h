@@ -23,6 +23,7 @@
 #include "ir/IndexNotation.h"
 #include "machine/Machine.h"
 #include "support/ExecContext.h"
+#include "support/ResourceGovernor.h"
 
 namespace distal {
 
@@ -141,16 +142,21 @@ public:
   /// it), so the new object starts unpinned and the source keeps its
   /// count. Copying/moving a pinned region's data is the caller's hazard.
   Region(const Region &O)
-      : Var(O.Var), Fmt(O.Fmt), M(O.M), Strides(O.Strides), Data(O.Data) {}
+      : Var(O.Var), Fmt(O.Fmt), M(O.M), Strides(O.Strides), Data(O.Data) {
+    MemCharge.add(static_cast<int64_t>(Data.size()) * 8);
+  }
   Region(Region &&O)
       : Var(std::move(O.Var)), Fmt(std::move(O.Fmt)), M(std::move(O.M)),
-        Strides(std::move(O.Strides)), Data(std::move(O.Data)) {}
+        Strides(std::move(O.Strides)), Data(std::move(O.Data)),
+        MemCharge(std::move(O.MemCharge)) {}
   Region &operator=(const Region &O) {
     Var = O.Var;
     Fmt = O.Fmt;
     M = O.M;
     Strides = O.Strides;
     Data = O.Data;
+    MemCharge.reset();
+    MemCharge.add(static_cast<int64_t>(Data.size()) * 8);
     return *this;
   }
   Region &operator=(Region &&O) {
@@ -159,6 +165,7 @@ public:
     M = std::move(O.M);
     Strides = std::move(O.Strides);
     Data = std::move(O.Data);
+    MemCharge = std::move(O.MemCharge);
     return *this;
   }
 
@@ -247,6 +254,9 @@ private:
   Machine M;
   std::vector<Coord> Strides;
   std::vector<double> Data;
+  /// Governor ledger for the backing storage — charged when Data is sized
+  /// and released with the region, so usedBytes() tracks live region bytes.
+  ResourceGovernor::Charge MemCharge;
   std::atomic<int> Pins{0};
 };
 

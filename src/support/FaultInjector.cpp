@@ -11,9 +11,12 @@
 #include <sstream>
 #include <thread>
 
+#include "support/EnvParse.h"
+#include "support/ResourceGovernor.h"
 #include "support/Status.h"
 
 using namespace distal;
+using namespace distal::envparse;
 
 std::atomic<bool> FaultInjector::Armed{false};
 
@@ -43,51 +46,6 @@ uint64_t splitmix64(uint64_t X) {
   X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
   X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
   return X ^ (X >> 31);
-}
-
-/// True when \p V is set to a non-empty value — GitHub-Actions-style
-/// matrices export empty strings for absent entries, which must behave
-/// like unset, not like a malformed value.
-bool envSet(const char *V) { return V != nullptr && *V != '\0'; }
-
-void warn(std::string *Warnings, const std::string &Line) {
-  if (Warnings)
-    *Warnings += Line + "\n";
-}
-
-/// Strict full-consume double parse; false on garbage, trailing junk, or
-/// out-of-range representation.
-bool parseDoubleStrict(const char *S, double &Out) {
-  errno = 0;
-  char *End = nullptr;
-  double V = std::strtod(S, &End);
-  if (End == S || *End != '\0' || errno == ERANGE)
-    return false;
-  Out = V;
-  return true;
-}
-
-bool parseU64Strict(const char *S, uint64_t &Out) {
-  // strtoull silently accepts "-1" (wrapping); reject signs up front.
-  if (*S == '-' || *S == '+')
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  uint64_t V = std::strtoull(S, &End, 10);
-  if (End == S || *End != '\0' || errno == ERANGE)
-    return false;
-  Out = V;
-  return true;
-}
-
-bool parseI64Strict(const char *S, int64_t &Out) {
-  errno = 0;
-  char *End = nullptr;
-  long long V = std::strtoll(S, &End, 10);
-  if (End == S || *End != '\0' || errno == ERANGE)
-    return false;
-  Out = V;
-  return true;
 }
 
 /// Installs the environment configuration once, at static-initialization
@@ -215,7 +173,11 @@ void FaultInjector::configure(const Config &C) {
   }
   S.TotalInjected.store(0, std::memory_order_relaxed);
   S.ExecCounter.store(0, std::memory_order_relaxed);
-  Armed.store(C.Rate > 0 && C.SiteMask != 0, std::memory_order_release);
+  Armed.store((C.Rate > 0 ||
+               (C.AllocAboveBytes >= 0 &&
+                (C.SiteMask & maskFor(Site::Alloc)))) &&
+                  C.SiteMask != 0,
+              std::memory_order_release);
 }
 
 void FaultInjector::disarm() { configure(Config{}); }
@@ -273,7 +235,13 @@ void FaultInjector::injectSlow(Site S, ExecutionScope *E) {
   uint64_t H = splitmix64(C.Seed ^ (static_cast<uint64_t>(SI) << 56) ^
                           SeqKey ^ static_cast<uint64_t>(Arrival));
   double U = static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
-  if (U >= C.Rate)
+  // Budget-threshold alloc faults: while accounted memory usage sits above
+  // Config::AllocAboveBytes, every Alloc arrival fires regardless of Rate —
+  // the deterministic out-of-memory drill the overload tests drive. The
+  // shared MaxInjections budget below still applies.
+  bool ThresholdFire = S == Site::Alloc && C.AllocAboveBytes >= 0 &&
+                       ResourceGovernor::usedBytes() > C.AllocAboveBytes;
+  if (!ThresholdFire && U >= C.Rate)
     return;
   if (C.MaxInjections >= 0) {
     // Claim one injection slot; losers past the budget pass through.

@@ -77,6 +77,14 @@ public:
     Action Act = Action::Throw;
     /// Sleep length per firing arrival under Action::Delay.
     int64_t DelayMicros = 1000;
+    /// Budget-threshold alloc faults: when >= 0 (and Site::Alloc is in
+    /// SiteMask), every Alloc arrival fires while the ResourceGovernor's
+    /// accounted usage exceeds this many bytes — regardless of Rate, so a
+    /// scenario can make allocation fail exactly when the process is over
+    /// budget (the out-of-memory drill the overload tests drive). The
+    /// MaxInjections budget still applies. < 0 (default) disables the
+    /// threshold; Rate keeps governing Alloc arrivals as usual.
+    int64_t AllocAboveBytes = -1;
   };
 
   static constexpr uint32_t allSites() { return (1u << NumSites) - 1; }
